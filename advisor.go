@@ -1,0 +1,124 @@
+package wazi
+
+import "math"
+
+// RebuildAdvisor addresses the paper's third future-work item: deciding
+// when a workload-aware index should be rebuilt as its workload drifts.
+// Figure 12 of the paper shows WaZI degrading past the base index once
+// roughly 60% of the workload has shifted to a differently skewed
+// distribution; the advisor detects that condition online.
+//
+// It maintains a spatial histogram of the build-time workload's query
+// centers and a sliding window over recently observed queries, and reports
+// drift as the total-variation distance between the two distributions
+// (0 = identical, 1 = disjoint). Observing is O(1) per query.
+type RebuildAdvisor struct {
+	side      int
+	bounds    Rect
+	reference []float64 // normalized histogram of the build workload
+	window    []int     // cell of each query in the sliding window, -1 = empty
+	counts    []float64 // histogram over the window
+	next      int
+	seen      int
+	threshold float64
+}
+
+// NewRebuildAdvisor builds an advisor for an index constructed over
+// buildWorkload. windowSize bounds how many recent queries inform the drift
+// estimate (default 1024 when <= 0). threshold is the drift level at which
+// RebuildRecommended triggers; <= 0 selects 0.6, calibrated to the paper's
+// crossover.
+func NewRebuildAdvisor(bounds Rect, buildWorkload []Rect, windowSize int, threshold float64) *RebuildAdvisor {
+	const side = 16
+	if windowSize <= 0 {
+		windowSize = 1024
+	}
+	if threshold <= 0 {
+		threshold = 0.6
+	}
+	a := &RebuildAdvisor{
+		side:      side,
+		reference: make([]float64, side*side),
+		window:    make([]int, windowSize),
+		counts:    make([]float64, side*side),
+		threshold: threshold,
+	}
+	for i := range a.window {
+		a.window[i] = -1
+	}
+	for _, q := range buildWorkload {
+		a.reference[a.cell(bounds, q)]++
+	}
+	total := float64(len(buildWorkload))
+	if total > 0 {
+		for i := range a.reference {
+			a.reference[i] /= total
+		}
+	}
+	a.bounds = bounds
+	return a
+}
+
+// cell maps a query's center into the histogram grid.
+func (a *RebuildAdvisor) cell(bounds Rect, q Rect) int {
+	c := q.Center()
+	w, h := bounds.Width(), bounds.Height()
+	if w <= 0 {
+		w = 1
+	}
+	if h <= 0 {
+		h = 1
+	}
+	cx := int((c.X - bounds.MinX) / w * float64(a.side))
+	cy := int((c.Y - bounds.MinY) / h * float64(a.side))
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= a.side {
+		cx = a.side - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= a.side {
+		cy = a.side - 1
+	}
+	return cy*a.side + cx
+}
+
+// Observe records one executed query.
+func (a *RebuildAdvisor) Observe(q Rect) {
+	c := a.cell(a.bounds, q)
+	if old := a.window[a.next]; old >= 0 {
+		a.counts[old]--
+	}
+	a.window[a.next] = c
+	a.counts[c]++
+	a.next = (a.next + 1) % len(a.window)
+	a.seen++
+}
+
+// Drift returns the total-variation distance between the recent-query
+// distribution and the build-time workload distribution, in [0, 1]. It
+// returns 0 until enough queries (a quarter of the window) have been
+// observed to make the estimate meaningful.
+func (a *RebuildAdvisor) Drift() float64 {
+	filled := a.seen
+	if filled > len(a.window) {
+		filled = len(a.window)
+	}
+	if filled < len(a.window)/4 || filled == 0 {
+		return 0
+	}
+	var tv float64
+	for i := range a.counts {
+		tv += math.Abs(a.counts[i]/float64(filled) - a.reference[i])
+	}
+	return tv / 2
+}
+
+// RebuildRecommended reports whether drift has crossed the threshold.
+func (a *RebuildAdvisor) RebuildRecommended() bool { return a.Drift() >= a.threshold }
+
+// Observed returns how many queries have been observed in total.
+func (a *RebuildAdvisor) Observed() int { return a.seen }

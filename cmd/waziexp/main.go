@@ -1,0 +1,108 @@
+// Command waziexp regenerates the tables and figures of the WaZI paper's
+// evaluation section (§6) on the synthetic region datasets.
+//
+// Usage:
+//
+//	waziexp -exp fig6                 # one experiment
+//	waziexp -exp all                  # the whole evaluation
+//	waziexp -exp fig8 -scale 400000   # larger datasets
+//	waziexp -list                     # show available experiment ids
+//
+// Experiment ids match the paper's artifact numbers: tab1, tab2, fig4,
+// fig6, fig7, fig8, fig9, fig10, tab3, tab4, tab5, fig11, fig12, fig13.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/wazi-index/wazi/internal/bench"
+	"github.com/wazi-index/wazi/internal/dataset"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (or comma-separated list, or 'all')")
+		scale   = flag.Int("scale", 100_000, "default dataset size per region (paper: 32M)")
+		queries = flag.Int("queries", 2_000, "range-query workload size (paper: 20,000)")
+		points  = flag.Int("points", 5_000, "point-query workload size (paper: 50,000)")
+		leaf    = flag.Int("leaf", 256, "leaf page capacity L")
+		seed    = flag.Int64("seed", 1, "random seed")
+		regions = flag.String("regions", "", "comma-separated regions (CaliNev,NewYork,Japan,Iberia); empty = all")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	cfg := bench.Config{
+		Scale:        *scale,
+		Queries:      *queries,
+		PointQueries: *points,
+		LeafSize:     *leaf,
+		Seed:         *seed,
+	}
+	if *regions != "" {
+		for _, name := range strings.Split(*regions, ",") {
+			r, err := parseRegion(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			cfg.Regions = append(cfg.Regions, r)
+		}
+	}
+
+	want := map[string]bool{}
+	runAll := *exp == "all"
+	for _, id := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	known := map[string]bool{}
+	for _, e := range bench.Experiments() {
+		known[e.ID] = true
+	}
+	for id := range want {
+		if !runAll && !known[id] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+			os.Exit(2)
+		}
+	}
+
+	start := time.Now()
+	ran := 0
+	for _, e := range bench.Experiments() {
+		if !runAll && !want[e.ID] {
+			continue
+		}
+		expStart := time.Now()
+		for _, t := range e.Run(cfg) {
+			fmt.Println(t)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(expStart).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments matched; use -list")
+		os.Exit(2)
+	}
+	fmt.Printf("ran %d experiment(s) in %v (scale %d, %d queries)\n",
+		ran, time.Since(start).Round(time.Millisecond), cfg.Scale, cfg.Queries)
+}
+
+func parseRegion(name string) (dataset.Region, error) {
+	for _, r := range dataset.Regions() {
+		if strings.EqualFold(r.String(), name) {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown region %q (want CaliNev, NewYork, Japan, or Iberia)", name)
+}

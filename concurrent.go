@@ -1,0 +1,73 @@
+package wazi
+
+import "sync"
+
+// Concurrent wraps an Index for use from multiple goroutines. Operations
+// are serialized with a single mutex: queries mutate the shared access
+// counters and inserts may restructure the tree, so even reads require
+// exclusive access. For read-heavy parallel workloads, shard the data
+// across per-goroutine indexes instead.
+type Concurrent struct {
+	mu  sync.Mutex
+	idx *Index
+}
+
+// NewConcurrent wraps idx. The wrapped index must not be used directly
+// afterwards.
+func NewConcurrent(idx *Index) *Concurrent { return &Concurrent{idx: idx} }
+
+// RangeQuery returns all points inside r.
+func (c *Concurrent) RangeQuery(r Rect) []Point {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx.RangeQuery(r)
+}
+
+// RangeCount returns the number of points inside r.
+func (c *Concurrent) RangeCount(r Rect) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx.RangeCount(r)
+}
+
+// PointQuery reports whether p is indexed.
+func (c *Concurrent) PointQuery(p Point) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx.PointQuery(p)
+}
+
+// KNN returns the k nearest neighbours of q.
+func (c *Concurrent) KNN(q Point, k int) []Point {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx.KNN(q, k)
+}
+
+// Insert adds p.
+func (c *Concurrent) Insert(p Point) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.idx.Insert(p)
+}
+
+// Delete removes one point equal to p.
+func (c *Concurrent) Delete(p Point) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx.Delete(p)
+}
+
+// Len returns the number of indexed points.
+func (c *Concurrent) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx.Len()
+}
+
+// Snapshot returns the current counter values.
+func (c *Concurrent) Snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return *c.idx.Stats()
+}

@@ -1,0 +1,101 @@
+// Workload drift: the paper's §6.8 scenario as an operational playbook. A
+// WaZI index is built for one workload; traffic then shifts to a
+// differently skewed distribution. The RebuildAdvisor (the paper's third
+// future-work item) watches live queries, reports drift, and recommends a
+// rebuild; the example rebuilds, persists the new index with Save, and
+// restores it with Load as a deployment would.
+//
+// Run with:
+//
+//	go run ./examples/drift
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	wazi "github.com/wazi-index/wazi"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	// Clustered data, as ever.
+	var data []wazi.Point
+	centers := []wazi.Point{{X: 0.2, Y: 0.25}, {X: 0.7, Y: 0.3}, {X: 0.5, Y: 0.75}}
+	for len(data) < 80_000 {
+		c := centers[rng.Intn(len(centers))]
+		data = append(data, wazi.Point{
+			X: clamp(c.X + rng.NormFloat64()*0.07),
+			Y: clamp(c.Y + rng.NormFloat64()*0.07),
+		})
+	}
+
+	mkWorkload := func(hot wazi.Point, n int) []wazi.Rect {
+		qs := make([]wazi.Rect, n)
+		for i := range qs {
+			cx := clamp(hot.X + rng.NormFloat64()*0.04)
+			cy := clamp(hot.Y + rng.NormFloat64()*0.04)
+			const half = 0.01
+			qs[i] = wazi.Rect{MinX: cx - half, MinY: cy - half, MaxX: cx + half, MaxY: cy + half}
+		}
+		return qs
+	}
+	morningTraffic := mkWorkload(wazi.Point{X: 0.7, Y: 0.3}, 3000)  // build-time workload
+	eveningTraffic := mkWorkload(wazi.Point{X: 0.5, Y: 0.75}, 3000) // the drift target
+
+	idx, err := wazi.NewWorkloadAware(data, morningTraffic, wazi.WithSeed(3))
+	if err != nil {
+		panic(err)
+	}
+	advisor := wazi.NewRebuildAdvisor(idx.Bounds(), morningTraffic, 1024, 0.5)
+
+	serve := func(label string, qs []wazi.Rect) {
+		idx.Stats().Reset()
+		start := time.Now()
+		for _, q := range qs {
+			idx.RangeQuery(q)
+			advisor.Observe(q)
+		}
+		fmt.Printf("%-28s %7.1f µs/query   drift=%.2f   rebuild=%v\n",
+			label,
+			float64(time.Since(start).Microseconds())/float64(len(qs)),
+			advisor.Drift(), advisor.RebuildRecommended())
+	}
+
+	fmt.Println("phase 1: traffic matches the build workload")
+	serve("morning traffic", morningTraffic[:1500])
+
+	fmt.Println("phase 2: traffic shifts to the evening hotspot")
+	serve("evening traffic (drifted)", eveningTraffic[:1500])
+
+	if advisor.RebuildRecommended() {
+		fmt.Println("\nadvisor recommends a rebuild; rebuilding offline for the new workload...")
+		rebuilt, err := wazi.NewWorkloadAware(idx.Points(), eveningTraffic, wazi.WithSeed(4))
+		if err != nil {
+			panic(err)
+		}
+
+		// Persist the rebuilt index and deploy it via Load, as §6.5
+		// suggests (build offline, serve long-lived).
+		var snapshot bytes.Buffer
+		if err := rebuilt.Save(&snapshot); err != nil {
+			panic(err)
+		}
+		fmt.Printf("snapshot size: %.1f KiB\n", float64(snapshot.Len())/1024)
+		deployed, err := wazi.Load(&snapshot)
+		if err != nil {
+			panic(err)
+		}
+
+		idx = deployed
+		advisor = wazi.NewRebuildAdvisor(idx.Bounds(), eveningTraffic, 1024, 0.5)
+		fmt.Println("\nphase 3: rebuilt index serving the new workload")
+		serve("evening traffic (rebuilt)", eveningTraffic[1500:])
+	}
+}
+
+func clamp(v float64) float64 { return math.Min(1, math.Max(0, v)) }

@@ -1,0 +1,60 @@
+// Quickstart: build a workload-aware Z-index over random points and run
+// range, point, and kNN queries against it.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	wazi "github.com/wazi-index/wazi"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+
+	// A million points would work the same way; keep the quickstart quick.
+	points := make([]wazi.Point, 50_000)
+	for i := range points {
+		points[i] = wazi.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+
+	// The anticipated workload: small rectangles concentrated around one
+	// hotspot. In production this would come from your query logs.
+	workload := make([]wazi.Rect, 500)
+	for i := range workload {
+		cx := 0.6 + rng.NormFloat64()*0.05
+		cy := 0.4 + rng.NormFloat64()*0.05
+		workload[i] = wazi.Rect{MinX: cx - 0.01, MinY: cy - 0.01, MaxX: cx + 0.01, MaxY: cy + 0.01}
+	}
+
+	idx, err := wazi.NewWorkloadAware(points, workload, wazi.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(idx.Describe())
+
+	// Range query.
+	box := wazi.Rect{MinX: 0.59, MinY: 0.39, MaxX: 0.61, MaxY: 0.41}
+	hits := idx.RangeQuery(box)
+	fmt.Printf("range %v -> %d points\n", box, len(hits))
+
+	// Point query.
+	fmt.Printf("point query for an indexed point: %v\n", idx.PointQuery(points[7]))
+
+	// k nearest neighbours.
+	nn := idx.KNN(wazi.Point{X: 0.6, Y: 0.4}, 3)
+	fmt.Printf("3 nearest neighbours of (0.6, 0.4): %v\n", nn)
+
+	// Updates.
+	idx.Insert(wazi.Point{X: 0.605, Y: 0.405})
+	fmt.Printf("after insert: %d points\n", idx.Len())
+
+	// Access statistics accumulated so far.
+	s := idx.Stats()
+	fmt.Printf("stats: %d range queries, %d pages scanned, %d look-ahead jumps\n",
+		s.RangeQueries, s.PagesScanned, s.LookaheadJumps)
+}

@@ -1,0 +1,414 @@
+// Package cur implements the paper's adaptation of Cost-based Unbalanced
+// R-trees (Ross, Sitzmann & Stuckey, SSDBM 2001) to point data (§6.1):
+// every point is weighted by the number of distinct workload queries that
+// fetch it, leaves are packed by a weighted sort-tile sweep (equal weight
+// per slice rather than equal cardinality), and the internal structure is
+// an unbalanced merge tree that places frequently accessed leaves closer to
+// the root — the cost-based aspect of CUR.
+package cur
+
+import (
+	"time"
+
+	"math"
+	"sort"
+
+	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/storage"
+)
+
+// Tree is a cost-based unbalanced R-tree over weighted points.
+type Tree struct {
+	root  *node
+	count int
+	stats storage.Stats
+}
+
+type node struct {
+	mbr    geom.Rect
+	weight float64
+	left   *node
+	right  *node
+	page   storage.Page // leaf when left == nil
+}
+
+// Options configure construction.
+type Options struct {
+	// LeafSize is the page capacity. Default 256.
+	LeafSize int
+	// GridSide is the resolution of the query-stabbing grid used to
+	// approximate per-point query counts. Default 256.
+	GridSide int
+}
+
+func (o *Options) fill() {
+	if o.LeafSize <= 0 {
+		o.LeafSize = 256
+	}
+	if o.GridSide <= 0 {
+		o.GridSide = 256
+	}
+}
+
+// Build constructs a CUR tree for the data under the anticipated workload.
+func Build(pts []geom.Point, queries []geom.Rect, opts Options) *Tree {
+	opts.fill()
+	t := &Tree{count: len(pts)}
+	if len(pts) == 0 {
+		return t
+	}
+	weights := QueryWeights(pts, queries, opts.GridSide)
+	pages := packWeighted(pts, weights, opts.LeafSize)
+	leaves := make([]*node, len(pages))
+	for i, pg := range pages {
+		leaves[i] = &node{
+			mbr:    geom.RectFromPoints(pg.pts),
+			weight: pg.weight,
+			page:   storage.Page{Pts: pg.pts},
+		}
+	}
+	t.root = mergeUnbalanced(leaves)
+	return t
+}
+
+// QueryWeights approximates, for every point, the number of workload
+// queries fetching it, via a gridSide×gridSide stabbing-count raster over
+// the data bounds: each query increments the cells it covers, and a point's
+// weight is the count of its cell plus one (so weights are strictly
+// positive even off-workload).
+func QueryWeights(pts []geom.Point, queries []geom.Rect, gridSide int) []float64 {
+	bounds := geom.RectFromPoints(pts)
+	w, h := bounds.Width(), bounds.Height()
+	if w <= 0 {
+		w = 1
+	}
+	if h <= 0 {
+		h = 1
+	}
+	grid := make([]float64, gridSide*gridSide)
+	cellOf := func(x, y float64) (int, int) {
+		cx := int((x - bounds.MinX) / w * float64(gridSide))
+		cy := int((y - bounds.MinY) / h * float64(gridSide))
+		if cx < 0 {
+			cx = 0
+		}
+		if cx >= gridSide {
+			cx = gridSide - 1
+		}
+		if cy < 0 {
+			cy = 0
+		}
+		if cy >= gridSide {
+			cy = gridSide - 1
+		}
+		return cx, cy
+	}
+	for _, q := range queries {
+		if !q.Intersects(bounds) {
+			continue
+		}
+		x0, y0 := cellOf(q.MinX, q.MinY)
+		x1, y1 := cellOf(q.MaxX, q.MaxY)
+		for cy := y0; cy <= y1; cy++ {
+			row := grid[cy*gridSide : (cy+1)*gridSide]
+			for cx := x0; cx <= x1; cx++ {
+				row[cx]++
+			}
+		}
+	}
+	weights := make([]float64, len(pts))
+	for i, p := range pts {
+		cx, cy := cellOf(p.X, p.Y)
+		weights[i] = grid[cy*gridSide+cx] + 1
+	}
+	return weights
+}
+
+type weightedPage struct {
+	pts    []geom.Point
+	weight float64
+}
+
+// packWeighted is a sort-tile sweep with weighted slice boundaries: slices
+// take equal total weight, so heavily queried regions get finer tiling.
+// Page capacity still bounds cardinality.
+func packWeighted(pts []geom.Point, weights []float64, leafSize int) []weightedPage {
+	type wp struct {
+		p geom.Point
+		w float64
+	}
+	own := make([]wp, len(pts))
+	var totalW float64
+	for i, p := range pts {
+		own[i] = wp{p, weights[i]}
+		totalW += weights[i]
+	}
+	sort.Slice(own, func(i, j int) bool { return own[i].p.X < own[j].p.X })
+	nPages := (len(own) + leafSize - 1) / leafSize
+	nSlices := int(math.Ceil(math.Sqrt(float64(nPages))))
+	sliceW := totalW / float64(nSlices)
+
+	var pages []weightedPage
+	emit := func(run []wp) {
+		for start := 0; start < len(run); start += leafSize {
+			end := start + leafSize
+			if end > len(run) {
+				end = len(run)
+			}
+			pg := weightedPage{pts: make([]geom.Point, end-start)}
+			for i, e := range run[start:end] {
+				pg.pts[i] = e.p
+				pg.weight += e.w
+			}
+			pages = append(pages, pg)
+		}
+	}
+	var acc float64
+	start := 0
+	for i := range own {
+		acc += own[i].w
+		if acc >= sliceW && i+1 > start {
+			slice := own[start : i+1]
+			sort.Slice(slice, func(a, b int) bool { return slice[a].p.Y < slice[b].p.Y })
+			emit(slice)
+			start = i + 1
+			acc = 0
+		}
+	}
+	if start < len(own) {
+		slice := own[start:]
+		sort.Slice(slice, func(a, b int) bool { return slice[a].p.Y < slice[b].p.Y })
+		emit(slice)
+	}
+	return pages
+}
+
+// mergeUnbalanced builds the internal structure by repeatedly merging the
+// adjacent pair of nodes with the smallest combined weight (a Hu–Tucker
+// style greedy). Cold leaves sink deep; hot leaves stay near the root,
+// which is CUR's expected-access-cost placement.
+func mergeUnbalanced(nodes []*node) *node {
+	work := append([]*node(nil), nodes...)
+	for len(work) > 1 {
+		best := 0
+		bestW := work[0].weight + work[1].weight
+		for i := 1; i+1 < len(work); i++ {
+			if w := work[i].weight + work[i+1].weight; w < bestW {
+				best, bestW = i, w
+			}
+		}
+		merged := &node{
+			mbr:    work[best].mbr.Union(work[best+1].mbr),
+			weight: bestW,
+			left:   work[best],
+			right:  work[best+1],
+		}
+		work[best] = merged
+		work = append(work[:best+1], work[best+2:]...)
+	}
+	return work[0]
+}
+
+// RangeQuery returns all points inside r.
+func (t *Tree) RangeQuery(r geom.Rect) []geom.Point {
+	t.stats.RangeQueries++
+	var out []geom.Point
+	if t.root != nil && t.root.mbr.Intersects(r) {
+		out = t.search(t.root, r, out)
+	}
+	t.stats.ResultPoints += int64(len(out))
+	return out
+}
+
+func (t *Tree) search(n *node, r geom.Rect, out []geom.Point) []geom.Point {
+	if n.left == nil {
+		t.stats.PagesScanned++
+		t.stats.PointsScanned += int64(n.page.Len())
+		return n.page.Filter(r, out)
+	}
+	t.stats.NodesVisited++
+	t.stats.BBChecked += 2
+	if n.left.mbr.Intersects(r) {
+		out = t.search(n.left, r, out)
+	}
+	if n.right.mbr.Intersects(r) {
+		out = t.search(n.right, r, out)
+	}
+	return out
+}
+
+// PointQuery reports whether p is indexed.
+func (t *Tree) PointQuery(p geom.Point) bool {
+	t.stats.PointQueries++
+	if t.root == nil || !t.root.mbr.Contains(p) {
+		return false
+	}
+	return t.lookup(t.root, p)
+}
+
+func (t *Tree) lookup(n *node, p geom.Point) bool {
+	if n.left == nil {
+		t.stats.PagesScanned++
+		t.stats.PointsScanned += int64(n.page.Len())
+		return n.page.Contains(p)
+	}
+	t.stats.NodesVisited++
+	t.stats.BBChecked += 2
+	if n.left.mbr.Contains(p) && t.lookup(n.left, p) {
+		return true
+	}
+	if n.right.mbr.Contains(p) && t.lookup(n.right, p) {
+		return true
+	}
+	return false
+}
+
+// Insert adds p to the leaf whose MBR needs the least enlargement (the
+// classic R-tree ChooseLeaf), splitting overflowing leaves at their weighted
+// median.
+func (t *Tree) Insert(p geom.Point) {
+	t.stats.Inserts++
+	t.count++
+	if t.root == nil {
+		t.root = &node{
+			mbr:  geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y},
+			page: storage.Page{Pts: []geom.Point{p}},
+		}
+		return
+	}
+	t.insert(t.root, p)
+}
+
+func (t *Tree) insert(n *node, p geom.Point) {
+	n.mbr = n.mbr.ExtendPoint(p)
+	if n.left == nil {
+		n.page.Pts = append(n.page.Pts, p)
+		if n.page.Len() > 512 { // split threshold: 2x the default page size
+			t.splitLeaf(n)
+		}
+		return
+	}
+	// Least-enlargement child.
+	le := enlargement(n.left.mbr, p)
+	re := enlargement(n.right.mbr, p)
+	if le <= re {
+		t.insert(n.left, p)
+	} else {
+		t.insert(n.right, p)
+	}
+}
+
+func enlargement(r geom.Rect, p geom.Point) float64 {
+	return r.ExtendPoint(p).Area() - r.Area()
+}
+
+// splitLeaf turns an overflowing leaf into an internal node with two
+// halves split along the longer MBR dimension.
+func (t *Tree) splitLeaf(n *node) {
+	pts := n.page.Pts
+	if n.mbr.Width() >= n.mbr.Height() {
+		sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+	} else {
+		sort.Slice(pts, func(i, j int) bool { return pts[i].Y < pts[j].Y })
+	}
+	mid := len(pts) / 2
+	lpts := append([]geom.Point(nil), pts[:mid]...)
+	rpts := append([]geom.Point(nil), pts[mid:]...)
+	n.page = storage.Page{}
+	half := n.weight / 2
+	n.left = &node{mbr: geom.RectFromPoints(lpts), weight: half, page: storage.Page{Pts: lpts}}
+	n.right = &node{mbr: geom.RectFromPoints(rpts), weight: half, page: storage.Page{Pts: rpts}}
+	t.stats.PageSplits++
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return t.count }
+
+// Bytes returns the approximate footprint.
+func (t *Tree) Bytes() int64 { return nodeBytes(t.root) }
+
+func nodeBytes(n *node) int64 {
+	if n == nil {
+		return 0
+	}
+	b := int64(32 + 8 + 16) // mbr + weight + child pointers
+	if n.left == nil {
+		return b + n.page.Bytes()
+	}
+	return b + nodeBytes(n.left) + nodeBytes(n.right)
+}
+
+// Stats returns the counters.
+func (t *Tree) Stats() *storage.Stats { return &t.stats }
+
+// Depth returns the maximum leaf depth — unbalanced by design.
+func (t *Tree) Depth() int { return depth(t.root) }
+
+// MinDepth returns the minimum leaf depth; hot leaves should be shallower
+// than cold ones.
+func (t *Tree) MinDepth() int { return minDepth(t.root) }
+
+func depth(n *node) int {
+	if n == nil {
+		return 0
+	}
+	if n.left == nil {
+		return 1
+	}
+	l, r := depth(n.left), depth(n.right)
+	if r > l {
+		l = r
+	}
+	return l + 1
+}
+
+func minDepth(n *node) int {
+	if n == nil {
+		return 0
+	}
+	if n.left == nil {
+		return 1
+	}
+	l, r := minDepth(n.left), minDepth(n.right)
+	if r < l {
+		l = r
+	}
+	return l + 1
+}
+
+// RangeQueryPhased runs a range query in two separated phases and returns
+// their durations (projection: tree traversal; scan: page filtering), for
+// the Figure 9 reproduction.
+func (t *Tree) RangeQueryPhased(r geom.Rect) (pts []geom.Point, projection, scan time.Duration) {
+	t.stats.RangeQueries++
+	start := time.Now()
+	var pages []*node
+	var collect func(n *node)
+	collect = func(n *node) {
+		if n.left == nil {
+			pages = append(pages, n)
+			return
+		}
+		t.stats.NodesVisited++
+		t.stats.BBChecked += 2
+		if n.left.mbr.Intersects(r) {
+			collect(n.left)
+		}
+		if n.right.mbr.Intersects(r) {
+			collect(n.right)
+		}
+	}
+	if t.root != nil && t.root.mbr.Intersects(r) {
+		collect(t.root)
+	}
+	projection = time.Since(start)
+	start = time.Now()
+	for _, n := range pages {
+		t.stats.PagesScanned++
+		t.stats.PointsScanned += int64(n.page.Len())
+		pts = n.page.Filter(r, pts)
+	}
+	scan = time.Since(start)
+	t.stats.ResultPoints += int64(len(pts))
+	return pts, projection, scan
+}

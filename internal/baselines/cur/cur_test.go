@@ -1,0 +1,51 @@
+package cur
+
+import (
+	"testing"
+
+	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/index"
+	"github.com/wazi-index/wazi/internal/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.ConformanceUpdatable(t, func(pts []geom.Point, qs []geom.Rect) index.Updatable {
+		return Build(pts, qs, Options{LeafSize: 64})
+	})
+}
+
+func TestUnbalancedByWeight(t *testing.T) {
+	pts := indextest.ClusteredPoints(20000, 1)
+	qs := indextest.SkewedQueries(500, 2)
+	tr := Build(pts, qs, Options{LeafSize: 64})
+	if tr.MinDepth() >= tr.Depth() {
+		t.Errorf("expected an unbalanced tree: min depth %d, max depth %d",
+			tr.MinDepth(), tr.Depth())
+	}
+}
+
+func TestQueryWeights(t *testing.T) {
+	pts := []geom.Point{{X: 0.1, Y: 0.1}, {X: 0.9, Y: 0.9}}
+	qs := []geom.Rect{
+		{MinX: 0.05, MinY: 0.05, MaxX: 0.15, MaxY: 0.15},
+		{MinX: 0.06, MinY: 0.06, MaxX: 0.12, MaxY: 0.12},
+	}
+	w := QueryWeights(pts, qs, 64)
+	if w[0] <= w[1] {
+		t.Errorf("hot point weight %v should exceed cold point weight %v", w[0], w[1])
+	}
+	if w[1] < 1 {
+		t.Errorf("weights must be at least 1, got %v", w[1])
+	}
+}
+
+func TestEmptyBuild(t *testing.T) {
+	tr := Build(nil, nil, Options{})
+	if tr.Len() != 0 || tr.PointQuery(geom.Point{X: 0, Y: 0}) {
+		t.Error("empty tree misbehaves")
+	}
+	tr.Insert(geom.Point{X: 0.5, Y: 0.5})
+	if !tr.PointQuery(geom.Point{X: 0.5, Y: 0.5}) {
+		t.Error("insert into empty tree lost the point")
+	}
+}

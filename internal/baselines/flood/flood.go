@@ -1,0 +1,273 @@
+// Package flood implements the simplified two-dimensional Flood index used
+// as a baseline in the paper (§6.1): a learned column grid over x with
+// y-sorted columns, whose column count is chosen by evaluating candidate
+// grid layouts on a sub-sample of the anticipated query workload — the
+// essence of Flood's layout optimization (Nathan et al., SIGMOD 2020)
+// restricted to two dimensions.
+package flood
+
+import (
+	"time"
+
+	"sort"
+
+	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/storage"
+)
+
+// Index is a 2-D Flood index: equi-depth columns over x, each sorted by y.
+type Index struct {
+	cols    []column
+	bounds  geom.Rect
+	count   int
+	columns int
+	stats   storage.Stats
+}
+
+type column struct {
+	xLo, xHi float64 // value range of the column; xHi of the last is +inf-ish
+	pts      []geom.Point
+}
+
+// Options configure construction.
+type Options struct {
+	// SampleQueries are used to score candidate grids. When empty, the
+	// column count falls back to sqrt(n/leafEquivalent), a reasonable
+	// workload-agnostic default.
+	SampleQueries []geom.Rect
+	// Candidates is the set of column counts evaluated. When empty a
+	// geometric ladder derived from the data size is used.
+	Candidates []int
+	// MaxSample bounds the number of sample queries scored per candidate.
+	// Default 200.
+	MaxSample int
+}
+
+// Build constructs the index, choosing the column count that minimizes the
+// modelled scan cost on the sample workload.
+func Build(pts []geom.Point, opts Options) *Index {
+	idx := &Index{count: len(pts)}
+	if len(pts) == 0 {
+		return idx
+	}
+	idx.bounds = geom.RectFromPoints(pts)
+	own := make([]geom.Point, len(pts))
+	copy(own, pts)
+	sort.Slice(own, func(i, j int) bool { return own[i].X < own[j].X })
+
+	candidates := opts.Candidates
+	if len(candidates) == 0 {
+		base := intSqrt(len(pts)/64 + 1)
+		candidates = []int{base / 4, base / 2, base, base * 2, base * 4}
+	}
+	maxSample := opts.MaxSample
+	if maxSample <= 0 {
+		maxSample = 200
+	}
+	sample := opts.SampleQueries
+	if len(sample) > maxSample {
+		sample = sample[:maxSample]
+	}
+
+	bestCols := 0
+	bestCost := int64(-1)
+	for _, c := range candidates {
+		if c < 1 {
+			continue
+		}
+		if len(sample) == 0 {
+			bestCols = intSqrt(len(pts)/64 + 1)
+			break
+		}
+		cost := scoreLayout(own, c, sample)
+		if bestCost < 0 || cost < bestCost {
+			bestCost, bestCols = cost, c
+		}
+	}
+	if bestCols < 1 {
+		bestCols = 1
+	}
+	idx.columns = bestCols
+	idx.cols = buildColumns(own, bestCols)
+	return idx
+}
+
+// buildColumns slices the x-sorted points into c equi-depth columns and
+// sorts each by y. own must be sorted by x and is not retained.
+func buildColumns(own []geom.Point, c int) []column {
+	n := len(own)
+	cols := make([]column, 0, c)
+	for i := 0; i < c; i++ {
+		start, end := i*n/c, (i+1)*n/c
+		if start >= end {
+			continue
+		}
+		col := column{
+			xLo: own[start].X,
+			xHi: own[end-1].X,
+			pts: append([]geom.Point(nil), own[start:end]...),
+		}
+		sort.Slice(col.pts, func(a, b int) bool { return col.pts[a].Y < col.pts[b].Y })
+		cols = append(cols, col)
+	}
+	return cols
+}
+
+// scoreLayout models the scan cost of a layout: for every sample query, the
+// number of points touched is the sum over overlapped columns of the
+// y-range run length (found by binary search), plus a per-column seek
+// charge.
+func scoreLayout(own []geom.Point, c int, sample []geom.Rect) int64 {
+	cols := buildColumns(own, c)
+	var cost int64
+	for _, r := range sample {
+		lo, hi := columnRange(cols, r)
+		for i := lo; i < hi; i++ {
+			a := sort.Search(len(cols[i].pts), func(j int) bool { return cols[i].pts[j].Y >= r.MinY })
+			b := sort.Search(len(cols[i].pts), func(j int) bool { return cols[i].pts[j].Y > r.MaxY })
+			cost += int64(b-a) + 8 // 8 ~ seek/binary-search charge per column
+		}
+	}
+	return cost
+}
+
+// columnRange returns the half-open range of column indices whose value
+// ranges overlap r's x-extent.
+func columnRange(cols []column, r geom.Rect) (int, int) {
+	lo := sort.Search(len(cols), func(i int) bool { return cols[i].xHi >= r.MinX })
+	hi := sort.Search(len(cols), func(i int) bool { return cols[i].xLo > r.MaxX })
+	return lo, hi
+}
+
+// RangeQuery returns all points inside r.
+func (f *Index) RangeQuery(r geom.Rect) []geom.Point {
+	f.stats.RangeQueries++
+	var out []geom.Point
+	lo, hi := columnRange(f.cols, r)
+	for i := lo; i < hi; i++ {
+		col := &f.cols[i]
+		f.stats.BBChecked++
+		a := sort.Search(len(col.pts), func(j int) bool { return col.pts[j].Y >= r.MinY })
+		b := sort.Search(len(col.pts), func(j int) bool { return col.pts[j].Y > r.MaxY })
+		if a >= b {
+			continue
+		}
+		f.stats.PagesScanned++
+		f.stats.PointsScanned += int64(b - a)
+		for _, p := range col.pts[a:b] {
+			if p.X >= r.MinX && p.X <= r.MaxX {
+				out = append(out, p)
+			}
+		}
+	}
+	f.stats.ResultPoints += int64(len(out))
+	return out
+}
+
+// PointQuery reports whether p is indexed.
+func (f *Index) PointQuery(p geom.Point) bool {
+	f.stats.PointQueries++
+	lo, hi := columnRange(f.cols, geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y})
+	for i := lo; i < hi; i++ {
+		col := &f.cols[i]
+		a := sort.Search(len(col.pts), func(j int) bool { return col.pts[j].Y >= p.Y })
+		for ; a < len(col.pts) && col.pts[a].Y == p.Y; a++ {
+			f.stats.PointsScanned++
+			if col.pts[a] == p {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Insert adds p to its column, keeping the column y-sorted. Columns are
+// located by value range; out-of-range points extend the edge columns.
+func (f *Index) Insert(p geom.Point) {
+	f.stats.Inserts++
+	f.count++
+	if len(f.cols) == 0 {
+		f.cols = []column{{xLo: p.X, xHi: p.X, pts: []geom.Point{p}}}
+		f.bounds = geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
+		return
+	}
+	f.bounds = f.bounds.ExtendPoint(p)
+	i := sort.Search(len(f.cols), func(j int) bool { return f.cols[j].xHi >= p.X })
+	if i == len(f.cols) {
+		i--
+	}
+	col := &f.cols[i]
+	if p.X < col.xLo {
+		col.xLo = p.X
+	}
+	if p.X > col.xHi {
+		col.xHi = p.X
+	}
+	at := sort.Search(len(col.pts), func(j int) bool { return col.pts[j].Y >= p.Y })
+	col.pts = append(col.pts, geom.Point{})
+	copy(col.pts[at+1:], col.pts[at:])
+	col.pts[at] = p
+}
+
+// Len returns the number of indexed points.
+func (f *Index) Len() int { return f.count }
+
+// Columns returns the number of grid columns chosen by layout optimization.
+func (f *Index) Columns() int { return f.columns }
+
+// Bytes returns the approximate footprint.
+func (f *Index) Bytes() int64 {
+	b := int64(64)
+	for _, c := range f.cols {
+		b += 16 + 24 + int64(cap(c.pts))*16
+	}
+	return b
+}
+
+// Stats returns the counters.
+func (f *Index) Stats() *storage.Stats { return &f.stats }
+
+func intSqrt(n int) int {
+	r := 1
+	for r*r < n {
+		r++
+	}
+	return r
+}
+
+// RangeQueryPhased runs a range query in two separated phases and returns
+// their durations (projection: column and y-range location via binary
+// search; scan: run filtering), for the Figure 9 reproduction.
+func (f *Index) RangeQueryPhased(r geom.Rect) (pts []geom.Point, projection, scan time.Duration) {
+	f.stats.RangeQueries++
+	start := time.Now()
+	type run struct {
+		col  int
+		a, b int
+	}
+	var runs []run
+	lo, hi := columnRange(f.cols, r)
+	for i := lo; i < hi; i++ {
+		col := &f.cols[i]
+		f.stats.BBChecked++
+		a := sort.Search(len(col.pts), func(j int) bool { return col.pts[j].Y >= r.MinY })
+		b := sort.Search(len(col.pts), func(j int) bool { return col.pts[j].Y > r.MaxY })
+		if a < b {
+			runs = append(runs, run{i, a, b})
+		}
+	}
+	projection = time.Since(start)
+	start = time.Now()
+	for _, u := range runs {
+		f.stats.PagesScanned++
+		f.stats.PointsScanned += int64(u.b - u.a)
+		for _, p := range f.cols[u.col].pts[u.a:u.b] {
+			if p.X >= r.MinX && p.X <= r.MaxX {
+				pts = append(pts, p)
+			}
+		}
+	}
+	scan = time.Since(start)
+	f.stats.ResultPoints += int64(len(pts))
+	return pts, projection, scan
+}

@@ -1,0 +1,49 @@
+package flood
+
+import (
+	"testing"
+
+	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/index"
+	"github.com/wazi-index/wazi/internal/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.ConformanceUpdatable(t, func(pts []geom.Point, qs []geom.Rect) index.Updatable {
+		return Build(pts, Options{SampleQueries: qs})
+	})
+}
+
+func TestLayoutOptimizationPicksColumns(t *testing.T) {
+	pts := indextest.ClusteredPoints(20000, 1)
+	qs := indextest.SkewedQueries(100, 2)
+	f := Build(pts, Options{SampleQueries: qs})
+	if f.Columns() < 2 {
+		t.Errorf("layout optimization chose %d columns", f.Columns())
+	}
+	// Tall-skinny queries should prefer more columns than wide-flat ones.
+	tall := make([]geom.Rect, 50)
+	wide := make([]geom.Rect, 50)
+	for i := range tall {
+		c := 0.1 + float64(i)*0.015
+		tall[i] = geom.Rect{MinX: c, MinY: 0.1, MaxX: c + 0.002, MaxY: 0.9}
+		wide[i] = geom.Rect{MinX: 0.1, MinY: c, MaxX: 0.9, MaxY: c + 0.002}
+	}
+	ft := Build(pts, Options{SampleQueries: tall})
+	fw := Build(pts, Options{SampleQueries: wide})
+	if ft.Columns() < fw.Columns() {
+		t.Errorf("tall queries chose %d columns, wide chose %d; expected tall >= wide",
+			ft.Columns(), fw.Columns())
+	}
+}
+
+func TestEmptyBuild(t *testing.T) {
+	f := Build(nil, Options{})
+	if f.Len() != 0 || f.PointQuery(geom.Point{X: 0, Y: 0}) {
+		t.Error("empty index misbehaves")
+	}
+	f.Insert(geom.Point{X: 0.5, Y: 0.5})
+	if !f.PointQuery(geom.Point{X: 0.5, Y: 0.5}) {
+		t.Error("insert into empty index lost the point")
+	}
+}

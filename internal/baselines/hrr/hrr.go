@@ -1,0 +1,183 @@
+// Package hrr implements the HRR baseline of the paper's Figure 4: a
+// Hilbert-curve packed R-tree (in the family of Kamel & Faloutsos 1994 and
+// Qi et al. 2018/2020). Points are sorted by their Hilbert position on a
+// 2^16 grid over the data bounds, packed into leaves, and upper levels are
+// built bottom-up; queries are ordinary R-tree searches over MBRs.
+package hrr
+
+import (
+	"sort"
+
+	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/hilbert"
+	"github.com/wazi-index/wazi/internal/storage"
+)
+
+// GridOrder is the Hilbert curve order used for sorting.
+const GridOrder = 16
+
+// Tree is a Hilbert-packed R-tree.
+type Tree struct {
+	root  *node
+	count int
+	stats storage.Stats
+}
+
+type node struct {
+	mbr      geom.Rect
+	children []*node
+	page     storage.Page
+}
+
+// Options configure construction.
+type Options struct {
+	// LeafSize is the page capacity. Default 256.
+	LeafSize int
+	// Fanout is the internal fanout. Default 16.
+	Fanout int
+}
+
+func (o *Options) fill() {
+	if o.LeafSize <= 0 {
+		o.LeafSize = 256
+	}
+	if o.Fanout <= 0 {
+		o.Fanout = 16
+	}
+}
+
+// Build packs pts in Hilbert order.
+func Build(pts []geom.Point, opts Options) *Tree {
+	opts.fill()
+	t := &Tree{count: len(pts)}
+	if len(pts) == 0 {
+		return t
+	}
+	bounds := geom.RectFromPoints(pts)
+	w, h := bounds.Width(), bounds.Height()
+	if w <= 0 {
+		w = 1
+	}
+	if h <= 0 {
+		h = 1
+	}
+	curve := hilbert.New(GridOrder)
+	side := float64(curve.Side() - 1)
+	type entry struct {
+		d uint64
+		p geom.Point
+	}
+	entries := make([]entry, len(pts))
+	for i, p := range pts {
+		gx := uint32((p.X - bounds.MinX) / w * side)
+		gy := uint32((p.Y - bounds.MinY) / h * side)
+		entries[i] = entry{curve.Pos(gx, gy), p}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].d < entries[j].d })
+
+	var leaves []*node
+	for start := 0; start < len(entries); start += opts.LeafSize {
+		end := start + opts.LeafSize
+		if end > len(entries) {
+			end = len(entries)
+		}
+		pg := make([]geom.Point, end-start)
+		for i := start; i < end; i++ {
+			pg[i-start] = entries[i].p
+		}
+		leaves = append(leaves, &node{mbr: geom.RectFromPoints(pg), page: storage.Page{Pts: pg}})
+	}
+	for len(leaves) > 1 {
+		var next []*node
+		for start := 0; start < len(leaves); start += opts.Fanout {
+			end := start + opts.Fanout
+			if end > len(leaves) {
+				end = len(leaves)
+			}
+			group := leaves[start:end]
+			n := &node{mbr: group[0].mbr, children: append([]*node(nil), group...)}
+			for _, c := range group[1:] {
+				n.mbr = n.mbr.Union(c.mbr)
+			}
+			next = append(next, n)
+		}
+		leaves = next
+	}
+	t.root = leaves[0]
+	return t
+}
+
+// RangeQuery returns all points inside r.
+func (t *Tree) RangeQuery(r geom.Rect) []geom.Point {
+	t.stats.RangeQueries++
+	var out []geom.Point
+	if t.root != nil && t.root.mbr.Intersects(r) {
+		out = t.search(t.root, r, out)
+	}
+	t.stats.ResultPoints += int64(len(out))
+	return out
+}
+
+func (t *Tree) search(n *node, r geom.Rect, out []geom.Point) []geom.Point {
+	if n.children == nil {
+		t.stats.PagesScanned++
+		t.stats.PointsScanned += int64(n.page.Len())
+		return n.page.Filter(r, out)
+	}
+	t.stats.NodesVisited++
+	for _, c := range n.children {
+		t.stats.BBChecked++
+		if c.mbr.Intersects(r) {
+			out = t.search(c, r, out)
+		}
+	}
+	return out
+}
+
+// PointQuery reports whether p is indexed.
+func (t *Tree) PointQuery(p geom.Point) bool {
+	t.stats.PointQueries++
+	if t.root == nil || !t.root.mbr.Contains(p) {
+		return false
+	}
+	return t.lookup(t.root, p)
+}
+
+func (t *Tree) lookup(n *node, p geom.Point) bool {
+	if n.children == nil {
+		t.stats.PagesScanned++
+		t.stats.PointsScanned += int64(n.page.Len())
+		return n.page.Contains(p)
+	}
+	t.stats.NodesVisited++
+	for _, c := range n.children {
+		t.stats.BBChecked++
+		if c.mbr.Contains(p) && t.lookup(c, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return t.count }
+
+// Bytes returns the approximate footprint.
+func (t *Tree) Bytes() int64 { return nodeBytes(t.root) }
+
+func nodeBytes(n *node) int64 {
+	if n == nil {
+		return 0
+	}
+	b := int64(32 + 24)
+	if n.children == nil {
+		return b + n.page.Bytes()
+	}
+	for _, c := range n.children {
+		b += 8 + nodeBytes(c)
+	}
+	return b
+}
+
+// Stats returns the counters.
+func (t *Tree) Stats() *storage.Stats { return &t.stats }

@@ -1,0 +1,22 @@
+package hrr
+
+import (
+	"testing"
+
+	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/index"
+	"github.com/wazi-index/wazi/internal/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Conformance(t, func(pts []geom.Point, _ []geom.Rect) index.Index {
+		return Build(pts, Options{LeafSize: 64})
+	})
+}
+
+func TestEmptyBuild(t *testing.T) {
+	tr := Build(nil, Options{})
+	if tr.Len() != 0 || tr.PointQuery(geom.Point{X: 0, Y: 0}) {
+		t.Error("empty tree misbehaves")
+	}
+}

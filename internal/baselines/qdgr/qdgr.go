@@ -1,0 +1,262 @@
+// Package qdgr implements the greedy Qd-tree variant (Qd-Gr) the paper uses
+// in Figure 4 (Yang et al., SIGMOD 2020, greedy construction in place of
+// the RL variant): a binary space-partitioning tree whose cut candidates
+// are the predicate boundaries of the anticipated workload queries, chosen
+// greedily to minimize the expected number of points scanned under a
+// block-level access model (a query reads every block it overlaps in full,
+// matching Qd-tree's disk orientation — and the unbalanced, disk-tailored
+// layouts the paper remarks upon).
+package qdgr
+
+import (
+	"sort"
+
+	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/storage"
+)
+
+// Tree is a greedy Qd-tree.
+type Tree struct {
+	root  *node
+	count int
+	stats storage.Stats
+}
+
+type node struct {
+	region geom.Rect
+	// internal
+	axis  int // 0: cut on x, 1: cut on y
+	value float64
+	left  *node // points strictly below value on axis
+	right *node
+	// leaf
+	page storage.Page
+}
+
+// Options configure construction.
+type Options struct {
+	// MinBlock is the minimum points per block (b in the Qd-tree paper).
+	// Default 256.
+	MinBlock int
+	// MaxCuts bounds the candidate cuts evaluated per node. Default 64.
+	MaxCuts int
+}
+
+func (o *Options) fill() {
+	if o.MinBlock <= 0 {
+		o.MinBlock = 256
+	}
+	if o.MaxCuts <= 0 {
+		o.MaxCuts = 64
+	}
+}
+
+// Build greedily partitions pts for the workload.
+func Build(pts []geom.Point, queries []geom.Rect, opts Options) *Tree {
+	opts.fill()
+	t := &Tree{count: len(pts)}
+	if len(pts) == 0 {
+		return t
+	}
+	own := make([]geom.Point, len(pts))
+	copy(own, pts)
+	t.root = build(own, geom.RectFromPoints(own), queries, opts)
+	return t
+}
+
+func build(pts []geom.Point, region geom.Rect, queries []geom.Rect, opts Options) *node {
+	n := &node{region: region}
+	if len(pts) < 2*opts.MinBlock {
+		n.page = storage.Page{Pts: pts}
+		return n
+	}
+	axis, value, ok := chooseCut(pts, region, queries, opts)
+	if !ok {
+		n.page = storage.Page{Pts: pts}
+		return n
+	}
+	n.axis, n.value = axis, value
+	var lp, rp []geom.Point
+	for _, p := range pts {
+		if coord(p, axis) < value {
+			lp = append(lp, p)
+		} else {
+			rp = append(rp, p)
+		}
+	}
+	lr, rr := region, region
+	if axis == 0 {
+		lr.MaxX, rr.MinX = value, value
+	} else {
+		lr.MaxY, rr.MinY = value, value
+	}
+	n.left = build(lp, lr, clip(queries, lr), opts)
+	n.right = build(rp, rr, clip(queries, rr), opts)
+	return n
+}
+
+// chooseCut evaluates candidate cuts drawn from the workload's predicate
+// boundaries and returns the one minimizing the block-model scan cost. ok
+// is false when no cut both respects the minimum block size and improves on
+// not cutting.
+func chooseCut(pts []geom.Point, region geom.Rect, queries []geom.Rect, opts Options) (int, float64, bool) {
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = p.X
+		ys[i] = p.Y
+	}
+	sort.Float64s(xs)
+	sort.Float64s(ys)
+
+	type cut struct {
+		axis  int
+		value float64
+	}
+	var cands []cut
+	add := func(axis int, v, lo, hi float64) {
+		if v > lo && v < hi {
+			cands = append(cands, cut{axis, v})
+		}
+	}
+	for _, q := range queries {
+		add(0, q.MinX, region.MinX, region.MaxX)
+		add(0, q.MaxX, region.MinX, region.MaxX)
+		add(1, q.MinY, region.MinY, region.MaxY)
+		add(1, q.MaxY, region.MinY, region.MaxY)
+		if len(cands) >= 4*opts.MaxCuts {
+			break
+		}
+	}
+	if len(cands) > opts.MaxCuts {
+		// Deterministic thinning: keep an evenly spaced subset.
+		step := len(cands) / opts.MaxCuts
+		thin := make([]cut, 0, opts.MaxCuts)
+		for i := 0; i < len(cands); i += step {
+			thin = append(thin, cands[i])
+		}
+		cands = thin
+	}
+	// Cost without cutting: every query overlapping the region reads the
+	// whole block.
+	noCut := int64(len(queries)) * int64(len(pts))
+	bestCost := noCut
+	var best cut
+	found := false
+	for _, c := range cands {
+		sorted := xs
+		if c.axis == 1 {
+			sorted = ys
+		}
+		nl := sort.SearchFloat64s(sorted, c.value)
+		nr := len(pts) - nl
+		if nl < opts.MinBlock || nr < opts.MinBlock {
+			continue
+		}
+		var cost int64
+		for _, q := range queries {
+			qLo, qHi := q.MinX, q.MaxX
+			if c.axis == 1 {
+				qLo, qHi = q.MinY, q.MaxY
+			}
+			if qLo < c.value {
+				cost += int64(nl)
+			}
+			if qHi >= c.value {
+				cost += int64(nr)
+			}
+		}
+		if cost < bestCost {
+			bestCost, best, found = cost, c, true
+		}
+	}
+	return best.axis, best.value, found
+}
+
+func coord(p geom.Point, axis int) float64 {
+	if axis == 0 {
+		return p.X
+	}
+	return p.Y
+}
+
+func clip(queries []geom.Rect, region geom.Rect) []geom.Rect {
+	out := make([]geom.Rect, 0, len(queries))
+	for _, q := range queries {
+		if c := q.Intersect(region); c.Valid() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// RangeQuery returns all points inside r.
+func (t *Tree) RangeQuery(r geom.Rect) []geom.Point {
+	t.stats.RangeQueries++
+	var out []geom.Point
+	if t.root != nil && t.root.region.Intersects(r) {
+		out = t.search(t.root, r, out)
+	}
+	t.stats.ResultPoints += int64(len(out))
+	return out
+}
+
+func (t *Tree) search(n *node, r geom.Rect, out []geom.Point) []geom.Point {
+	if n.left == nil {
+		t.stats.PagesScanned++
+		t.stats.PointsScanned += int64(n.page.Len())
+		return n.page.Filter(r, out)
+	}
+	t.stats.NodesVisited++
+	lo, hi := r.MinX, r.MaxX
+	if n.axis == 1 {
+		lo, hi = r.MinY, r.MaxY
+	}
+	if lo < n.value {
+		out = t.search(n.left, r, out)
+	}
+	if hi >= n.value {
+		out = t.search(n.right, r, out)
+	}
+	return out
+}
+
+// PointQuery reports whether p is indexed.
+func (t *Tree) PointQuery(p geom.Point) bool {
+	t.stats.PointQueries++
+	n := t.root
+	if n == nil || !n.region.Contains(p) {
+		return false
+	}
+	for n.left != nil {
+		t.stats.NodesVisited++
+		if coord(p, n.axis) < n.value {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	t.stats.PagesScanned++
+	t.stats.PointsScanned += int64(n.page.Len())
+	return n.page.Contains(p)
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return t.count }
+
+// Bytes returns the approximate footprint.
+func (t *Tree) Bytes() int64 { return nodeBytes(t.root) }
+
+func nodeBytes(n *node) int64 {
+	if n == nil {
+		return 0
+	}
+	b := int64(32 + 8 + 8 + 16)
+	if n.left == nil {
+		return b + n.page.Bytes()
+	}
+	return b + nodeBytes(n.left) + nodeBytes(n.right)
+}
+
+// Stats returns the counters.
+func (t *Tree) Stats() *storage.Stats { return &t.stats }

@@ -1,0 +1,40 @@
+package qdgr
+
+import (
+	"testing"
+
+	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/index"
+	"github.com/wazi-index/wazi/internal/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Conformance(t, func(pts []geom.Point, qs []geom.Rect) index.Index {
+		return Build(pts, qs, Options{MinBlock: 64})
+	})
+}
+
+func TestWorkloadCutsReduceScans(t *testing.T) {
+	pts := indextest.ClusteredPoints(20000, 1)
+	qs := indextest.SkewedQueries(200, 2)
+	workloadAware := Build(pts, qs, Options{MinBlock: 128})
+	oblivious := Build(pts, nil, Options{MinBlock: 128})
+	wb, ob := *workloadAware.Stats(), *oblivious.Stats()
+	probe := indextest.SkewedQueries(100, 3)
+	for _, r := range probe {
+		workloadAware.RangeQuery(r)
+		oblivious.RangeQuery(r)
+	}
+	ws := workloadAware.Stats().Diff(wb).PointsScanned
+	os := oblivious.Stats().Diff(ob).PointsScanned
+	if ws >= os {
+		t.Errorf("workload-aware qd-tree scanned %d, oblivious %d", ws, os)
+	}
+}
+
+func TestEmptyBuild(t *testing.T) {
+	tr := Build(nil, nil, Options{})
+	if tr.Len() != 0 || tr.PointQuery(geom.Point{X: 0, Y: 0}) {
+		t.Error("empty tree misbehaves")
+	}
+}

@@ -1,0 +1,262 @@
+// Package quasii implements QUASII (Pavlovic et al., EDBT 2018), the
+// query-aware spatial incremental index baseline: a two-level cracking
+// index that refines its physical data layout as a side effect of query
+// processing. The first level cracks the point array on query x-bounds;
+// within each x-piece, a second level cracks on y-bounds. A range query
+// over a fully cracked region returns whole pieces without filtering.
+//
+// As in the paper's evaluation (§6.1), Build returns a *converged* index:
+// the anticipated workload is replayed once during construction so the
+// layout has fully adapted before measurement. Evaluation queries may still
+// crack further (that is QUASII's nature) — on a converged index they
+// mostly traverse existing pieces.
+package quasii
+
+import (
+	"time"
+
+	"math"
+	"sort"
+
+	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/storage"
+)
+
+// Index is a two-level cracking index.
+type Index struct {
+	pts   []geom.Point // the cracked array, reordered in place
+	xp    []xpiece
+	stats storage.Stats
+}
+
+// xpiece is a first-level piece: a contiguous array segment whose points'
+// x-coordinates all lie in [lo, hi).
+type xpiece struct {
+	lo, hi     float64
+	start, end int
+	yp         []ypiece
+}
+
+// ypiece is a second-level piece within an xpiece, pure in y.
+type ypiece struct {
+	lo, hi     float64
+	start, end int
+}
+
+// Build copies pts and converges the index on the given workload.
+func Build(pts []geom.Point, converge []geom.Rect) *Index {
+	own := make([]geom.Point, len(pts))
+	copy(own, pts)
+	idx := &Index{pts: own}
+	if len(own) > 0 {
+		idx.xp = []xpiece{{
+			lo: math.Inf(-1), hi: math.Inf(1),
+			start: 0, end: len(own),
+			yp: []ypiece{{lo: math.Inf(-1), hi: math.Inf(1), start: 0, end: len(own)}},
+		}}
+	}
+	for _, q := range converge {
+		idx.collect(q, nil)
+	}
+	// Convergence work should not pollute measurement counters.
+	idx.stats.Reset()
+	return idx
+}
+
+// RangeQuery returns all points inside r, cracking the layout as a side
+// effect.
+func (x *Index) RangeQuery(r geom.Rect) []geom.Point {
+	x.stats.RangeQueries++
+	out := x.collect(r, nil)
+	x.stats.ResultPoints += int64(len(out))
+	return out
+}
+
+// collect cracks on r's bounds and gathers the points of all fully
+// contained pieces.
+func (x *Index) collect(r geom.Rect, out []geom.Point) []geom.Point {
+	if len(x.pts) == 0 || !r.Valid() {
+		return out
+	}
+	a, b := r.MinX, nextUp(r.MaxX)
+	x.crackX(a)
+	x.crackX(b)
+	c, d := r.MinY, nextUp(r.MaxY)
+	i := sort.Search(len(x.xp), func(j int) bool { return x.xp[j].hi > a })
+	for ; i < len(x.xp) && x.xp[i].lo < b; i++ {
+		x.crackY(&x.xp[i], c)
+		x.crackY(&x.xp[i], d)
+		yp := x.xp[i].yp
+		k := sort.Search(len(yp), func(j int) bool { return yp[j].hi > c })
+		for ; k < len(yp) && yp[k].lo < d; k++ {
+			seg := x.pts[yp[k].start:yp[k].end]
+			x.stats.PagesScanned++
+			x.stats.PointsScanned += int64(len(seg))
+			out = append(out, seg...)
+		}
+	}
+	return out
+}
+
+// crackX ensures a piece boundary at value v by physically partitioning the
+// piece containing v. Partitioning reorders the segment, which invalidates
+// its second-level cracks.
+func (x *Index) crackX(v float64) {
+	i := sort.Search(len(x.xp), func(j int) bool { return x.xp[j].hi > v })
+	if i == len(x.xp) || x.xp[i].lo >= v {
+		return // boundary already exists or v is outside all pieces
+	}
+	p := &x.xp[i]
+	mid := partitionX(x.pts, p.start, p.end, v, &x.stats)
+	switch mid {
+	case p.start:
+		p.lo = v // nothing on the left: tighten the label, order unchanged
+	case p.end:
+		p.hi = v
+	default:
+		left := xpiece{lo: p.lo, hi: v, start: p.start, end: mid,
+			yp: []ypiece{{lo: math.Inf(-1), hi: math.Inf(1), start: p.start, end: mid}}}
+		right := xpiece{lo: v, hi: p.hi, start: mid, end: p.end,
+			yp: []ypiece{{lo: math.Inf(-1), hi: math.Inf(1), start: mid, end: p.end}}}
+		x.xp = append(x.xp, xpiece{})
+		copy(x.xp[i+2:], x.xp[i+1:])
+		x.xp[i] = left
+		x.xp[i+1] = right
+	}
+}
+
+// crackY ensures a y boundary at v within one xpiece.
+func (x *Index) crackY(p *xpiece, v float64) {
+	i := sort.Search(len(p.yp), func(j int) bool { return p.yp[j].hi > v })
+	if i == len(p.yp) || p.yp[i].lo >= v {
+		return
+	}
+	yp := &p.yp[i]
+	mid := partitionY(x.pts, yp.start, yp.end, v, &x.stats)
+	switch mid {
+	case yp.start:
+		yp.lo = v
+	case yp.end:
+		yp.hi = v
+	default:
+		left := ypiece{lo: yp.lo, hi: v, start: yp.start, end: mid}
+		right := ypiece{lo: v, hi: yp.hi, start: mid, end: yp.end}
+		p.yp = append(p.yp, ypiece{})
+		copy(p.yp[i+2:], p.yp[i+1:])
+		p.yp[i] = left
+		p.yp[i+1] = right
+	}
+}
+
+// partitionX moves points with X < v to the front of [start, end) and
+// returns the boundary. When no points match, no swaps occur and the
+// segment order is preserved.
+func partitionX(pts []geom.Point, start, end int, v float64, s *storage.Stats) int {
+	i := start
+	for j := start; j < end; j++ {
+		s.PointsScanned++
+		if pts[j].X < v {
+			pts[i], pts[j] = pts[j], pts[i]
+			i++
+		}
+	}
+	return i
+}
+
+func partitionY(pts []geom.Point, start, end int, v float64, s *storage.Stats) int {
+	i := start
+	for j := start; j < end; j++ {
+		s.PointsScanned++
+		if pts[j].Y < v {
+			pts[i], pts[j] = pts[j], pts[i]
+			i++
+		}
+	}
+	return i
+}
+
+// PointQuery reports whether p is indexed. It does not crack.
+func (x *Index) PointQuery(p geom.Point) bool {
+	x.stats.PointQueries++
+	i := sort.Search(len(x.xp), func(j int) bool { return x.xp[j].hi > p.X })
+	if i == len(x.xp) {
+		return false
+	}
+	xp := &x.xp[i]
+	k := sort.Search(len(xp.yp), func(j int) bool { return xp.yp[j].hi > p.Y })
+	if k == len(xp.yp) {
+		return false
+	}
+	seg := x.pts[xp.yp[k].start:xp.yp[k].end]
+	x.stats.PagesScanned++
+	x.stats.PointsScanned += int64(len(seg))
+	for _, q := range seg {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of indexed points.
+func (x *Index) Len() int { return len(x.pts) }
+
+// Pieces returns the first-level and total second-level piece counts — the
+// "fractured layout" measure of §6.4.
+func (x *Index) Pieces() (xPieces, yPieces int) {
+	for i := range x.xp {
+		yPieces += len(x.xp[i].yp)
+	}
+	return len(x.xp), yPieces
+}
+
+// Bytes returns the approximate footprint.
+func (x *Index) Bytes() int64 {
+	b := int64(cap(x.pts)) * 16
+	for i := range x.xp {
+		b += 16 + 16 + 24 + int64(len(x.xp[i].yp))*32
+	}
+	return b
+}
+
+// Stats returns the counters.
+func (x *Index) Stats() *storage.Stats { return &x.stats }
+
+func nextUp(v float64) float64 { return math.Nextafter(v, math.Inf(1)) }
+
+// RangeQueryPhased runs a range query in two separated phases and returns
+// their durations (projection: cracking and piece location; scan: piece
+// collection), for the Figure 9 reproduction.
+func (x *Index) RangeQueryPhased(r geom.Rect) (pts []geom.Point, projection, scan time.Duration) {
+	x.stats.RangeQueries++
+	if len(x.pts) == 0 || !r.Valid() {
+		return nil, 0, 0
+	}
+	start := time.Now()
+	a, b := r.MinX, nextUp(r.MaxX)
+	x.crackX(a)
+	x.crackX(b)
+	c, d := r.MinY, nextUp(r.MaxY)
+	type seg struct{ s, e int }
+	var segs []seg
+	i := sort.Search(len(x.xp), func(j int) bool { return x.xp[j].hi > a })
+	for ; i < len(x.xp) && x.xp[i].lo < b; i++ {
+		x.crackY(&x.xp[i], c)
+		x.crackY(&x.xp[i], d)
+		yp := x.xp[i].yp
+		k := sort.Search(len(yp), func(j int) bool { return yp[j].hi > c })
+		for ; k < len(yp) && yp[k].lo < d; k++ {
+			segs = append(segs, seg{yp[k].start, yp[k].end})
+		}
+	}
+	projection = time.Since(start)
+	start = time.Now()
+	for _, s := range segs {
+		x.stats.PagesScanned++
+		x.stats.PointsScanned += int64(s.e - s.s)
+		pts = append(pts, x.pts[s.s:s.e]...)
+	}
+	scan = time.Since(start)
+	x.stats.ResultPoints += int64(len(pts))
+	return pts, projection, scan
+}

@@ -1,0 +1,64 @@
+package quasii
+
+import (
+	"testing"
+
+	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/index"
+	"github.com/wazi-index/wazi/internal/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Conformance(t, func(pts []geom.Point, qs []geom.Rect) index.Index {
+		return Build(pts, qs)
+	})
+}
+
+func TestConvergenceCracksLayout(t *testing.T) {
+	pts := indextest.ClusteredPoints(10000, 1)
+	qs := indextest.SkewedQueries(300, 2)
+	idx := Build(pts, qs)
+	xp, yp := idx.Pieces()
+	if xp < 10 || yp < 50 {
+		t.Errorf("converged index barely cracked: %d x-pieces, %d y-pieces", xp, yp)
+	}
+	// A converged index should answer workload-distributed queries with far
+	// fewer point touches than a fresh one.
+	fresh := Build(pts, nil)
+	iBefore, fBefore := *idx.Stats(), *fresh.Stats()
+	probe := indextest.SkewedQueries(100, 3)
+	for _, r := range probe {
+		idx.RangeQuery(r)
+		fresh.RangeQuery(r)
+	}
+	is := idx.Stats().Diff(iBefore).PointsScanned
+	fs := fresh.Stats().Diff(fBefore).PointsScanned
+	if is >= fs {
+		t.Errorf("converged index scanned %d points, fresh scanned %d", is, fs)
+	}
+}
+
+func TestCrackingIsIncremental(t *testing.T) {
+	pts := indextest.ClusteredPoints(5000, 4)
+	idx := Build(pts, nil)
+	r := geom.Rect{MinX: 0.3, MinY: 0.3, MaxX: 0.5, MaxY: 0.5}
+	first := *idx.Stats()
+	idx.RangeQuery(r)
+	cost1 := idx.Stats().Diff(first).PointsScanned
+	second := *idx.Stats()
+	idx.RangeQuery(r)
+	cost2 := idx.Stats().Diff(second).PointsScanned
+	if cost2 >= cost1 {
+		t.Errorf("repeat query should be cheaper after cracking: %d then %d", cost1, cost2)
+	}
+}
+
+func TestEmptyBuild(t *testing.T) {
+	idx := Build(nil, nil)
+	if idx.Len() != 0 || idx.PointQuery(geom.Point{X: 0, Y: 0}) {
+		t.Error("empty index misbehaves")
+	}
+	if got := idx.RangeQuery(geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}); len(got) != 0 {
+		t.Error("empty index returned points")
+	}
+}

@@ -1,0 +1,195 @@
+// Package quilts implements the QUILTS baseline of the paper's Figure 4
+// (Nishimura & Yokota, SIGMOD 2017): a query-aware choice of bit-merge
+// space-filling curve. Construction scores a family of candidate monotone
+// bit-interleaving patterns on a sample of the anticipated workload — the
+// cost of a pattern is the number of sampled points falling between the
+// curve keys of each query's corners, i.e. the scan length — and keeps the
+// cheapest. Queries then run on a rank-space sorted key array with
+// generalized BIGMIN skipping.
+package quilts
+
+import (
+	"sort"
+
+	"github.com/wazi-index/wazi/internal/baselines/sfcarr"
+	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/rankspace"
+	"github.com/wazi-index/wazi/internal/zorder"
+)
+
+// BitsPerDim is the per-dimension curve resolution. Rank coordinates are
+// down-scaled to this grid before encoding.
+const BitsPerDim = 16
+
+// Index is a QUILTS index.
+type Index struct {
+	*sfcarr.Index
+	pattern zorder.Pattern
+}
+
+// Build selects the cheapest candidate pattern for the workload and builds
+// the key array under it. An empty workload falls back to the standard
+// alternating pattern.
+func Build(pts []geom.Point, queries []geom.Rect) *Index {
+	pattern := choosePattern(pts, queries)
+	enc := scaledEncoder{p: pattern, shift: rankShift(len(pts))}
+	core := sfcarr.Build(pts, enc, func(keys []zorder.Key) sfcarr.Locator {
+		return newSampled(keys, 64)
+	})
+	return &Index{Index: core, pattern: pattern}
+}
+
+// Pattern returns the selected curve pattern.
+func (x *Index) Pattern() zorder.Pattern { return x.pattern }
+
+// rankShift returns how far ranks must shift right to fit BitsPerDim bits.
+func rankShift(n int) uint {
+	s := uint(0)
+	for n>>s > 1<<BitsPerDim {
+		s++
+	}
+	return s
+}
+
+// scaledEncoder adapts a Pattern to full-resolution ranks by down-scaling.
+// The coarser grid only loosens InRect (the geometric re-check in sfcarr
+// filters boundary cells), never produces false negatives, and keeps
+// monotonicity.
+type scaledEncoder struct {
+	p     zorder.Pattern
+	shift uint
+}
+
+func (e scaledEncoder) Encode(x, y uint32) zorder.Key {
+	return e.p.Encode(x>>e.shift, y>>e.shift)
+}
+
+func (e scaledEncoder) BigMin(cur, zmin, zmax zorder.Key) (zorder.Key, bool) {
+	return e.p.BigMin(cur, zmin, zmax)
+}
+
+func (e scaledEncoder) InRect(k zorder.Key, minX, minY, maxX, maxY uint32) bool {
+	return e.p.InRect(k, minX>>e.shift, minY>>e.shift, maxX>>e.shift, maxY>>e.shift)
+}
+
+// Candidates returns the candidate pattern family: the standard alternating
+// curve plus patterns that front-load a run of one dimension's bits —
+// QUILTS's mechanism for matching the dominant query aspect.
+func Candidates() []zorder.Pattern {
+	var out []zorder.Pattern
+	out = append(out, zorder.Alternating(BitsPerDim))
+	for _, run := range []int{2, 4, 8} {
+		for dim := uint8(0); dim <= 1; dim++ {
+			out = append(out, runPattern(dim, run))
+		}
+	}
+	return out
+}
+
+// runPattern front-loads run bits of dim, then alternates the remainder
+// starting with the other dimension.
+func runPattern(dim uint8, run int) zorder.Pattern {
+	var dims []uint8
+	used := [2]int{}
+	for i := 0; i < run; i++ {
+		dims = append(dims, dim)
+		used[dim]++
+	}
+	turn := 1 - dim
+	for len(dims) < 2*BitsPerDim {
+		if used[turn] < BitsPerDim {
+			dims = append(dims, turn)
+			used[turn]++
+		}
+		turn = 1 - turn
+		if used[0] == BitsPerDim {
+			turn = 1
+		}
+		if used[1] == BitsPerDim {
+			turn = 0
+		}
+	}
+	return zorder.NewPattern(dims)
+}
+
+// choosePattern scores candidates on a sample: the cost of a pattern is the
+// total number of sampled keys lying between each query's corner keys — the
+// length of the scan interval a curve index would traverse.
+func choosePattern(pts []geom.Point, queries []geom.Rect) zorder.Pattern {
+	cands := Candidates()
+	if len(queries) == 0 || len(pts) == 0 {
+		return cands[0]
+	}
+	sampleQ := queries
+	if len(sampleQ) > 100 {
+		sampleQ = sampleQ[:100]
+	}
+	sampleP := pts
+	if len(sampleP) > 20000 {
+		sampleP = sampleP[:20000]
+	}
+	m := rankspace.New(sampleP)
+	shift := rankShift(len(sampleP))
+	best := cands[0]
+	bestCost := int64(-1)
+	for _, p := range cands {
+		keys := make([]uint64, len(sampleP))
+		for i, pt := range sampleP {
+			keys[i] = uint64(p.Encode(m.RankX(pt.X)>>shift, m.RankY(pt.Y)>>shift))
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		var cost int64
+		for _, q := range sampleQ {
+			rx0, rx1, okx := m.RangeX(q.MinX, q.MaxX)
+			ry0, ry1, oky := m.RangeY(q.MinY, q.MaxY)
+			if !okx || !oky {
+				continue
+			}
+			zmin := uint64(p.Encode(rx0>>shift, ry0>>shift))
+			zmax := uint64(p.Encode(rx1>>shift, ry1>>shift))
+			lo := sort.Search(len(keys), func(i int) bool { return keys[i] >= zmin })
+			hi := sort.Search(len(keys), func(i int) bool { return keys[i] > zmax })
+			cost += int64(hi - lo)
+		}
+		if bestCost < 0 || cost < bestCost {
+			bestCost, best = cost, p
+		}
+	}
+	return best
+}
+
+// sampled is a key directory sampling every strideth key: a flat B-tree
+// top level providing search windows.
+type sampled struct {
+	samples []zorder.Key
+	stride  int
+	n       int
+}
+
+func newSampled(keys []zorder.Key, stride int) *sampled {
+	s := &sampled{stride: stride, n: len(keys)}
+	for i := 0; i < len(keys); i += stride {
+		s.samples = append(s.samples, keys[i])
+	}
+	return s
+}
+
+// Window brackets the lower bound of k between two directory entries.
+func (s *sampled) Window(k zorder.Key) (int, int) {
+	if len(s.samples) == 0 {
+		return 0, 0
+	}
+	i := sort.Search(len(s.samples), func(j int) bool { return s.samples[j] >= k })
+	lo := (i - 1) * s.stride
+	hi := i*s.stride + s.stride
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= s.n {
+		hi = s.n - 1
+	}
+	return lo, hi
+}
+
+// Bytes returns the directory footprint.
+func (s *sampled) Bytes() int64 { return int64(len(s.samples)) * 8 }

@@ -1,0 +1,154 @@
+// Package rsmi implements a simplified RSMI baseline (Qi et al., VLDB 2020)
+// for the paper's Figure 4: points linearized by rank-space Z-order and
+// indexed by a two-level learned model — a root linear model routing keys
+// to second-level linear models, each predicting array positions with a
+// tracked maximum error. The original uses neural networks; under this
+// repository's stdlib-only constraint the models are least-squares linear
+// fits, which preserves the qualitative finding (rank-space SFC indexes are
+// outclassed by the layout-optimizing indexes).
+package rsmi
+
+import (
+	"github.com/wazi-index/wazi/internal/baselines/sfcarr"
+	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/zorder"
+)
+
+// DefaultLeafModelSize is the average number of keys per second-level model.
+const DefaultLeafModelSize = 2048
+
+// Index is a simplified RSMI.
+type Index struct {
+	*sfcarr.Index
+}
+
+// Build constructs the index. leafModelSize <= 0 selects the default.
+func Build(pts []geom.Point, leafModelSize int) *Index {
+	if leafModelSize <= 0 {
+		leafModelSize = DefaultLeafModelSize
+	}
+	core := sfcarr.Build(pts, sfcarr.StdZ{}, func(keys []zorder.Key) sfcarr.Locator {
+		return newRMI(keys, leafModelSize)
+	})
+	return &Index{core}
+}
+
+// rmi is the two-level learned model: a root linear router over the key
+// range and per-leaf least-squares linear position models with tracked
+// maximum error.
+type rmi struct {
+	rootSlope, rootBias float64
+	leaves              []leafModel
+	n                   int
+}
+
+// leafModel predicts position ≈ slope·(key − origin) + bias for the keys
+// routed to it; maxErr bounds the absolute prediction error over them.
+type leafModel struct {
+	origin      float64
+	slope, bias float64
+	maxErr      int
+	startPos    int
+}
+
+func newRMI(keys []zorder.Key, leafSize int) *rmi {
+	m := &rmi{n: len(keys)}
+	if len(keys) == 0 {
+		m.leaves = []leafModel{{}}
+		return m
+	}
+	nLeaves := (len(keys) + leafSize - 1) / leafSize
+	span := float64(keys[len(keys)-1] - keys[0])
+	if span <= 0 {
+		span = 1
+	}
+	m.rootSlope = float64(nLeaves) / span
+	m.rootBias = -m.rootSlope * float64(keys[0])
+	m.leaves = make([]leafModel, nLeaves)
+
+	assign := make([][]int, nLeaves)
+	for i, k := range keys {
+		l := m.route(k)
+		assign[l] = append(assign[l], i)
+	}
+	for l, idx := range assign {
+		m.leaves[l] = fitLeaf(keys, idx)
+	}
+	// Give empty leaves the position of the next non-empty one so routed
+	// lookups land in a sane window.
+	next := len(keys)
+	for l := nLeaves - 1; l >= 0; l-- {
+		if len(assign[l]) == 0 {
+			m.leaves[l].startPos = next
+			m.leaves[l].bias = float64(next)
+		} else {
+			next = assign[l][0]
+		}
+	}
+	return m
+}
+
+func (m *rmi) route(k zorder.Key) int {
+	l := int(m.rootSlope*float64(k) + m.rootBias)
+	if l < 0 {
+		l = 0
+	}
+	if l >= len(m.leaves) {
+		l = len(m.leaves) - 1
+	}
+	return l
+}
+
+// fitLeaf least-squares fits position over (key − origin) for the assigned
+// indices and records the maximum absolute error of the integer prediction.
+func fitLeaf(keys []zorder.Key, idx []int) leafModel {
+	if len(idx) == 0 {
+		return leafModel{}
+	}
+	lm := leafModel{origin: float64(keys[idx[0]]), startPos: idx[0]}
+	if len(idx) == 1 {
+		lm.bias = float64(idx[0])
+		return lm
+	}
+	var sx, sy, sxx, sxy float64
+	for _, i := range idx {
+		x := float64(keys[i]) - lm.origin
+		y := float64(i)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	n := float64(len(idx))
+	if den := n*sxx - sx*sx; den != 0 {
+		lm.slope = (n*sxy - sx*sy) / den
+	}
+	lm.bias = (sy - lm.slope*sx) / n
+	for _, i := range idx {
+		pred := int(lm.slope*(float64(keys[i])-lm.origin) + lm.bias)
+		err := i - pred
+		if err < 0 {
+			err = -err
+		}
+		if err > lm.maxErr {
+			lm.maxErr = err
+		}
+	}
+	return lm
+}
+
+// Window brackets the lower-bound position of k. Keys routed to the same
+// leaf are within ±maxErr of the leaf's prediction; keys outside the leaf's
+// fitted range still get a sound starting window because sfcarr widens
+// windows that fail to bracket.
+func (m *rmi) Window(k zorder.Key) (int, int) {
+	if m.n == 0 {
+		return 0, 0
+	}
+	lm := m.leaves[m.route(k)]
+	pred := int(lm.slope*(float64(k)-lm.origin) + lm.bias)
+	return pred - lm.maxErr - 1, pred + lm.maxErr + 1
+}
+
+// Bytes returns the model footprint.
+func (m *rmi) Bytes() int64 { return 16 + int64(len(m.leaves))*48 }

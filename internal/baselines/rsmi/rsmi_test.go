@@ -1,0 +1,47 @@
+package rsmi
+
+import (
+	"testing"
+
+	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/index"
+	"github.com/wazi-index/wazi/internal/indextest"
+	"github.com/wazi-index/wazi/internal/zorder"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Conformance(t, func(pts []geom.Point, _ []geom.Rect) index.Index {
+		return Build(pts, 0)
+	})
+}
+
+func TestConformanceSmallModels(t *testing.T) {
+	indextest.Conformance(t, func(pts []geom.Point, _ []geom.Rect) index.Index {
+		return Build(pts, 128)
+	})
+}
+
+func TestRMIWindowSoundness(t *testing.T) {
+	pts := indextest.ClusteredPoints(20000, 1)
+	idx := Build(pts, 512)
+	keys := idx.Keys()
+	m := newRMI(keys, 512)
+	for i := 0; i < len(keys); i += 101 {
+		lo, hi := m.Window(keys[i])
+		truth := i
+		for truth > 0 && keys[truth-1] == keys[i] {
+			truth--
+		}
+		if truth < lo || truth > hi {
+			t.Fatalf("window [%d, %d] misses true lower bound %d", lo, hi, truth)
+		}
+	}
+}
+
+func TestRMIEmpty(t *testing.T) {
+	m := newRMI(nil, 128)
+	lo, hi := m.Window(zorder.Key(7))
+	if lo != 0 || hi != 0 {
+		t.Errorf("empty RMI window = [%d, %d]", lo, hi)
+	}
+}

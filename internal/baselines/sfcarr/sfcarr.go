@@ -1,0 +1,199 @@
+// Package sfcarr implements the shared core of the rank-space
+// space-filling-curve array indexes evaluated in the paper's Figure 4
+// (Zpgm, QUILTS, RSMI): points are projected to rank space, linearized by a
+// monotone curve, and stored in one sorted array; a pluggable search
+// structure locates positions for keys, and range scans skip
+// out-of-rectangle curve sections with BIGMIN jumps.
+//
+// The three baselines differ only in their curve (standard Z-order vs a
+// workload-selected QUILTS pattern) and their position locator (PGM-style
+// piecewise linear approximation, a sampled key directory, or a two-level
+// learned model), which each provide through the Encoder and Locator
+// interfaces.
+package sfcarr
+
+import (
+	"sort"
+
+	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/rankspace"
+	"github.com/wazi-index/wazi/internal/storage"
+	"github.com/wazi-index/wazi/internal/zorder"
+)
+
+// Encoder linearizes rank-space coordinates. zorder.Pattern satisfies it.
+type Encoder interface {
+	Encode(x, y uint32) zorder.Key
+	BigMin(cur, zmin, zmax zorder.Key) (zorder.Key, bool)
+	InRect(k zorder.Key, minX, minY, maxX, maxY uint32) bool
+}
+
+// StdZ is the standard full-resolution Z-order Encoder.
+type StdZ struct{}
+
+// Encode interleaves with the package-level Z-order.
+func (StdZ) Encode(x, y uint32) zorder.Key { return zorder.Encode(x, y) }
+
+// BigMin delegates to the package-level BIGMIN.
+func (StdZ) BigMin(cur, zmin, zmax zorder.Key) (zorder.Key, bool) {
+	return zorder.BigMin(cur, zmin, zmax)
+}
+
+// InRect delegates to the package-level check.
+func (StdZ) InRect(k zorder.Key, minX, minY, maxX, maxY uint32) bool {
+	return zorder.InRect(k, minX, minY, maxX, maxY)
+}
+
+// Locator is a (possibly learned) structure that brackets the position of a
+// key in the sorted key array.
+type Locator interface {
+	// Window returns an inclusive position window [lo, hi] guaranteed to
+	// contain the lower-bound position of k (the first index whose key is
+	// >= k, possibly len(keys) when hi is clamped by the caller).
+	Window(k zorder.Key) (lo, hi int)
+	// Bytes returns the locator's footprint.
+	Bytes() int64
+}
+
+// Index is the assembled rank-space SFC array index.
+type Index struct {
+	mapping *rankspace.Mapping
+	enc     Encoder
+	loc     Locator
+	keys    []zorder.Key
+	pts     []geom.Point
+	stats   storage.Stats
+}
+
+// Build sorts the data by curve key and installs the locator produced by
+// newLocator from the sorted keys.
+func Build(pts []geom.Point, enc Encoder, newLocator func(keys []zorder.Key) Locator) *Index {
+	idx := &Index{mapping: rankspace.New(pts), enc: enc}
+	type entry struct {
+		k zorder.Key
+		p geom.Point
+	}
+	entries := make([]entry, len(pts))
+	for i, p := range pts {
+		entries[i] = entry{enc.Encode(idx.mapping.RankX(p.X), idx.mapping.RankY(p.Y)), p}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].k < entries[j].k })
+	idx.keys = make([]zorder.Key, len(entries))
+	idx.pts = make([]geom.Point, len(entries))
+	for i, e := range entries {
+		idx.keys[i] = e.k
+		idx.pts[i] = e.p
+	}
+	idx.loc = newLocator(idx.keys)
+	return idx
+}
+
+// lowerBound returns the first position whose key is >= k, using the
+// locator window and a bounded binary search, with exponential widening as
+// a safety net against an erroneous window.
+func (x *Index) lowerBound(k zorder.Key) int {
+	n := len(x.keys)
+	if n == 0 {
+		return 0
+	}
+	lo, hi := x.loc.Window(k)
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > n-1 {
+		lo = n - 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	if hi > n-1 {
+		hi = n - 1
+	}
+	// Widen until the window certainly brackets the answer.
+	for lo > 0 && x.keys[lo] >= k {
+		lo = max(0, lo-(hi-lo+1))
+	}
+	for hi < len(x.keys)-1 && x.keys[hi] < k {
+		hi = min(len(x.keys)-1, hi+(hi-lo+1))
+	}
+	return lo + sort.Search(hi-lo+1, func(i int) bool { return x.keys[lo+i] >= k })
+}
+
+// RangeQuery returns all points inside r.
+func (x *Index) RangeQuery(r geom.Rect) []geom.Point {
+	x.stats.RangeQueries++
+	var out []geom.Point
+	rx0, rx1, okx := x.mapping.RangeX(r.MinX, r.MaxX)
+	ry0, ry1, oky := x.mapping.RangeY(r.MinY, r.MaxY)
+	if !okx || !oky {
+		return nil
+	}
+	zmin := x.enc.Encode(rx0, ry0)
+	zmax := x.enc.Encode(rx1, ry1)
+	i := x.lowerBound(zmin)
+	for i < len(x.keys) && x.keys[i] <= zmax {
+		x.stats.PointsScanned++
+		if x.enc.InRect(x.keys[i], rx0, ry0, rx1, ry1) {
+			// Rank containment implies value containment; the geometric
+			// check guards rank collisions from duplicate coordinates.
+			if r.Contains(x.pts[i]) {
+				out = append(out, x.pts[i])
+			}
+			i++
+			continue
+		}
+		nk, ok := x.enc.BigMin(x.keys[i], zmin, zmax)
+		if !ok {
+			break
+		}
+		x.stats.LookaheadJumps++
+		i += sort.Search(len(x.keys)-i, func(j int) bool { return x.keys[i+j] >= nk })
+	}
+	x.stats.ResultPoints += int64(len(out))
+	return out
+}
+
+// PointQuery reports whether p is indexed.
+func (x *Index) PointQuery(p geom.Point) bool {
+	x.stats.PointQueries++
+	if !x.mapping.HasX(p.X) || !x.mapping.HasY(p.Y) {
+		return false
+	}
+	k := x.enc.Encode(x.mapping.RankX(p.X), x.mapping.RankY(p.Y))
+	for i := x.lowerBound(k); i < len(x.keys) && x.keys[i] == k; i++ {
+		x.stats.PointsScanned++
+		if x.pts[i] == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of indexed points.
+func (x *Index) Len() int { return len(x.pts) }
+
+// Bytes returns the approximate footprint: keys, points, rank mapping, and
+// the locator.
+func (x *Index) Bytes() int64 {
+	return int64(len(x.keys))*8 + int64(len(x.pts))*16 + x.mapping.Bytes() + x.loc.Bytes()
+}
+
+// Stats returns the counters.
+func (x *Index) Stats() *storage.Stats { return &x.stats }
+
+// Keys exposes the sorted key array to locator constructors and tests.
+func (x *Index) Keys() []zorder.Key { return x.keys }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,246 @@
+// Package str implements the Sort-Tile-Recursive packed R-tree of
+// Leutenegger, Edgington and López (ICDE 1997), the STR baseline of the
+// paper's evaluation: data-space tiling into vertical slices, y-sorted
+// packing within each slice, and bottom-up level-by-level construction.
+package str
+
+import (
+	"time"
+
+	"math"
+	"sort"
+
+	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/storage"
+)
+
+// DefaultFanout is the internal-node fanout used when packing upper levels.
+const DefaultFanout = 16
+
+// Tree is an STR-packed R-tree.
+type Tree struct {
+	root   *node
+	count  int
+	leafN  int
+	fanout int
+	stats  storage.Stats
+}
+
+type node struct {
+	mbr      geom.Rect
+	children []*node      // internal nodes
+	page     storage.Page // leaf nodes (children == nil)
+}
+
+// Options configure construction.
+type Options struct {
+	// LeafSize is the page capacity. Default 256.
+	LeafSize int
+	// Fanout is the internal-node fanout. Default 16.
+	Fanout int
+}
+
+func (o *Options) fill() {
+	if o.LeafSize <= 0 {
+		o.LeafSize = 256
+	}
+	if o.Fanout <= 0 {
+		o.Fanout = DefaultFanout
+	}
+}
+
+// Build packs pts into an STR R-tree.
+func Build(pts []geom.Point, opts Options) *Tree {
+	opts.fill()
+	t := &Tree{count: len(pts), leafN: opts.LeafSize, fanout: opts.Fanout}
+	if len(pts) == 0 {
+		return t
+	}
+	leaves := PackLeaves(pts, opts.LeafSize)
+	nodes := make([]*node, len(leaves))
+	for i, pg := range leaves {
+		nodes[i] = &node{mbr: geom.RectFromPoints(pg), page: storage.Page{Pts: pg}}
+	}
+	t.root = packUp(nodes, opts.Fanout)
+	return t
+}
+
+// PackLeaves tiles pts into pages of at most leafSize points using the STR
+// sweep: sort by x, cut into ceil(sqrt(P)) vertical slices of whole pages,
+// sort each slice by y, and emit consecutive runs. It is exported for reuse
+// by the CUR baseline, which packs with weighted slice boundaries but the
+// same mechanics.
+func PackLeaves(pts []geom.Point, leafSize int) [][]geom.Point {
+	own := make([]geom.Point, len(pts))
+	copy(own, pts)
+	p := (len(own) + leafSize - 1) / leafSize  // number of pages
+	s := int(math.Ceil(math.Sqrt(float64(p)))) // number of vertical slices
+	sliceCap := s * leafSize                   // points per slice
+	sort.Slice(own, func(i, j int) bool { return own[i].X < own[j].X })
+	var pages [][]geom.Point
+	for start := 0; start < len(own); start += sliceCap {
+		end := start + sliceCap
+		if end > len(own) {
+			end = len(own)
+		}
+		slice := own[start:end]
+		sort.Slice(slice, func(i, j int) bool { return slice[i].Y < slice[j].Y })
+		for ls := 0; ls < len(slice); ls += leafSize {
+			le := ls + leafSize
+			if le > len(slice) {
+				le = len(slice)
+			}
+			page := make([]geom.Point, le-ls)
+			copy(page, slice[ls:le])
+			pages = append(pages, page)
+		}
+	}
+	return pages
+}
+
+// packUp builds internal levels bottom-up by grouping consecutive nodes.
+func packUp(nodes []*node, fanout int) *node {
+	for len(nodes) > 1 {
+		next := make([]*node, 0, (len(nodes)+fanout-1)/fanout)
+		for start := 0; start < len(nodes); start += fanout {
+			end := start + fanout
+			if end > len(nodes) {
+				end = len(nodes)
+			}
+			group := nodes[start:end]
+			n := &node{mbr: group[0].mbr, children: append([]*node(nil), group...)}
+			for _, c := range group[1:] {
+				n.mbr = n.mbr.Union(c.mbr)
+			}
+			next = append(next, n)
+		}
+		nodes = next
+	}
+	return nodes[0]
+}
+
+// RangeQuery returns all points inside r.
+func (t *Tree) RangeQuery(r geom.Rect) []geom.Point {
+	t.stats.RangeQueries++
+	var out []geom.Point
+	if t.root != nil && t.root.mbr.Intersects(r) {
+		out = t.search(t.root, r, out)
+	}
+	t.stats.ResultPoints += int64(len(out))
+	return out
+}
+
+func (t *Tree) search(n *node, r geom.Rect, out []geom.Point) []geom.Point {
+	if n.children == nil {
+		t.stats.PagesScanned++
+		t.stats.PointsScanned += int64(n.page.Len())
+		return n.page.Filter(r, out)
+	}
+	t.stats.NodesVisited++
+	for _, c := range n.children {
+		t.stats.BBChecked++
+		if c.mbr.Intersects(r) {
+			out = t.search(c, r, out)
+		}
+	}
+	return out
+}
+
+// PointQuery reports whether p is indexed. R-trees may need to descend
+// multiple overlapping children.
+func (t *Tree) PointQuery(p geom.Point) bool {
+	t.stats.PointQueries++
+	if t.root == nil || !t.root.mbr.Contains(p) {
+		return false
+	}
+	return t.lookup(t.root, p)
+}
+
+func (t *Tree) lookup(n *node, p geom.Point) bool {
+	if n.children == nil {
+		t.stats.PagesScanned++
+		t.stats.PointsScanned += int64(n.page.Len())
+		return n.page.Contains(p)
+	}
+	t.stats.NodesVisited++
+	for _, c := range n.children {
+		t.stats.BBChecked++
+		if c.mbr.Contains(p) && t.lookup(c, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return t.count }
+
+// Bytes returns the approximate footprint.
+func (t *Tree) Bytes() int64 { return nodeBytes(t.root) }
+
+func nodeBytes(n *node) int64 {
+	if n == nil {
+		return 0
+	}
+	b := int64(32 + 24) // mbr + slice header
+	if n.children == nil {
+		return b + n.page.Bytes()
+	}
+	for _, c := range n.children {
+		b += 8 + nodeBytes(c)
+	}
+	return b
+}
+
+// Stats returns the counters.
+func (t *Tree) Stats() *storage.Stats { return &t.stats }
+
+// Depth returns the tree height.
+func (t *Tree) Depth() int {
+	d := 0
+	for n := t.root; n != nil; {
+		d++
+		if n.children == nil {
+			break
+		}
+		n = n.children[0]
+	}
+	return d
+}
+
+// RangeQueryPhased runs a range query in two separated phases and returns
+// their durations: projection (tree traversal collecting overlapping
+// leaves) and scan (filtering their pages). Used by the Figure 9
+// reproduction.
+func (t *Tree) RangeQueryPhased(r geom.Rect) (pts []geom.Point, projection, scan time.Duration) {
+	t.stats.RangeQueries++
+	start := time.Now()
+	var pages []*node
+	var collect func(n *node)
+	collect = func(n *node) {
+		if n.children == nil {
+			pages = append(pages, n)
+			return
+		}
+		t.stats.NodesVisited++
+		for _, c := range n.children {
+			t.stats.BBChecked++
+			if c.mbr.Intersects(r) {
+				collect(c)
+			}
+		}
+	}
+	if t.root != nil && t.root.mbr.Intersects(r) {
+		collect(t.root)
+	}
+	projection = time.Since(start)
+	start = time.Now()
+	for _, n := range pages {
+		t.stats.PagesScanned++
+		t.stats.PointsScanned += int64(n.page.Len())
+		pts = n.page.Filter(r, pts)
+	}
+	scan = time.Since(start)
+	t.stats.ResultPoints += int64(len(pts))
+	return pts, projection, scan
+}

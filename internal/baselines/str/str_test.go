@@ -1,0 +1,47 @@
+package str
+
+import (
+	"testing"
+
+	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/index"
+	"github.com/wazi-index/wazi/internal/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Conformance(t, func(pts []geom.Point, _ []geom.Rect) index.Index {
+		return Build(pts, Options{LeafSize: 64})
+	})
+}
+
+func TestLeafCapacityAndDepth(t *testing.T) {
+	pts := indextest.ClusteredPoints(5000, 1)
+	tr := Build(pts, Options{LeafSize: 100, Fanout: 8})
+	if tr.Depth() < 2 {
+		t.Errorf("depth = %d, expected a real tree", tr.Depth())
+	}
+	pages := PackLeaves(pts, 100)
+	total := 0
+	for _, pg := range pages {
+		if len(pg) > 100 {
+			t.Fatalf("page with %d points exceeds capacity", len(pg))
+		}
+		total += len(pg)
+	}
+	if total != len(pts) {
+		t.Fatalf("packed %d points, want %d", total, len(pts))
+	}
+}
+
+func TestEmptyBuild(t *testing.T) {
+	tr := Build(nil, Options{})
+	if tr.Len() != 0 {
+		t.Error("empty tree Len != 0")
+	}
+	if got := tr.RangeQuery(geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}); got != nil {
+		t.Error("empty tree should return nil")
+	}
+	if tr.PointQuery(geom.Point{X: 0, Y: 0}) {
+		t.Error("empty tree point query should be false")
+	}
+}

@@ -1,0 +1,123 @@
+// Package zpgm implements the Zpgm baseline of the paper's Figure 4: points
+// linearized by the standard Z-order curve in rank space and indexed by a
+// PGM-style piecewise linear approximation (Ferragina & Vinciguerra, VLDB
+// 2020) with the BIGMIN skipping of Tropf & Herzog during range scans.
+package zpgm
+
+import (
+	"math"
+
+	"github.com/wazi-index/wazi/internal/baselines/sfcarr"
+	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/zorder"
+)
+
+// DefaultEpsilon is the PLA error bound: a predicted position is within
+// ±DefaultEpsilon of the true lower bound.
+const DefaultEpsilon = 64
+
+// Index is a Zpgm index.
+type Index struct {
+	*sfcarr.Index
+}
+
+// Build constructs the index over pts with the given PLA error bound
+// (<= 0 selects DefaultEpsilon).
+func Build(pts []geom.Point, epsilon int) *Index {
+	if epsilon <= 0 {
+		epsilon = DefaultEpsilon
+	}
+	core := sfcarr.Build(pts, sfcarr.StdZ{}, func(keys []zorder.Key) sfcarr.Locator {
+		return newPLA(keys, epsilon)
+	})
+	return &Index{core}
+}
+
+// pla is an ε-bounded piecewise linear approximation of key → position,
+// built with the streaming shrinking-cone algorithm (one pass, O(n)).
+type pla struct {
+	segs []segment
+	eps  int
+	n    int
+}
+
+type segment struct {
+	startKey zorder.Key
+	startPos int
+	slope    float64
+}
+
+func newPLA(keys []zorder.Key, eps int) *pla {
+	p := &pla{eps: eps, n: len(keys)}
+	if len(keys) == 0 {
+		return p
+	}
+	startKey, startPos := keys[0], 0
+	slLo, slHi := math.Inf(-1), math.Inf(1)
+	flush := func(endPos int) {
+		slope := 0.0
+		switch {
+		case math.IsInf(slLo, -1) && math.IsInf(slHi, 1):
+			slope = 0
+		case math.IsInf(slLo, -1):
+			slope = slHi
+		case math.IsInf(slHi, 1):
+			slope = slLo
+		default:
+			slope = (slLo + slHi) / 2
+		}
+		p.segs = append(p.segs, segment{startKey: startKey, startPos: startPos, slope: slope})
+		_ = endPos
+	}
+	for i := 1; i < len(keys); i++ {
+		dk := float64(keys[i] - startKey)
+		if dk == 0 {
+			// Duplicate keys: the prediction for this key stays at
+			// startPos; the ε-window search below absorbs runs up to the
+			// widening fallback.
+			continue
+		}
+		lo := (float64(i-startPos) - float64(eps)) / dk
+		hi := (float64(i-startPos) + float64(eps)) / dk
+		nLo, nHi := math.Max(slLo, lo), math.Min(slHi, hi)
+		if nLo > nHi {
+			flush(i)
+			startKey, startPos = keys[i], i
+			slLo, slHi = math.Inf(-1), math.Inf(1)
+			continue
+		}
+		slLo, slHi = nLo, nHi
+	}
+	flush(len(keys))
+	return p
+}
+
+// Window brackets the lower-bound position of k within ±eps of the model
+// prediction.
+func (p *pla) Window(k zorder.Key) (int, int) {
+	if len(p.segs) == 0 {
+		return 0, 0
+	}
+	// Binary search the segment whose startKey is the greatest <= k.
+	lo, hi := 0, len(p.segs)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if p.segs[mid].startKey <= k {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	s := p.segs[lo]
+	pred := s.startPos
+	if k > s.startKey {
+		pred += int(s.slope * float64(k-s.startKey))
+	}
+	return pred - p.eps, pred + p.eps
+}
+
+// Bytes returns the PLA footprint.
+func (p *pla) Bytes() int64 { return int64(len(p.segs)) * 24 }
+
+// Segments returns the number of PLA segments (for tests and size reports).
+func (p *pla) Segments() int { return len(p.segs) }

@@ -1,0 +1,54 @@
+package zpgm
+
+import (
+	"testing"
+
+	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/index"
+	"github.com/wazi-index/wazi/internal/indextest"
+	"github.com/wazi-index/wazi/internal/zorder"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Conformance(t, func(pts []geom.Point, _ []geom.Rect) index.Index {
+		return Build(pts, 0)
+	})
+}
+
+func TestConformanceTinyEpsilon(t *testing.T) {
+	indextest.Conformance(t, func(pts []geom.Point, _ []geom.Rect) index.Index {
+		return Build(pts, 4)
+	})
+}
+
+func TestPLAWindowSoundness(t *testing.T) {
+	pts := indextest.ClusteredPoints(20000, 1)
+	idx := Build(pts, 32)
+	keys := idx.Keys()
+	p := newPLA(keys, 32)
+	if p.Segments() < 2 {
+		t.Errorf("PLA produced %d segments over 20k keys", p.Segments())
+	}
+	for i := 0; i < len(keys); i += 97 {
+		lo, hi := p.Window(keys[i])
+		// The true lower bound of keys[i] must lie within [lo, hi].
+		truth := i
+		for truth > 0 && keys[truth-1] == keys[i] {
+			truth--
+		}
+		if truth < lo || truth > hi {
+			t.Fatalf("window [%d, %d] misses true lower bound %d", lo, hi, truth)
+		}
+	}
+}
+
+func TestPLAEmptyAndSingle(t *testing.T) {
+	if p := newPLA(nil, 8); p.Segments() != 0 {
+		t.Error("empty PLA should have no segments")
+	}
+	p := newPLA([]zorder.Key{42}, 8)
+	lo, hi := p.Window(42)
+	if lo > 0 || hi < 0 {
+		t.Errorf("single-key window [%d, %d] must include 0", lo, hi)
+	}
+}

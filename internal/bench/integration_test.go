@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/wazi-index/wazi/internal/dataset"
+	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/index"
+	"github.com/wazi-index/wazi/internal/workload"
+)
+
+// TestAllIndexesAgreeOnSharedWorkload is the repository's cross-cutting
+// integration test: every index the harness can build — the six main
+// lineup, the five discarded Figure 4 baselines, and the two ablation
+// variants — must return exactly the same multiset of points for the same
+// queries on the same region dataset.
+func TestAllIndexesAgreeOnSharedWorkload(t *testing.T) {
+	cfg := tinyConfig()
+	for _, region := range []dataset.Region{dataset.CaliNev, dataset.Japan} {
+		w := MakeWorkloads(region, 5_000, cfg)
+		train := w.BySelectivity[MidSelectivity][:100]
+		ref := index.NewBrute(w.Data)
+
+		names := append(append([]string{}, AllIndexes...), "Base+SK", "WaZI-SK")
+		indexes := map[string]index.Index{}
+		for _, name := range names {
+			indexes[name] = BuildIndex(name, w.Data, train, cfg).Index
+		}
+
+		var probes []geom.Rect
+		probes = append(probes, w.BySelectivity[0.1024e-2][:10]...)
+		probes = append(probes, w.BySelectivity[0.0016e-2][:10]...)
+		probes = append(probes, workload.Uniform(10, 0.0256e-2, 9)...)
+		probes = append(probes,
+			geom.Rect{MinX: -1, MinY: -1, MaxX: 2, MaxY: 2}, // superset
+			geom.Rect{MinX: 2, MinY: 2, MaxX: 3, MaxY: 3},   // disjoint
+		)
+
+		for qi, r := range probes {
+			want := canonical(ref.RangeQuery(r))
+			for _, name := range names {
+				got := canonical(indexes[name].RangeQuery(r))
+				if len(got) != len(want) {
+					t.Fatalf("%v query %d: %s returned %d points, brute force %d",
+						region, qi, name, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%v query %d: %s disagrees with brute force at point %d",
+							region, qi, name, i)
+					}
+				}
+			}
+		}
+
+		// Point queries must agree too.
+		for i := 0; i < 200; i += 10 {
+			p := w.Data[i]
+			for _, name := range names {
+				if !indexes[name].PointQuery(p) {
+					t.Fatalf("%v: %s lost indexed point %v", region, name, p)
+				}
+			}
+		}
+	}
+}
+
+func canonical(pts []geom.Point) []geom.Point {
+	out := append([]geom.Point(nil), pts...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].X != out[j].X {
+			return out[i].X < out[j].X
+		}
+		return out[i].Y < out[j].Y
+	})
+	return out
+}

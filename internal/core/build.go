@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/wazi-index/wazi/internal/geom"
+)
+
+// BuildBase constructs the classic Z-index of §3: split points at the data
+// medians along each axis and the "abcd" ordering at every node. Look-ahead
+// pointers are built unless opts.DisableSkipping is set (the paper's Base
+// uses naive scanning, i.e. DisableSkipping=true; the Base+SK ablation
+// variant leaves skipping on).
+func BuildBase(pts []geom.Point, opts Options) (*ZIndex, error) {
+	opts.fill()
+	if len(pts) == 0 {
+		return nil, ErrNoPoints
+	}
+	own := make([]geom.Point, len(pts))
+	copy(own, pts)
+	z := &ZIndex{bounds: geom.RectFromPoints(own), count: len(own), opts: opts}
+	z.root = buildMedian(own, z.bounds, opts.LeafSize, opts.MaxDepth)
+	z.rebuildLeafList()
+	if !opts.DisableSkipping {
+		z.rebuildLookahead()
+	}
+	return z, nil
+}
+
+// buildMedian recursively builds the median/abcd tree of the base variant.
+func buildMedian(pts []geom.Point, cell geom.Rect, leafSize, depthLeft int) *node {
+	n := &node{cell: cell}
+	if len(pts) <= leafSize || depthLeft == 0 {
+		n.leaf = newLeaf(cell, pts)
+		return n
+	}
+	split := geom.Point{X: medianX(pts), Y: medianY(pts)}
+	parts := partition(pts, split)
+	if degenerate(parts, len(pts)) {
+		n.leaf = newLeaf(cell, pts)
+		return n
+	}
+	n.split = split
+	n.order = OrderABCD
+	for q := geom.Quadrant(0); q < 4; q++ {
+		sub := parts[q]
+		if len(sub) == 0 {
+			continue
+		}
+		pos := n.order.Pos(q)
+		n.child[pos] = buildMedian(sub, geom.QuadrantRect(cell, split, q), leafSize, depthLeft-1)
+	}
+	return n
+}
+
+// newLeaf creates a leaf node body over pts with the given cell as its
+// bounding rectangle. The page owns its own slice.
+func newLeaf(cell geom.Rect, pts []geom.Point) *Leaf {
+	l := &Leaf{bounds: cell}
+	l.page.Pts = make([]geom.Point, len(pts))
+	copy(l.page.Pts, pts)
+	return l
+}
+
+// partition splits pts into the four quadrants around split, using the same
+// strict > comparisons as geom.QuadrantOf (points on a split line go to the
+// lower quadrant).
+func partition(pts []geom.Point, split geom.Point) [4][]geom.Point {
+	var counts [4]int
+	for _, p := range pts {
+		counts[geom.QuadrantOf(p, split)]++
+	}
+	var parts [4][]geom.Point
+	for q := range parts {
+		if counts[q] > 0 {
+			parts[q] = make([]geom.Point, 0, counts[q])
+		}
+	}
+	for _, p := range pts {
+		q := geom.QuadrantOf(p, split)
+		parts[q] = append(parts[q], p)
+	}
+	return parts
+}
+
+// degenerate reports whether a partition failed to make progress: every
+// point landed in a single quadrant. Recursing on such a partition with
+// coincident points would never terminate.
+func degenerate(parts [4][]geom.Point, total int) bool {
+	for _, p := range parts {
+		if len(p) == total {
+			return true
+		}
+	}
+	return false
+}
+
+// medianX returns the median x-coordinate of pts (upper median).
+func medianX(pts []geom.Point) float64 {
+	vals := make([]float64, len(pts))
+	for i, p := range pts {
+		vals[i] = p.X
+	}
+	return quickMedian(vals)
+}
+
+// medianY returns the median y-coordinate of pts (upper median).
+func medianY(pts []geom.Point) float64 {
+	vals := make([]float64, len(pts))
+	for i, p := range pts {
+		vals[i] = p.Y
+	}
+	return quickMedian(vals)
+}
+
+// quickMedian selects the element at index len/2 in expected linear time.
+// It mutates vals.
+func quickMedian(vals []float64) float64 {
+	k := len(vals) / 2
+	lo, hi := 0, len(vals)-1
+	for lo < hi {
+		// Median-of-three pivot guards against sorted inputs.
+		mid := lo + (hi-lo)/2
+		if vals[mid] < vals[lo] {
+			vals[mid], vals[lo] = vals[lo], vals[mid]
+		}
+		if vals[hi] < vals[lo] {
+			vals[hi], vals[lo] = vals[lo], vals[hi]
+		}
+		if vals[hi] < vals[mid] {
+			vals[hi], vals[mid] = vals[mid], vals[hi]
+		}
+		pivot := vals[mid]
+		i, j := lo, hi
+		for i <= j {
+			for vals[i] < pivot {
+				i++
+			}
+			for vals[j] > pivot {
+				j--
+			}
+			if i <= j {
+				vals[i], vals[j] = vals[j], vals[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return vals[k]
+}
+
+// rebuildLeafList rewalks the tree in ordering position order, relinking the
+// doubly-linked leaf list and renumbering ords. It runs after construction
+// and after every structural update (page split, new leaf).
+func (z *ZIndex) rebuildLeafList() {
+	var prev *Leaf
+	ord := 0
+	z.head = nil
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.leaf != nil {
+			l := n.leaf
+			l.prev = prev
+			l.next = nil
+			l.ord = ord
+			ord++
+			if prev != nil {
+				prev.next = l
+			} else {
+				z.head = l
+			}
+			prev = l
+			return
+		}
+		for pos := 0; pos < 4; pos++ {
+			walk(n.child[pos])
+		}
+	}
+	walk(z.root)
+}
+
+// sortByOrd is a test helper ordering leaves by ord; kept here so tests in
+// other files can reuse it.
+func sortLeaves(ls []*Leaf) {
+	sort.Slice(ls, func(i, j int) bool { return ls[i].ord < ls[j].ord })
+}
+
+// uniformSample draws a point uniformly at random from r.
+func uniformSample(rng *rand.Rand, r geom.Rect) geom.Point {
+	return geom.Point{
+		X: r.MinX + rng.Float64()*r.Width(),
+		Y: r.MinY + rng.Float64()*r.Height(),
+	}
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/wazi-index/wazi/internal/geom"
+)
+
+// This file implements the exact optimizer the paper sketches in §4.3 and
+// defers to future work: minimizing the full recursive retrieval cost
+// (Eq. 3) instead of the greedy level-at-a-time upper bound (Eq. 5), by
+// dynamic programming over rectangle states. The paper observes the state
+// space is O(N^4) — every axis-aligned rectangle over the canonical split
+// positions — which is tractable only for small inputs; BuildOptimal
+// exists to quantify the greedy algorithm's optimality gap in tests and
+// ablations, exactly the role the paper envisions.
+
+// maxDPCuts caps the canonical split positions per dimension. The DP has
+// O(cuts^4) states and O(cuts^2) transitions per state.
+const maxDPCuts = 12
+
+// BuildOptimal constructs the generalized Z-index minimizing the exact
+// recursive workload cost over the canonical cut grid (midpoints between
+// adjacent distinct coordinates, subsampled to maxDPCuts per dimension).
+// Inputs beyond 4096 points are rejected to prevent accidental use at
+// scale.
+func BuildOptimal(pts []geom.Point, queries []geom.Rect, opts Options) (*ZIndex, error) {
+	opts.fill()
+	if len(pts) == 0 {
+		return nil, ErrNoPoints
+	}
+	if len(pts) > 4096 {
+		panic("core: BuildOptimal is exhaustive; use BuildWaZI beyond 4096 points")
+	}
+	own := make([]geom.Point, len(pts))
+	copy(own, pts)
+	z := &ZIndex{
+		bounds:        geom.RectFromPoints(own),
+		count:         len(own),
+		opts:          opts,
+		workloadAware: true,
+	}
+	clipped := make([]geom.Rect, 0, len(queries))
+	for _, q := range queries {
+		if c := q.Intersect(z.bounds); c.Valid() {
+			clipped = append(clipped, c)
+		}
+	}
+	d := newDPSolver(own, clipped, z.bounds, opts)
+	full := dpState{0, len(d.bx) - 1, 0, len(d.by) - 1}
+	d.solve(full)
+	z.root = d.materialize(full, own)
+	z.rebuildLeafList()
+	if !opts.DisableSkipping {
+		z.rebuildLookahead()
+	}
+	return z, nil
+}
+
+// dpState identifies a rectangle on the cut grid: boundary indices
+// [x0, x1] × [y0, y1] into the solver's bx/by arrays, with x0 < x1 and
+// y0 < y1.
+type dpState struct {
+	x0, x1, y0, y1 int
+}
+
+type dpDecision struct {
+	cost float64
+	leaf bool
+	ix   int // chosen x cut boundary index (interior: x0 < ix < x1)
+	iy   int
+	ord  Ordering
+}
+
+type dpSolver struct {
+	opts    Options
+	bx, by  []float64 // cut boundaries including the outer bounds
+	prefix  [][]int   // 2-D prefix counts of points per grid cell
+	queries []geom.Rect
+	memo    map[dpState]dpDecision
+}
+
+func newDPSolver(pts []geom.Point, queries []geom.Rect, bounds geom.Rect, opts Options) *dpSolver {
+	d := &dpSolver{opts: opts, queries: queries, memo: map[dpState]dpDecision{}}
+	d.bx = boundaries(pts, bounds.MinX, bounds.MaxX, func(p geom.Point) float64 { return p.X })
+	d.by = boundaries(pts, bounds.MinY, bounds.MaxY, func(p geom.Point) float64 { return p.Y })
+	// Prefix sums over the (len(bx)-1) x (len(by)-1) cell grid.
+	nx, ny := len(d.bx)-1, len(d.by)-1
+	counts := make([][]int, nx)
+	for i := range counts {
+		counts[i] = make([]int, ny)
+	}
+	for _, p := range pts {
+		counts[cellOf(d.bx, p.X)][cellOf(d.by, p.Y)]++
+	}
+	d.prefix = make([][]int, nx+1)
+	d.prefix[0] = make([]int, ny+1)
+	for i := 1; i <= nx; i++ {
+		d.prefix[i] = make([]int, ny+1)
+		for j := 1; j <= ny; j++ {
+			d.prefix[i][j] = counts[i-1][j-1] + d.prefix[i-1][j] + d.prefix[i][j-1] - d.prefix[i-1][j-1]
+		}
+	}
+	return d
+}
+
+// boundaries returns the outer bounds plus up to maxDPCuts canonical cut
+// values (midpoints between adjacent distinct coordinates).
+func boundaries(pts []geom.Point, lo, hi float64, coord func(geom.Point) float64) []float64 {
+	vals := make([]float64, len(pts))
+	for i, p := range pts {
+		vals[i] = coord(p)
+	}
+	sort.Float64s(vals)
+	var cuts []float64
+	for i := 1; i < len(vals); i++ {
+		if vals[i] != vals[i-1] {
+			cuts = append(cuts, vals[i-1]+(vals[i]-vals[i-1])/2)
+		}
+	}
+	if len(cuts) > maxDPCuts {
+		thin := make([]float64, 0, maxDPCuts)
+		for i := 0; i < maxDPCuts; i++ {
+			thin = append(thin, cuts[i*len(cuts)/maxDPCuts])
+		}
+		cuts = thin
+	}
+	out := append([]float64{lo}, cuts...)
+	return append(out, hi)
+}
+
+// cellOf returns the grid cell index of v: the greatest i with b[i] < v
+// (points never coincide with interior cuts; values at the outer bounds go
+// to the edge cells).
+func cellOf(b []float64, v float64) int {
+	i := sort.SearchFloat64s(b, v) // first b[i] >= v
+	if i == 0 {
+		return 0
+	}
+	if i >= len(b) {
+		return len(b) - 2
+	}
+	return i - 1
+}
+
+// count returns the number of points in the state's rectangle.
+func (d *dpSolver) count(s dpState) int {
+	return d.prefix[s.x1][s.y1] - d.prefix[s.x0][s.y1] - d.prefix[s.x1][s.y0] + d.prefix[s.x0][s.y0]
+}
+
+// rect returns the state's geometric rectangle.
+func (d *dpSolver) rect(s dpState) geom.Rect {
+	return geom.Rect{MinX: d.bx[s.x0], MinY: d.by[s.y0], MaxX: d.bx[s.x1], MaxY: d.by[s.y1]}
+}
+
+// solve returns the minimal exact cost of the state, memoized.
+func (d *dpSolver) solve(s dpState) float64 {
+	if dec, ok := d.memo[s]; ok {
+		return dec.cost
+	}
+	n := d.count(s)
+	cell := d.rect(s)
+	var relevant []geom.Rect
+	for _, q := range d.queries {
+		if c := q.Intersect(cell); c.Valid() {
+			relevant = append(relevant, c)
+		}
+	}
+	// Leaf option: every relevant query scans all points.
+	best := dpDecision{cost: float64(len(relevant)) * float64(n), leaf: true}
+	if n > d.opts.LeafSize {
+		for ix := s.x0 + 1; ix < s.x1; ix++ {
+			for iy := s.y0 + 1; iy < s.y1; iy++ {
+				split := geom.Point{X: d.bx[ix], Y: d.by[iy]}
+				quad := [4]dpState{
+					{s.x0, ix, s.y0, iy}, // A
+					{ix, s.x1, s.y0, iy}, // B
+					{s.x0, ix, iy, s.y1}, // C
+					{ix, s.x1, iy, s.y1}, // D
+				}
+				// Skip non-partitions (all points on one side).
+				nonEmpty := 0
+				for _, qs := range quad {
+					if d.count(qs) > 0 {
+						nonEmpty++
+					}
+				}
+				if nonEmpty < 2 {
+					continue
+				}
+				var childSum float64
+				for q := range quad {
+					if d.count(quad[q]) > 0 {
+						childSum += d.solve(quad[q])
+					}
+				}
+				for _, ord := range []Ordering{OrderABCD, OrderACBD} {
+					if d.opts.OrderABCDOnly && ord != OrderABCD {
+						continue
+					}
+					cost := childSum
+					for _, r := range relevant {
+						pLo := ord.Pos(geom.QuadrantOf(r.BL(), split))
+						pHi := ord.Pos(geom.QuadrantOf(r.TR(), split))
+						for pos := pLo; pos <= pHi; pos++ {
+							q := ord.Quad(pos)
+							if !geom.QuadrantRect(cell, split, q).Intersects(r) {
+								cost += d.opts.Alpha * float64(d.count(quad[q]))
+							}
+						}
+					}
+					if cost < best.cost {
+						best = dpDecision{cost: cost, ix: ix, iy: iy, ord: ord}
+					}
+				}
+			}
+		}
+	}
+	d.memo[s] = best
+	return best.cost
+}
+
+// materialize builds the tree for a solved state, distributing pts (the
+// points inside the state's rectangle).
+func (d *dpSolver) materialize(s dpState, pts []geom.Point) *node {
+	dec := d.memo[s]
+	cell := d.rect(s)
+	n := &node{cell: cell}
+	if dec.leaf {
+		n.leaf = newLeaf(cell, pts)
+		return n
+	}
+	n.split = geom.Point{X: d.bx[dec.ix], Y: d.by[dec.iy]}
+	n.order = dec.ord
+	parts := partition(pts, n.split)
+	quad := [4]dpState{
+		{s.x0, dec.ix, s.y0, dec.iy},
+		{dec.ix, s.x1, s.y0, dec.iy},
+		{s.x0, dec.ix, dec.iy, s.y1},
+		{dec.ix, s.x1, dec.iy, s.y1},
+	}
+	for q := geom.Quadrant(0); q < 4; q++ {
+		if len(parts[q]) == 0 {
+			continue
+		}
+		n.child[n.order.Pos(q)] = d.materialize(quad[q], parts[q])
+	}
+	return n
+}

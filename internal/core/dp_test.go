@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/wazi-index/wazi/internal/geom"
+)
+
+// latticePts draws points from a small grid of distinct coordinates so the
+// DP's canonical cut set covers every distinct partition.
+func latticePts(n int, side int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{
+			X: float64(rng.Intn(side)) / float64(side),
+			Y: float64(rng.Intn(side)) / float64(side),
+		}
+	}
+	return pts
+}
+
+func TestOptimalMatchesBruteForceQueries(t *testing.T) {
+	pts := latticePts(300, 9, 70)
+	qs := skewedQueries(25, 71)
+	z, err := BuildOptimal(pts, qs, Options{LeafSize: 16, DisableSkipping: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := z.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(72))
+	for i := 0; i < 60; i++ {
+		r := randomQueryRect(rng)
+		samePointSets(t, z.RangeQuery(r), bruteRange(pts, r), "optimal index")
+	}
+}
+
+func TestOptimalNeverWorseThanGreedyOrBase(t *testing.T) {
+	// On lattice data the DP's cut grid covers every distinct partition, so
+	// the exact optimizer should not lose to the greedy or base builds
+	// under the same cost model. A small tolerance absorbs query-boundary
+	// discretization (continuous query corners vs canonical cut values).
+	for seed := int64(0); seed < 3; seed++ {
+		pts := latticePts(260, 10, 80+seed)
+		qs := skewedQueries(20, 90+seed)
+		opts := Options{LeafSize: 16, DisableSkipping: true, Alpha: 0.1, Seed: seed}
+		base, err := BuildBase(pts, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy, err := BuildWaZI(pts, qs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optimal, err := BuildOptimal(pts, qs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb := base.WorkloadCost(qs, 0.1)
+		cg := greedy.WorkloadCost(qs, 0.1)
+		co := optimal.WorkloadCost(qs, 0.1)
+		if co > 1.05*cg {
+			t.Errorf("seed %d: optimal cost %v exceeds greedy %v", seed, co, cg)
+		}
+		if co > 1.05*cb {
+			t.Errorf("seed %d: optimal cost %v exceeds base %v", seed, co, cb)
+		}
+	}
+}
+
+func TestOptimalRespectsOrderRestriction(t *testing.T) {
+	pts := latticePts(200, 8, 100)
+	qs := skewedQueries(20, 101)
+	restricted, err := BuildOptimal(pts, qs, Options{LeafSize: 16, OrderABCDOnly: true, DisableSkipping: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var assertABCD func(n *node)
+	assertABCD = func(n *node) {
+		if n == nil || n.leaf != nil {
+			return
+		}
+		if n.order != OrderABCD {
+			t.Fatal("OrderABCDOnly violated")
+		}
+		for _, c := range n.child {
+			assertABCD(c)
+		}
+	}
+	assertABCD(restricted.root)
+}
+
+func TestOptimalGuards(t *testing.T) {
+	if _, err := BuildOptimal(nil, nil, Options{}); err != ErrNoPoints {
+		t.Errorf("err = %v, want ErrNoPoints", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("BuildOptimal should panic beyond the size cap")
+		}
+	}()
+	_, _ = BuildOptimal(make([]geom.Point, 5000), nil, Options{})
+}

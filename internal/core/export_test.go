@@ -1,0 +1,28 @@
+package core
+
+import "github.com/wazi-index/wazi/internal/geom"
+
+// Test-only exports.
+
+// CheckInvariants exposes the internal structural validator to tests.
+func (z *ZIndex) CheckInvariants() error { return z.checkInvariants() }
+
+// TreeTraversal exposes Algorithm 1 for tests.
+func (z *ZIndex) TreeTraversal(p geom.Point) *Leaf { return z.treeTraversal(p) }
+
+// LowerBoundLeaf exposes the projection lower bound for tests.
+func (z *ZIndex) LowerBoundLeaf(p geom.Point) *Leaf { return z.lowerBoundLeaf(p) }
+
+// UpperBoundLeaf exposes the projection upper bound for tests.
+func (z *ZIndex) UpperBoundLeaf(p geom.Point) *Leaf { return z.upperBoundLeaf(p) }
+
+// CellCost exposes the Eq. 5 evaluator for tests.
+func CellCost(cell geom.Rect, split geom.Point, o Ordering, queries []geom.Rect, n [4]float64, alpha float64) float64 {
+	return cellCost(cell, split, o, queries, n, alpha)
+}
+
+// QuickMedian exposes the selection helper for tests.
+func QuickMedian(vals []float64) float64 { return quickMedian(vals) }
+
+// Improves exposes the look-ahead improvement predicate for tests.
+func Improves(c Criterion, l, candidate *Leaf) bool { return improves(c, l, candidate) }

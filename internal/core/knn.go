@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"github.com/wazi-index/wazi/internal/geom"
+)
+
+// KNN returns the k indexed points nearest to q in Euclidean distance,
+// ordered nearest first. As the paper remarks (§6.3), indexes without a
+// specialized kNN path process such queries as a sequence of range queries;
+// this implementation grows a square search window around q until it holds
+// k points, then issues one final window guaranteed to contain the true
+// neighbours, so its latency profile tracks range-query latency exactly.
+func (z *ZIndex) KNN(q geom.Point, k int) []geom.Point {
+	if k <= 0 || z.count == 0 {
+		return nil
+	}
+	if k >= z.count {
+		out := z.Points()
+		sortByDistance(out, q)
+		return out
+	}
+	// Initial half-width guess from the average point density: a window
+	// expected to hold ~k points.
+	area := z.bounds.Area()
+	if area <= 0 {
+		area = 1
+	}
+	half := math.Sqrt(area*float64(k)/float64(z.count)) / 2
+	if half <= 0 {
+		half = 1e-9
+	}
+	var pts []geom.Point
+	for {
+		window := geom.Rect{MinX: q.X - half, MinY: q.Y - half, MaxX: q.X + half, MaxY: q.Y + half}
+		pts = z.RangeQueryAppend(pts[:0], window)
+		if len(pts) >= k {
+			break
+		}
+		if window.ContainsRect(z.bounds) {
+			// The window covers everything; fewer than k points exist.
+			sortByDistance(pts, q)
+			return pts
+		}
+		half *= 2
+	}
+	// The k-th nearest of the collected points bounds the true k-th
+	// neighbour's distance, but points outside the square window may be
+	// closer than corner-distance candidates inside it: issue one final
+	// query with the certified radius.
+	sortByDistance(pts, q)
+	r := dist(pts[k-1], q)
+	if r > half {
+		window := geom.Rect{MinX: q.X - r, MinY: q.Y - r, MaxX: q.X + r, MaxY: q.Y + r}
+		pts = z.RangeQueryAppend(pts[:0], window)
+		sortByDistance(pts, q)
+	}
+	if len(pts) > k {
+		pts = pts[:k]
+	}
+	return pts
+}
+
+func dist(a, b geom.Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+func sortByDistance(pts []geom.Point, q geom.Point) {
+	sort.Slice(pts, func(i, j int) bool {
+		return dist(pts[i], q) < dist(pts[j], q)
+	})
+}

@@ -1,0 +1,90 @@
+package core
+
+import "fmt"
+
+// This file implements §5: the four look-ahead pointers per leaf and their
+// construction (Algorithm 4).
+//
+// A leaf P is irrelevant to a range query R under one of four criteria:
+//
+//	Below:  P.bounds.MaxY < R.MinY   (P lies entirely below R)
+//	Above:  P.bounds.MinY > R.MaxY
+//	Left:   P.bounds.MaxX < R.MinX
+//	Right:  P.bounds.MinX > R.MaxX
+//
+// The look-ahead pointer for a criterion points to the earliest later leaf
+// whose corresponding bound *improves* on P's — e.g. P.la[Below] is the
+// first later leaf with bounds.MaxY > P.bounds.MaxY. Every leaf strictly
+// between P and P.la[Below] has MaxY <= P.bounds.MaxY, so any query that
+// disqualifies P under Below also disqualifies all of them: jumping is safe.
+//
+// The safety argument only requires that the skipped leaves' bounds do not
+// grow after pointer construction. Leaf bounds in this implementation are
+// the (immutable) cells of the tree, and structural updates replace a leaf
+// by sub-leaves whose cells are subsets, so previously built pointers remain
+// safe across updates; they are nevertheless rebuilt eagerly on structural
+// changes to restore full skipping power (§6.7 attributes WaZI's slow
+// inserts to exactly this recomputation).
+
+// improves reports whether candidate's bound improves on l's for criterion
+// c, i.e. whether a query disqualifying l under c could still overlap
+// candidate.
+func improves(c Criterion, l, candidate *Leaf) bool {
+	switch c {
+	case Below:
+		return candidate.bounds.MaxY > l.bounds.MaxY
+	case Above:
+		return candidate.bounds.MinY < l.bounds.MinY
+	case Left:
+		return candidate.bounds.MaxX > l.bounds.MaxX
+	default: // Right
+		return candidate.bounds.MinX < l.bounds.MinX
+	}
+}
+
+// rebuildLookahead recomputes every leaf's look-ahead pointers by a single
+// backward pass over the leaf list (Algorithm 4). For each leaf and
+// criterion the pointer starts at next and chases already-computed pointers
+// of the same criterion until the criterion value improves. A nil pointer
+// marks the end of the list: no later leaf improves the criterion, so a
+// query disqualifying the leaf under it can terminate the scan outright.
+func (z *ZIndex) rebuildLookahead() {
+	// Find the tail; iterate backward via prev pointers.
+	var tail *Leaf
+	for l := z.head; l != nil; l = l.next {
+		tail = l
+	}
+	for l := tail; l != nil; l = l.prev {
+		for c := Criterion(0); c < numCriteria; c++ {
+			ptr := l.next
+			for ptr != nil && !improves(c, l, ptr) {
+				ptr = ptr.la[c]
+			}
+			l.la[c] = ptr
+		}
+	}
+}
+
+// checkLookaheadInvariants validates the two properties skipping relies on:
+// (1) each pointer's target improves the criterion, and (2) every leaf
+// strictly between a leaf and its pointer target fails to improve it. It is
+// O(n·jump-width) and intended for tests.
+func (z *ZIndex) checkLookaheadInvariants() error {
+	for l := z.head; l != nil; l = l.next {
+		for c := Criterion(0); c < numCriteria; c++ {
+			target := l.la[c]
+			for m := l.next; m != target; m = m.next {
+				if m == nil {
+					return fmt.Errorf("leaf %d criterion %v: pointer target not reachable", l.ord, c)
+				}
+				if improves(c, l, m) {
+					return fmt.Errorf("leaf %d criterion %v: leaf %d improves but is skipped", l.ord, c, m.ord)
+				}
+			}
+			if target != nil && !improves(c, l, target) {
+				return fmt.Errorf("leaf %d criterion %v: target %d does not improve", l.ord, c, target.ord)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/wazi-index/wazi/internal/geom"
+)
+
+// This file implements index persistence: a built index serializes to a
+// flat preorder record stream (gob-encoded) and restores without
+// re-running construction. The derived structures — leaf list, ords,
+// look-ahead pointers — are rebuilt on load, which is linear in the index
+// size and avoids serializing cyclic pointer graphs.
+
+// snapshotHeader versions the on-disk format.
+const snapshotVersion = 1
+
+type snapshot struct {
+	Version       int
+	LeafSize      int
+	Alpha         float64
+	Skipping      bool
+	WorkloadAware bool
+	Count         int
+	Bounds        geom.Rect
+	Nodes         []nodeRecord
+}
+
+// nodeRecord is one preorder tree node. Children are recorded by a
+// presence mask over ordering positions; subtrees follow in position order.
+type nodeRecord struct {
+	Leaf      bool
+	Cell      geom.Rect
+	Split     geom.Point
+	Order     Ordering
+	ChildMask uint8
+	Points    []geom.Point
+}
+
+// Save serializes the index to w.
+func (z *ZIndex) Save(w io.Writer) error {
+	s := snapshot{
+		Version:       snapshotVersion,
+		LeafSize:      z.opts.LeafSize,
+		Alpha:         z.opts.Alpha,
+		Skipping:      !z.opts.DisableSkipping,
+		WorkloadAware: z.workloadAware,
+		Count:         z.count,
+		Bounds:        z.bounds,
+	}
+	var walk func(n *node)
+	walk = func(n *node) {
+		rec := nodeRecord{Cell: n.cell}
+		if n.leaf != nil {
+			rec.Leaf = true
+			rec.Points = n.leaf.page.Pts
+			s.Nodes = append(s.Nodes, rec)
+			return
+		}
+		rec.Split = n.split
+		rec.Order = n.order
+		for pos := 0; pos < 4; pos++ {
+			if n.child[pos] != nil {
+				rec.ChildMask |= 1 << uint(pos)
+			}
+		}
+		s.Nodes = append(s.Nodes, rec)
+		for pos := 0; pos < 4; pos++ {
+			if n.child[pos] != nil {
+				walk(n.child[pos])
+			}
+		}
+	}
+	walk(z.root)
+	return gob.NewEncoder(w).Encode(&s)
+}
+
+// Load restores an index previously written by Save.
+func Load(r io.Reader) (*ZIndex, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	if s.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d", s.Version)
+	}
+	if len(s.Nodes) == 0 {
+		return nil, fmt.Errorf("core: snapshot has no nodes")
+	}
+	z := &ZIndex{
+		bounds:        s.Bounds,
+		count:         s.Count,
+		workloadAware: s.WorkloadAware,
+		opts: Options{
+			LeafSize:        s.LeafSize,
+			Alpha:           s.Alpha,
+			DisableSkipping: !s.Skipping,
+		},
+	}
+	z.opts.fill()
+	pos := 0
+	var build func() (*node, error)
+	build = func() (*node, error) {
+		if pos >= len(s.Nodes) {
+			return nil, fmt.Errorf("core: snapshot truncated at record %d", pos)
+		}
+		rec := s.Nodes[pos]
+		pos++
+		n := &node{cell: rec.Cell}
+		if rec.Leaf {
+			n.leaf = newLeaf(rec.Cell, rec.Points)
+			return n, nil
+		}
+		n.split = rec.Split
+		n.order = rec.Order
+		if n.order != OrderABCD && n.order != OrderACBD {
+			return nil, fmt.Errorf("core: invalid ordering %d in snapshot", n.order)
+		}
+		for p := 0; p < 4; p++ {
+			if rec.ChildMask&(1<<uint(p)) == 0 {
+				continue
+			}
+			child, err := build()
+			if err != nil {
+				return nil, err
+			}
+			n.child[p] = child
+		}
+		return n, nil
+	}
+	root, err := build()
+	if err != nil {
+		return nil, err
+	}
+	if pos != len(s.Nodes) {
+		return nil, fmt.Errorf("core: %d trailing records in snapshot", len(s.Nodes)-pos)
+	}
+	z.root = root
+	z.rebuildLeafList()
+	if !z.opts.DisableSkipping {
+		z.rebuildLookahead()
+	}
+	// Trust but verify: a corrupted snapshot should fail loudly now, not
+	// during a later query.
+	total := 0
+	for l := z.head; l != nil; l = l.next {
+		total += l.page.Len()
+	}
+	if total != z.count {
+		return nil, fmt.Errorf("core: snapshot count %d disagrees with stored points %d", z.count, total)
+	}
+	return z, nil
+}

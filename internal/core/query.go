@@ -1,0 +1,287 @@
+package core
+
+import (
+	"time"
+
+	"github.com/wazi-index/wazi/internal/geom"
+)
+
+// treeTraversal descends to the leaf whose cell contains p (Algorithm 1).
+// It returns nil when the path reaches an empty quadrant (no leaf exists
+// there).
+func (z *ZIndex) treeTraversal(p geom.Point) *Leaf {
+	n := z.root
+	for n != nil && n.leaf == nil {
+		z.stats.NodesVisited++
+		pos := n.order.Pos(geom.QuadrantOf(p, n.split))
+		n = n.child[pos]
+	}
+	if n == nil {
+		return nil
+	}
+	return n.leaf
+}
+
+// lowerBoundLeaf returns the first leaf in Ord whose cell could contain p or
+// any point dominating p's cell position — the "low" extreme of Algorithm 2.
+// When the quadrant containing p is empty, the next non-empty quadrant in
+// the ordering is used.
+func (z *ZIndex) lowerBoundLeaf(p geom.Point) *Leaf {
+	return lowerBound(z.root, p, &z.stats.NodesVisited)
+}
+
+func lowerBound(n *node, p geom.Point, visited *int64) *Leaf {
+	if n == nil {
+		return nil
+	}
+	if n.leaf != nil {
+		return n.leaf
+	}
+	*visited++
+	pos := n.order.Pos(geom.QuadrantOf(p, n.split))
+	if l := lowerBound(n.child[pos], p, visited); l != nil {
+		return l
+	}
+	for i := pos + 1; i < 4; i++ {
+		if l := firstLeaf(n.child[i]); l != nil {
+			return l
+		}
+	}
+	return nil
+}
+
+// upperBoundLeaf returns the last leaf in Ord whose cell could contain p or
+// any point dominated by p's cell position — the "high" extreme of
+// Algorithm 2.
+func (z *ZIndex) upperBoundLeaf(p geom.Point) *Leaf {
+	return upperBound(z.root, p, &z.stats.NodesVisited)
+}
+
+func upperBound(n *node, p geom.Point, visited *int64) *Leaf {
+	if n == nil {
+		return nil
+	}
+	if n.leaf != nil {
+		return n.leaf
+	}
+	*visited++
+	pos := n.order.Pos(geom.QuadrantOf(p, n.split))
+	if l := upperBound(n.child[pos], p, visited); l != nil {
+		return l
+	}
+	for i := pos - 1; i >= 0; i-- {
+		if l := lastLeaf(n.child[i]); l != nil {
+			return l
+		}
+	}
+	return nil
+}
+
+func firstLeaf(n *node) *Leaf {
+	if n == nil {
+		return nil
+	}
+	if n.leaf != nil {
+		return n.leaf
+	}
+	for i := 0; i < 4; i++ {
+		if l := firstLeaf(n.child[i]); l != nil {
+			return l
+		}
+	}
+	return nil
+}
+
+func lastLeaf(n *node) *Leaf {
+	if n == nil {
+		return nil
+	}
+	if n.leaf != nil {
+		return n.leaf
+	}
+	for i := 3; i >= 0; i-- {
+		if l := lastLeaf(n.child[i]); l != nil {
+			return l
+		}
+	}
+	return nil
+}
+
+// PointQuery reports whether the index contains a point equal to p.
+func (z *ZIndex) PointQuery(p geom.Point) bool {
+	z.stats.PointQueries++
+	if !z.bounds.Contains(p) {
+		return false
+	}
+	l := z.treeTraversal(p)
+	if l == nil {
+		return false
+	}
+	z.stats.PagesScanned++
+	z.stats.PointsScanned += int64(l.page.Len())
+	return l.page.Contains(p)
+}
+
+// RangeQuery returns all indexed points inside the closed rectangle r
+// (Algorithm 2, with the §5 skipping mechanism when enabled).
+func (z *ZIndex) RangeQuery(r geom.Rect) []geom.Point {
+	return z.RangeQueryAppend(nil, r)
+}
+
+// RangeQueryAppend appends the points inside r to dst and returns the
+// extended slice, avoiding per-query allocations for callers that reuse
+// buffers.
+func (z *ZIndex) RangeQueryAppend(dst []geom.Point, r geom.Rect) []geom.Point {
+	z.stats.RangeQueries++
+	clipped := r.Intersect(z.bounds)
+	if !clipped.Valid() {
+		return dst
+	}
+	low := z.lowerBoundLeaf(clipped.BL())
+	high := z.upperBoundLeaf(clipped.TR())
+	if low == nil || high == nil || low.ord > high.ord {
+		return dst
+	}
+	useSkip := !z.opts.DisableSkipping
+	before := len(dst)
+	for p := low; p != nil && p.ord <= high.ord; {
+		z.stats.BBChecked++
+		if p.bounds.Intersects(r) {
+			z.stats.PagesScanned++
+			z.stats.PointsScanned += int64(p.page.Len())
+			dst = p.page.Filter(r, dst)
+			p = p.next
+			continue
+		}
+		if !useSkip {
+			p = p.next
+			continue
+		}
+		p = z.followLookahead(p, r)
+	}
+	z.stats.ResultPoints += int64(len(dst) - before)
+	return dst
+}
+
+// followLookahead picks, among the criteria disqualifying p for query r,
+// the look-ahead pointer that jumps farthest in Ord (§5.1). A nil pointer
+// means no later leaf can satisfy that criterion, so the scan terminates.
+func (z *ZIndex) followLookahead(p *Leaf, r geom.Rect) *Leaf {
+	next := p.next
+	jumped := false
+	consider := func(c Criterion) {
+		t := p.la[c]
+		if t == nil {
+			next = nil
+			jumped = true
+			return
+		}
+		if next == nil {
+			return // an earlier criterion already terminated the scan
+		}
+		if t.ord > next.ord {
+			next = t
+			jumped = true
+		}
+	}
+	if p.bounds.MaxY < r.MinY {
+		consider(Below)
+	}
+	if next != nil && p.bounds.MinY > r.MaxY {
+		consider(Above)
+	}
+	if next != nil && p.bounds.MaxX < r.MinX {
+		consider(Left)
+	}
+	if next != nil && p.bounds.MinX > r.MaxX {
+		consider(Right)
+	}
+	if jumped {
+		z.stats.LookaheadJumps++
+	}
+	return next
+}
+
+// RangeQueryPhased runs a range query in two explicitly separated phases
+// and returns their wall-clock durations: projection (index traversal plus
+// the leaf-interval walk deciding which pages overlap, including skipping)
+// and scan (filtering points from overlapping pages). Figure 9 of the paper
+// reports exactly this split. The result set is identical to RangeQuery's.
+func (z *ZIndex) RangeQueryPhased(r geom.Rect) (pts []geom.Point, projection, scan time.Duration) {
+	z.stats.RangeQueries++
+	clipped := r.Intersect(z.bounds)
+	if !clipped.Valid() {
+		return nil, 0, 0
+	}
+	start := time.Now()
+	var overlapping []*Leaf
+	low := z.lowerBoundLeaf(clipped.BL())
+	high := z.upperBoundLeaf(clipped.TR())
+	if low != nil && high != nil && low.ord <= high.ord {
+		useSkip := !z.opts.DisableSkipping
+		for p := low; p != nil && p.ord <= high.ord; {
+			z.stats.BBChecked++
+			if p.bounds.Intersects(r) {
+				overlapping = append(overlapping, p)
+				p = p.next
+				continue
+			}
+			if !useSkip {
+				p = p.next
+				continue
+			}
+			p = z.followLookahead(p, r)
+		}
+	}
+	projection = time.Since(start)
+
+	start = time.Now()
+	for _, p := range overlapping {
+		z.stats.PagesScanned++
+		z.stats.PointsScanned += int64(p.page.Len())
+		pts = p.page.Filter(r, pts)
+	}
+	scan = time.Since(start)
+	z.stats.ResultPoints += int64(len(pts))
+	return pts, projection, scan
+}
+
+// RangeCount returns the number of points inside r without materializing
+// them.
+func (z *ZIndex) RangeCount(r geom.Rect) int {
+	// Reuse the allocation-free append path with a small stack buffer; for
+	// counting we still need to filter, so just count matches inline.
+	z.stats.RangeQueries++
+	clipped := r.Intersect(z.bounds)
+	if !clipped.Valid() {
+		return 0
+	}
+	low := z.lowerBoundLeaf(clipped.BL())
+	high := z.upperBoundLeaf(clipped.TR())
+	if low == nil || high == nil || low.ord > high.ord {
+		return 0
+	}
+	useSkip := !z.opts.DisableSkipping
+	count := 0
+	for p := low; p != nil && p.ord <= high.ord; {
+		z.stats.BBChecked++
+		if p.bounds.Intersects(r) {
+			z.stats.PagesScanned++
+			z.stats.PointsScanned += int64(p.page.Len())
+			for _, pt := range p.page.Pts {
+				if r.Contains(pt) {
+					count++
+				}
+			}
+			p = p.next
+			continue
+		}
+		if !useSkip {
+			p = p.next
+			continue
+		}
+		p = z.followLookahead(p, r)
+	}
+	z.stats.ResultPoints += int64(count)
+	return count
+}

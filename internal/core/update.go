@@ -1,0 +1,163 @@
+package core
+
+import (
+	"github.com/wazi-index/wazi/internal/geom"
+)
+
+// This file implements index updates (§6.7). Inserting or deleting a point
+// proceeds like point-query processing: descend to the enclosing leaf and
+// update its page. Overflowing pages split along the data medians (as the
+// paper does for WaZI); underflowing sibling groups merge back into their
+// parent cell. Structural changes renumber the leaf list and eagerly
+// recompute the look-ahead pointers — the recomputation the paper cites as
+// the cause of WaZI's comparatively slow inserts.
+
+// Insert adds p to the index. Points outside the current data-space bounds
+// (or outside the cells along the descent path, which can lag behind the
+// bounds after earlier out-of-domain inserts) are accommodated by growing
+// the affected cells.
+func (z *ZIndex) Insert(p geom.Point) {
+	z.stats.Inserts++
+	z.bounds = z.bounds.ExtendPoint(p)
+	n := z.root
+	for {
+		// ExtendPoint is a no-op for in-cell points, so this costs nothing
+		// on the common path while keeping cells consistent after
+		// out-of-domain inserts.
+		n.cell = n.cell.ExtendPoint(p)
+		if n.leaf != nil {
+			break
+		}
+		q := geom.QuadrantOf(p, n.split)
+		pos := n.order.Pos(q)
+		if n.child[pos] == nil {
+			// First point in this quadrant: materialize a fresh leaf.
+			cell := geom.QuadrantRect(n.cell, n.split, q)
+			n.child[pos] = &node{cell: cell, leaf: newLeaf(cell, []geom.Point{p})}
+			z.count++
+			z.structuralChange()
+			return
+		}
+		n = n.child[pos]
+	}
+	l := n.leaf
+	grew := false
+	if !l.bounds.Contains(p) {
+		l.bounds = l.bounds.ExtendPoint(p)
+		grew = true
+	}
+	l.page.Pts = append(l.page.Pts, p)
+	z.count++
+	if l.page.Len() > z.opts.LeafSize {
+		z.splitLeaf(n)
+		return // splitLeaf refreshes the derived structures
+	}
+	if grew {
+		// Grown bounds can invalidate look-ahead pointers of earlier
+		// leaves; restore safety by full recomputation.
+		z.structuralChange()
+	}
+}
+
+// splitLeaf converts an overflowing leaf node into an internal node with a
+// median split and abcd ordering, distributing its page across up to four
+// new leaves.
+func (z *ZIndex) splitLeaf(n *node) {
+	pts := n.leaf.page.Pts
+	split := geom.Point{X: medianX(pts), Y: medianY(pts)}
+	parts := partition(pts, split)
+	if degenerate(parts, len(pts)) {
+		// Coincident points: leave the oversized page in place; a split
+		// cannot separate them.
+		return
+	}
+	// Detach the old leaf; its next pointer keeps forwarding into the list
+	// so that any in-flight iterator would drain safely.
+	n.leaf = nil
+	n.split = split
+	n.order = OrderABCD
+	for q := geom.Quadrant(0); q < 4; q++ {
+		if len(parts[q]) == 0 {
+			continue
+		}
+		cell := geom.QuadrantRect(n.cell, split, q)
+		n.child[n.order.Pos(q)] = &node{cell: cell, leaf: newLeaf(cell, parts[q])}
+	}
+	z.stats.PageSplits++
+	z.structuralChange()
+}
+
+// Delete removes one point equal to p, reporting whether a point was
+// removed. Sibling leaves whose combined occupancy falls to a quarter of
+// the page capacity are merged back into their parent cell.
+func (z *ZIndex) Delete(p geom.Point) bool {
+	z.stats.Deletes++
+	if !z.bounds.Contains(p) {
+		return false
+	}
+	// Descend, remembering the path for the merge check.
+	var path []*node
+	n := z.root
+	for n != nil && n.leaf == nil {
+		path = append(path, n)
+		n = n.child[n.order.Pos(geom.QuadrantOf(p, n.split))]
+	}
+	if n == nil || !n.leaf.page.Remove(p) {
+		return false
+	}
+	z.count--
+	if len(path) > 0 {
+		z.maybeMerge(path[len(path)-1])
+	}
+	return true
+}
+
+// maybeMerge collapses parent into a single leaf when all of its children
+// are leaves and their pages jointly fit comfortably (a quarter of the page
+// capacity, leaving headroom against thrashing).
+func (z *ZIndex) maybeMerge(parent *node) {
+	total := 0
+	for _, c := range parent.child {
+		if c == nil {
+			continue
+		}
+		if c.leaf == nil {
+			return
+		}
+		total += c.leaf.page.Len()
+	}
+	if total > z.opts.LeafSize/4 {
+		return
+	}
+	merged := make([]geom.Point, 0, total)
+	for pos := 0; pos < 4; pos++ {
+		if c := parent.child[pos]; c != nil {
+			merged = append(merged, c.leaf.page.Pts...)
+			parent.child[pos] = nil
+		}
+	}
+	parent.leaf = newLeaf(parent.cell, merged)
+	z.stats.PageMerges++
+	z.structuralChange()
+}
+
+// structuralChange restores the derived structures after the tree shape
+// changed: the leaf list (ords, prev/next) and, when skipping is enabled,
+// the look-ahead pointers.
+func (z *ZIndex) structuralChange() {
+	z.rebuildLeafList()
+	if !z.opts.DisableSkipping {
+		z.rebuildLookahead()
+	}
+}
+
+// Points returns all indexed points in leaf order. The slice is freshly
+// allocated; mutating it does not affect the index. It is the natural input
+// to a rebuild after workload drift.
+func (z *ZIndex) Points() []geom.Point {
+	out := make([]geom.Point, 0, z.count)
+	for l := z.head; l != nil; l = l.next {
+		out = append(out, l.page.Pts...)
+	}
+	return out
+}

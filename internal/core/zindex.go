@@ -1,0 +1,370 @@
+// Package core implements the paper's primary contribution: a generalized
+// Z-index whose per-node partition point and child ordering can vary, the
+// retrieval-cost model (Eq. 1–5) that scores candidate configurations, the
+// greedy workload-aware construction algorithm (Algorithm 3), and the
+// look-ahead skipping mechanism (§5, Algorithm 4).
+//
+// Two build entry points are provided: BuildBase constructs the classic
+// Z-index (median splits, "abcd" ordering everywhere), and BuildWaZI
+// constructs the workload-aware variant. Both produce the same runtime
+// structure, so every query path — with or without skipping — is shared,
+// which is exactly what the paper's ablation study (Base, Base+SK, WaZI−SK,
+// WaZI) requires.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/wazi-index/wazi/internal/density"
+	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/storage"
+)
+
+// Ordering is the visit order of the four child cells of an internal node.
+// Both orderings preserve the dominance monotonicity of the Z-index (§4.1).
+type Ordering uint8
+
+const (
+	// OrderABCD visits bottom-left, bottom-right, top-left, top-right — the
+	// classic 'Z' pattern (position = 2·bity + bitx).
+	OrderABCD Ordering = iota
+	// OrderACBD visits bottom-left, top-left, bottom-right, top-right — the
+	// transposed 'N' pattern (position = 2·bitx + bity).
+	OrderACBD
+)
+
+// String implements fmt.Stringer.
+func (o Ordering) String() string {
+	if o == OrderABCD {
+		return "abcd"
+	}
+	return "acbd"
+}
+
+// Pos returns the position of quadrant q in the ordering.
+func (o Ordering) Pos(q geom.Quadrant) int {
+	if o == OrderABCD {
+		return int(q) // q = 2·bity + bitx already
+	}
+	return int((q&1)<<1 | q>>1) // 2·bitx + bity
+}
+
+// Quad returns the quadrant at position pos in the ordering. It is the
+// inverse of Pos (and, conveniently, the same bit swap).
+func (o Ordering) Quad(pos int) geom.Quadrant {
+	if o == OrderABCD {
+		return geom.Quadrant(pos)
+	}
+	return geom.Quadrant((pos&1)<<1 | pos>>1)
+}
+
+// node is one node of the quaternary tree. A node is either internal
+// (leaf == nil, children indexed by ordering position) or a leaf node
+// (leaf != nil).
+type node struct {
+	cell  geom.Rect
+	split geom.Point
+	order Ordering
+	child [4]*node
+	leaf  *Leaf
+}
+
+// Leaf is a leaf of the Z-index: a bounding rectangle, a data page, the
+// doubly-linked leaf list (§3), and the four look-ahead pointers (§5.1).
+//
+// The bounding rectangle is the leaf's cell (the region of space the leaf is
+// responsible for) rather than the tight MBR of its points. This makes the
+// rectangle immutable under inserts into the cell, which keeps previously
+// built look-ahead pointers safe: structural updates only ever shrink the
+// rectangles a pointer jumped over, so a leaf skipped at pointer-build time
+// remains guaranteed-irrelevant. See lookahead.go for the invariant.
+type Leaf struct {
+	bounds     geom.Rect
+	page       storage.Page
+	prev, next *Leaf
+	ord        int
+	la         [4]*Leaf // look-ahead pointers, indexed by criterion
+}
+
+// Criterion enumerates the four irrelevancy criteria of §5.1 under which a
+// leaf may be skipped during range-query processing.
+type Criterion uint8
+
+// The four criteria. Below means the leaf lies entirely below the query
+// rectangle, and so on.
+const (
+	Below Criterion = iota
+	Above
+	Left
+	Right
+	numCriteria
+)
+
+// String implements fmt.Stringer.
+func (c Criterion) String() string {
+	switch c {
+	case Below:
+		return "below"
+	case Above:
+		return "above"
+	case Left:
+		return "left"
+	case Right:
+		return "right"
+	}
+	return fmt.Sprintf("Criterion(%d)", uint8(c))
+}
+
+// Bounds returns the leaf's bounding rectangle.
+func (l *Leaf) Bounds() geom.Rect { return l.bounds }
+
+// Len returns the number of points stored in the leaf's page.
+func (l *Leaf) Len() int { return l.page.Len() }
+
+// Next returns the following leaf in Ord, or nil at the end of the list.
+func (l *Leaf) Next() *Leaf { return l.next }
+
+// Ord returns the leaf's position in the leaf list.
+func (l *Leaf) Ord() int { return l.ord }
+
+// Lookahead returns the look-ahead pointer for criterion c (nil means the
+// end of the leaf list: no later leaf can satisfy the criterion's
+// improvement condition).
+func (l *Leaf) Lookahead(c Criterion) *Leaf { return l.la[c] }
+
+// Options configure Z-index construction. The zero value is usable: every
+// field has a sensible default applied by fill.
+type Options struct {
+	// LeafSize is the page capacity L. Default 256 (Table 2).
+	LeafSize int
+	// Kappa is the number of candidate split points sampled per cell by the
+	// greedy construction (κ in Algorithm 3). Default 32.
+	Kappa int
+	// Alpha is the skip discount α of Eq. 1–5. Zero selects the default:
+	// 1e-5 when skipping is enabled (§5.2) and 0.1 otherwise.
+	Alpha float64
+	// DisableSkipping turns off look-ahead pointer construction and use.
+	// The default (false) builds and uses them, as WaZI does.
+	DisableSkipping bool
+	// Seed seeds candidate sampling and the default density estimator.
+	Seed int64
+	// Estimator supplies data-density estimates to the greedy cost
+	// evaluation. Nil builds an RFDE forest over the data (the paper's
+	// learned component). Ignored when ExactCounts is set.
+	Estimator density.Estimator
+	// ExactCounts replaces the learned estimator with exact per-candidate
+	// counting. Slower to build; used by tests and the estimator ablation.
+	ExactCounts bool
+	// DensityOpts configure the default RFDE forest.
+	DensityOpts density.Options
+	// NoMedianCandidate drops the data median from the candidate split set.
+	// By default the median is evaluated alongside the κ uniform samples so
+	// that the greedy choice is never starved of the Base configuration.
+	NoMedianCandidate bool
+	// OrderABCDOnly restricts the greedy construction to the classic
+	// "abcd" ordering, isolating the contribution of split-point freedom
+	// from ordering freedom (DESIGN.md ablation 4).
+	OrderABCDOnly bool
+	// MaxDepth bounds tree depth as a degenerate-data guard. Default 48.
+	MaxDepth int
+}
+
+func (o *Options) fill() {
+	if o.LeafSize <= 0 {
+		o.LeafSize = 256
+	}
+	if o.Kappa <= 0 {
+		o.Kappa = 32
+	}
+	if o.Alpha <= 0 {
+		if o.DisableSkipping {
+			o.Alpha = 0.1
+		} else {
+			o.Alpha = 1e-5
+		}
+	}
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 48
+	}
+	if o.DensityOpts.Trees == 0 {
+		o.DensityOpts = density.DefaultOptions()
+		o.DensityOpts.Seed = o.Seed + 1
+	}
+}
+
+// ZIndex is a built Z-index instance (Base or WaZI).
+type ZIndex struct {
+	root   *node
+	head   *Leaf
+	bounds geom.Rect
+	count  int
+	opts   Options
+	stats  storage.Stats
+	// workloadAware records whether the index was built by BuildWaZI; it is
+	// reported by Describe and used by the drift advisor.
+	workloadAware bool
+}
+
+// ErrNoPoints is returned when an index is built over an empty dataset.
+var ErrNoPoints = errors.New("core: cannot build index over zero points")
+
+// Stats returns the index's cumulative access counters. The pointer is live:
+// callers may Reset it between measurement windows.
+func (z *ZIndex) Stats() *storage.Stats { return &z.stats }
+
+// Len returns the number of indexed points.
+func (z *ZIndex) Len() int { return z.count }
+
+// Bounds returns the root cell (the data-space rectangle the index covers).
+func (z *ZIndex) Bounds() geom.Rect { return z.bounds }
+
+// Options returns the options the index was built with (after defaulting).
+func (z *ZIndex) Options() Options { return z.opts }
+
+// WorkloadAware reports whether the index was built by BuildWaZI.
+func (z *ZIndex) WorkloadAware() bool { return z.workloadAware }
+
+// SkippingEnabled reports whether look-ahead pointers are built and used.
+func (z *ZIndex) SkippingEnabled() bool { return !z.opts.DisableSkipping }
+
+// Leaves returns the number of leaves in the leaf list, including empty
+// (tombstoned) leaves left behind by deletions.
+func (z *ZIndex) Leaves() int {
+	n := 0
+	for l := z.head; l != nil; l = l.next {
+		n++
+	}
+	return n
+}
+
+// Head returns the first leaf in Ord, for inspection and tests.
+func (z *ZIndex) Head() *Leaf { return z.head }
+
+// Depth returns the height of the tree (a single leaf has depth 1).
+func (z *ZIndex) Depth() int { return depth(z.root) }
+
+func depth(n *node) int {
+	if n == nil {
+		return 0
+	}
+	if n.leaf != nil {
+		return 1
+	}
+	d := 0
+	for _, c := range n.child {
+		if cd := depth(c); cd > d {
+			d = cd
+		}
+	}
+	return d + 1
+}
+
+// Bytes returns the approximate in-memory footprint of the index: tree
+// nodes, leaf structures and data pages. This is the quantity reported in
+// Table 5.
+func (z *ZIndex) Bytes() int64 {
+	var b int64
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.leaf != nil {
+			// Leaf struct: bounds + list pointers + ord + 4 look-ahead
+			// pointers, plus its page.
+			b += 32 + 8*7 + n.leaf.page.Bytes()
+			return
+		}
+		b += 32 + 16 + 1 + 4*8 // cell + split + order + child pointers
+		for _, c := range n.child {
+			walk(c)
+		}
+	}
+	walk(z.root)
+	return b
+}
+
+// Describe returns a one-line human-readable summary of the index.
+func (z *ZIndex) Describe() string {
+	kind := "Base Z-index"
+	if z.workloadAware {
+		kind = "WaZI"
+	}
+	skip := "with skipping"
+	if z.opts.DisableSkipping {
+		skip = "no skipping"
+	}
+	return fmt.Sprintf("%s: %d points, %d leaves, depth %d, L=%d, %s",
+		kind, z.count, z.Leaves(), z.Depth(), z.opts.LeafSize, skip)
+}
+
+// checkInvariants verifies structural invariants and returns the first
+// violation found. It is exported to the package's tests via export_test.go
+// and used by failure-injection tests.
+func (z *ZIndex) checkInvariants() error {
+	// Leaf list is consistent with the tree's in-order leaf sequence.
+	var fromTree []*Leaf
+	var walk func(n *node) error
+	walk = func(n *node) error {
+		if n == nil {
+			return nil
+		}
+		if n.leaf != nil {
+			if !n.cell.ContainsRect(n.leaf.bounds) && n.cell != n.leaf.bounds {
+				return fmt.Errorf("leaf bounds %v escape cell %v", n.leaf.bounds, n.cell)
+			}
+			for _, p := range n.leaf.page.Pts {
+				if !n.leaf.bounds.Contains(p) {
+					return fmt.Errorf("point %v outside leaf bounds %v", p, n.leaf.bounds)
+				}
+			}
+			fromTree = append(fromTree, n.leaf)
+			return nil
+		}
+		if !n.cell.Contains(n.split) {
+			return fmt.Errorf("split %v outside cell %v", n.split, n.cell)
+		}
+		for pos := 0; pos < 4; pos++ {
+			if err := walk(n.child[pos]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(z.root); err != nil {
+		return err
+	}
+	i, total := 0, 0
+	var prev *Leaf
+	for l := z.head; l != nil; l = l.next {
+		if i >= len(fromTree) || fromTree[i] != l {
+			return fmt.Errorf("leaf list diverges from tree order at position %d", i)
+		}
+		if l.prev != prev {
+			return fmt.Errorf("broken prev pointer at ord %d", l.ord)
+		}
+		if l.ord != i {
+			return fmt.Errorf("leaf ord %d at position %d", l.ord, i)
+		}
+		total += l.page.Len()
+		prev = l
+		i++
+	}
+	if i != len(fromTree) {
+		return fmt.Errorf("leaf list shorter (%d) than tree leaves (%d)", i, len(fromTree))
+	}
+	if total != z.count {
+		return fmt.Errorf("count %d != points in pages %d", z.count, total)
+	}
+	if !z.opts.DisableSkipping {
+		if err := z.checkLookaheadInvariants(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// infCost is a sentinel larger than any achievable retrieval cost.
+const infCost = math.MaxFloat64

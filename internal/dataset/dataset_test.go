@@ -1,0 +1,159 @@
+package dataset
+
+import (
+	"testing"
+
+	"github.com/wazi-index/wazi/internal/geom"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	for _, r := range Regions() {
+		pts := Generate(r, 5000, 1)
+		if len(pts) != 5000 {
+			t.Fatalf("%v: generated %d points", r, len(pts))
+		}
+		for _, p := range pts {
+			if p.X < 0 || p.X > 1 || p.Y < 0 || p.Y > 1 {
+				t.Fatalf("%v: point %v outside the unit square", r, p)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Japan, 1000, 7)
+	b := Generate(Japan, 1000, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different points at %d", i)
+		}
+	}
+	c := Generate(Japan, 1000, 8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestRegionsDifferFromEachOther(t *testing.T) {
+	// Coarse distribution check: the grid histograms of two regions should
+	// differ substantially.
+	grid := func(pts []geom.Point) [16]int {
+		var g [16]int
+		for _, p := range pts {
+			i := int(p.X*4) + 4*int(p.Y*4)
+			if i > 15 {
+				i = 15
+			}
+			g[i]++
+		}
+		return g
+	}
+	a := grid(Generate(CaliNev, 10000, 1))
+	b := grid(Generate(NewYork, 10000, 1))
+	diff := 0
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		diff += d
+	}
+	if diff < 5000 {
+		t.Errorf("CaliNev and NewYork histograms too similar (L1 diff %d)", diff)
+	}
+}
+
+func TestRegionsAreSkewed(t *testing.T) {
+	// Every region should be far from uniform: its densest 1/16 grid cell
+	// should hold well above the uniform share of points.
+	for _, r := range Regions() {
+		pts := Generate(r, 20000, 2)
+		var g [16]int
+		for _, p := range pts {
+			i := int(p.X*4) + 4*int(p.Y*4)
+			if i > 15 {
+				i = 15
+			}
+			g[i]++
+		}
+		max := 0
+		for _, c := range g {
+			if c > max {
+				max = c
+			}
+		}
+		if max < 2*20000/16 {
+			t.Errorf("%v: max cell %d points, expected clear skew above uniform share %d", r, max, 20000/16)
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	pts := Uniform(10000, 3)
+	var g [16]int
+	for _, p := range pts {
+		i := int(p.X*4) + 4*int(p.Y*4)
+		if i > 15 {
+			i = 15
+		}
+		g[i]++
+	}
+	for i, c := range g {
+		if c < 10000/16/2 || c > 10000/16*2 {
+			t.Errorf("uniform cell %d has %d points, far from %d", i, c, 10000/16)
+		}
+	}
+}
+
+func TestSample(t *testing.T) {
+	pts := Uniform(100, 4)
+	s := Sample(pts, 10, 5)
+	if len(s) != 10 {
+		t.Fatalf("Sample returned %d", len(s))
+	}
+	seen := map[geom.Point]int{}
+	for _, p := range pts {
+		seen[p]++
+	}
+	for _, p := range s {
+		if seen[p] == 0 {
+			t.Fatalf("sampled point %v not in source", p)
+		}
+		seen[p]--
+	}
+	if got := Sample(pts, 200, 6); len(got) != 100 {
+		t.Errorf("oversized sample should return all points, got %d", len(got))
+	}
+}
+
+func TestHotspotsInsideDomain(t *testing.T) {
+	for _, r := range Regions() {
+		for _, h := range Hotspots(r) {
+			if h.X < 0 || h.X > 1 || h.Y < 0 || h.Y > 1 {
+				t.Errorf("%v hotspot %v outside unit square", r, h)
+			}
+		}
+		if len(Hotspots(r)) < 2 {
+			t.Errorf("%v: expected at least two hotspots", r)
+		}
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	names := map[string]bool{}
+	for _, r := range Regions() {
+		names[r.String()] = true
+	}
+	if len(names) != 4 {
+		t.Errorf("region names not distinct: %v", names)
+	}
+	if Region(99).String() == "" {
+		t.Error("unknown region should still produce a string")
+	}
+}

@@ -1,0 +1,299 @@
+// Package density implements Random Forest Density Estimation (RFDE, Wen &
+// Hang 2022) as used by the paper: a forest of k-d trees with randomised
+// split dimensions, where every node stores the cardinality (or total
+// weight) of the points in its region. A density query for a rectangle
+// traverses each tree, summing cardinalities of fully-covered nodes and
+// pro-rating leaves by area overlap, and averages across trees.
+//
+// WaZI uses an unweighted forest to estimate the number of data points
+// falling in candidate child cells during greedy construction (§4.3). The
+// CUR baseline uses the weighted variant, with each point weighted by the
+// number of distinct workload queries that fetch it (§6.1).
+package density
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/wazi-index/wazi/internal/geom"
+)
+
+// Estimator estimates the number of (weighted) points inside a rectangle.
+type Estimator interface {
+	// Estimate returns the estimated total weight of points in r.
+	Estimate(r geom.Rect) float64
+	// Total returns the total weight of the indexed points.
+	Total() float64
+}
+
+// Options configure forest construction.
+type Options struct {
+	// Trees is the number of randomized trees in the forest. More trees
+	// reduce estimate variance at proportional build and query cost.
+	Trees int
+	// LeafSize is the maximum number of points per tree leaf.
+	LeafSize int
+	// Seed seeds the randomized split-dimension choices.
+	Seed int64
+}
+
+// DefaultOptions returns the forest configuration used throughout the
+// experiments: 4 trees with 64-point leaves.
+func DefaultOptions() Options { return Options{Trees: 4, LeafSize: 64, Seed: 1} }
+
+func (o *Options) fill() {
+	if o.Trees <= 0 {
+		o.Trees = 4
+	}
+	if o.LeafSize <= 0 {
+		o.LeafSize = 64
+	}
+}
+
+// Forest is a random forest density estimator over weighted points.
+// The zero value is not usable; construct with NewForest or NewWeightedForest.
+type Forest struct {
+	trees []*kdNode
+	total float64
+	nPts  int
+}
+
+// NewForest builds an unweighted forest (every point has weight 1).
+func NewForest(pts []geom.Point, opts Options) *Forest {
+	return NewWeightedForest(pts, nil, opts)
+}
+
+// NewWeightedForest builds a forest over pts with the given per-point
+// weights. A nil weights slice means unit weights. It panics if weights is
+// non-nil and shorter than pts.
+func NewWeightedForest(pts []geom.Point, weights []float64, opts Options) *Forest {
+	opts.fill()
+	if weights != nil && len(weights) < len(pts) {
+		panic("density: weights shorter than points")
+	}
+	f := &Forest{nPts: len(pts)}
+	for _, w := range weights {
+		f.total += w
+	}
+	if weights == nil {
+		f.total = float64(len(pts))
+	}
+	if len(pts) == 0 {
+		return f
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	// Each tree permutes indices independently and splits on random
+	// dimensions, giving de-correlated estimates.
+	for t := 0; t < opts.Trees; t++ {
+		idx := make([]int, len(pts))
+		for i := range idx {
+			idx[i] = i
+		}
+		f.trees = append(f.trees, buildKD(pts, weights, idx, opts.LeafSize, rand.New(rand.NewSource(rng.Int63()))))
+	}
+	return f
+}
+
+// Total returns the total weight of the indexed points.
+func (f *Forest) Total() float64 { return f.total }
+
+// Len returns the number of indexed points.
+func (f *Forest) Len() int { return f.nPts }
+
+// Estimate returns the estimated total weight of points inside r, averaged
+// over the forest's trees.
+func (f *Forest) Estimate(r geom.Rect) float64 {
+	if len(f.trees) == 0 || !r.Valid() {
+		return 0
+	}
+	var sum float64
+	for _, t := range f.trees {
+		sum += t.estimate(r)
+	}
+	return sum / float64(len(f.trees))
+}
+
+// Bytes returns an estimate of the forest's in-memory footprint, used for
+// index-size accounting (Table 5 includes construction-time structures only
+// for indexes that retain them; WaZI discards its forest after build).
+func (f *Forest) Bytes() int64 {
+	var n int64
+	for _, t := range f.trees {
+		n += t.bytes()
+	}
+	return n
+}
+
+// kdNode is one node of a randomized k-d tree. Every node stores the tight
+// minimum bounding rectangle of its subset rather than the half-space cell
+// inherited from the split: empty space then contributes nothing to density
+// estimates, which matters greatly on clustered spatial data. Leaves hold a
+// weight only (the points themselves are not retained — only region
+// statistics, as in RFDE).
+type kdNode struct {
+	region geom.Rect
+	weight float64
+	left   *kdNode
+	right  *kdNode
+}
+
+func buildKD(pts []geom.Point, weights []float64, idx []int, leafSize int, rng *rand.Rand) *kdNode {
+	n := &kdNode{region: mbrOf(pts, idx)}
+	for _, i := range idx {
+		if weights == nil {
+			n.weight++
+		} else {
+			n.weight += weights[i]
+		}
+	}
+	if len(idx) <= leafSize {
+		return n
+	}
+	// Randomized split dimension; split at the median coordinate so trees
+	// stay balanced regardless of the data distribution.
+	dim := rng.Intn(2)
+	coord := func(i int) float64 {
+		if dim == 0 {
+			return pts[i].X
+		}
+		return pts[i].Y
+	}
+	sort.Slice(idx, func(a, b int) bool { return coord(idx[a]) < coord(idx[b]) })
+	mid := len(idx) / 2
+	split := coord(idx[mid])
+	// Degenerate distributions can place every point on the split plane;
+	// fall back to a leaf rather than recurse forever.
+	if split == coord(idx[0]) && split == coord(idx[len(idx)-1]) {
+		dim = 1 - dim
+		coord = func(i int) float64 {
+			if dim == 0 {
+				return pts[i].X
+			}
+			return pts[i].Y
+		}
+		sort.Slice(idx, func(a, b int) bool { return coord(idx[a]) < coord(idx[b]) })
+		mid = len(idx) / 2
+		split = coord(idx[mid])
+		if split == coord(idx[0]) && split == coord(idx[len(idx)-1]) {
+			return n // all points coincide
+		}
+	}
+	// Ensure both sides are non-empty by moving mid off a run of equal
+	// coordinates.
+	for mid > 0 && coord(idx[mid-1]) == split {
+		mid--
+	}
+	if mid == 0 {
+		for mid < len(idx) && coord(idx[mid]) == split {
+			mid++
+		}
+		if mid == len(idx) {
+			return n
+		}
+		split = coord(idx[mid])
+		for mid > 0 && coord(idx[mid-1]) == split {
+			mid--
+		}
+	}
+	n.left = buildKD(pts, weights, idx[:mid], leafSize, rng)
+	n.right = buildKD(pts, weights, idx[mid:], leafSize, rng)
+	return n
+}
+
+// mbrOf returns the minimum bounding rectangle of the points selected by
+// idx.
+func mbrOf(pts []geom.Point, idx []int) geom.Rect {
+	r := geom.Rect{
+		MinX: pts[idx[0]].X, MinY: pts[idx[0]].Y,
+		MaxX: pts[idx[0]].X, MaxY: pts[idx[0]].Y,
+	}
+	for _, i := range idx[1:] {
+		r = r.ExtendPoint(pts[i])
+	}
+	return r
+}
+
+// estimate sums node weights over the query rectangle: fully covered nodes
+// contribute their whole weight; partially covered leaves contribute weight
+// pro-rated by area overlap (the density-estimation step of RFDE).
+func (n *kdNode) estimate(r geom.Rect) float64 {
+	if !n.region.Intersects(r) {
+		return 0
+	}
+	if r.ContainsRect(n.region) {
+		return n.weight
+	}
+	if n.left == nil { // leaf
+		return n.weight * overlapFraction(n.region, r)
+	}
+	return n.left.estimate(r) + n.right.estimate(r)
+}
+
+// overlapFraction returns the fraction of region covered by r, assuming
+// uniform density within region. Degenerate regions (zero width or height,
+// from collinear or coincident points) prorate by the remaining extent.
+func overlapFraction(region, r geom.Rect) float64 {
+	ov := region.Intersect(r)
+	if !ov.Valid() {
+		return 0
+	}
+	switch {
+	case region.Area() > 0:
+		return ov.Area() / region.Area()
+	case region.Width() > 0:
+		return ov.Width() / region.Width()
+	case region.Height() > 0:
+		return ov.Height() / region.Height()
+	default:
+		return 1 // point mass inside r
+	}
+}
+
+func (n *kdNode) bytes() int64 {
+	const nodeBytes = int64(8*6 + 2*8 + 8) // region + weight/value + pointers, approximate
+	if n == nil {
+		return 0
+	}
+	return nodeBytes + n.left.bytes() + n.right.bytes()
+}
+
+// ExactCounter is an Estimator that counts points exactly by brute force.
+// It is used in tests as ground truth and by the UseExactCounts construction
+// option referenced in DESIGN.md ablation 3.
+type ExactCounter struct {
+	pts     []geom.Point
+	weights []float64
+	total   float64
+}
+
+// NewExactCounter returns an exact (non-learned) estimator over pts with
+// optional weights (nil means unit weights).
+func NewExactCounter(pts []geom.Point, weights []float64) *ExactCounter {
+	c := &ExactCounter{pts: pts, weights: weights}
+	if weights == nil {
+		c.total = float64(len(pts))
+	} else {
+		for _, w := range weights[:len(pts)] {
+			c.total += w
+		}
+	}
+	return c
+}
+
+// Estimate returns the exact total weight of points in r.
+func (c *ExactCounter) Estimate(r geom.Rect) float64 {
+	var sum float64
+	for i, p := range c.pts {
+		if r.Contains(p) {
+			if c.weights == nil {
+				sum++
+			} else {
+				sum += c.weights[i]
+			}
+		}
+	}
+	return sum
+}
+
+// Total returns the total weight.
+func (c *ExactCounter) Total() float64 { return c.total }

@@ -1,0 +1,207 @@
+// Package geom provides the two-dimensional geometric primitives shared by
+// every index in this repository: points, axis-aligned rectangles, dominance
+// tests, and overlap predicates.
+//
+// All indexes operate on float64 coordinates in an arbitrary data domain;
+// the generators in internal/dataset emit points in the unit square, but
+// nothing in this package assumes that.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the two-dimensional data space.
+type Point struct {
+	X, Y float64
+}
+
+// Dominates reports whether p dominates q: p is no smaller than q in both
+// coordinates and strictly larger in at least one. This is the dominance
+// relation used by the Z-index monotonicity property (§3 of the paper).
+func (p Point) Dominates(q Point) bool {
+	return p.X >= q.X && p.Y >= q.Y && (p.X > q.X || p.Y > q.Y)
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%g, %g)", p.X, p.Y) }
+
+// Rect is a closed axis-aligned rectangle [MinX, MaxX] × [MinY, MaxY].
+// A range query R is represented by its bottom-left corner BL(R) =
+// (MinX, MinY) and top-right corner TR(R) = (MaxX, MaxY).
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// NewRect returns the rectangle spanned by two opposite corners, normalising
+// the coordinate order so the result is valid regardless of which corners
+// are supplied.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		MinX: math.Min(a.X, b.X),
+		MinY: math.Min(a.Y, b.Y),
+		MaxX: math.Max(a.X, b.X),
+		MaxY: math.Max(a.Y, b.Y),
+	}
+}
+
+// RectFromPoints returns the minimum bounding rectangle of pts.
+// It panics if pts is empty; bounding an empty set has no meaningful answer.
+func RectFromPoints(pts []Point) Rect {
+	if len(pts) == 0 {
+		panic("geom: RectFromPoints on empty slice")
+	}
+	r := Rect{MinX: pts[0].X, MinY: pts[0].Y, MaxX: pts[0].X, MaxY: pts[0].Y}
+	for _, p := range pts[1:] {
+		r = r.ExtendPoint(p)
+	}
+	return r
+}
+
+// BL returns the bottom-left corner of r.
+func (r Rect) BL() Point { return Point{r.MinX, r.MinY} }
+
+// TR returns the top-right corner of r.
+func (r Rect) TR() Point { return Point{r.MaxX, r.MaxY} }
+
+// Valid reports whether r has non-negative extent in both dimensions.
+func (r Rect) Valid() bool { return r.MinX <= r.MaxX && r.MinY <= r.MaxY }
+
+// Width returns the x-extent of r.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the y-extent of r.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Area returns the area of r. Invalid rectangles report zero area.
+func (r Rect) Area() float64 {
+	if !r.Valid() {
+		return 0
+	}
+	return r.Width() * r.Height()
+}
+
+// Center returns the center point of r.
+func (r Rect) Center() Point {
+	return Point{(r.MinX + r.MaxX) / 2, (r.MinY + r.MaxY) / 2}
+}
+
+// Contains reports whether p lies within the closed rectangle r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// ContainsRect reports whether s lies entirely within r.
+func (r Rect) ContainsRect(s Rect) bool {
+	return s.MinX >= r.MinX && s.MaxX <= r.MaxX && s.MinY >= r.MinY && s.MaxY <= r.MaxY
+}
+
+// Intersects reports whether the closed rectangles r and s share any point.
+func (r Rect) Intersects(s Rect) bool {
+	return r.MinX <= s.MaxX && s.MinX <= r.MaxX && r.MinY <= s.MaxY && s.MinY <= r.MaxY
+}
+
+// Intersect returns the overlap of r and s. The result is invalid (per
+// Valid) when the rectangles are disjoint.
+func (r Rect) Intersect(s Rect) Rect {
+	return Rect{
+		MinX: math.Max(r.MinX, s.MinX),
+		MinY: math.Max(r.MinY, s.MinY),
+		MaxX: math.Min(r.MaxX, s.MaxX),
+		MaxY: math.Min(r.MaxY, s.MaxY),
+	}
+}
+
+// Union returns the minimum bounding rectangle of r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		MinX: math.Min(r.MinX, s.MinX),
+		MinY: math.Min(r.MinY, s.MinY),
+		MaxX: math.Max(r.MaxX, s.MaxX),
+		MaxY: math.Max(r.MaxY, s.MaxY),
+	}
+}
+
+// ExtendPoint returns the minimum bounding rectangle of r and p.
+func (r Rect) ExtendPoint(p Point) Rect {
+	return Rect{
+		MinX: math.Min(r.MinX, p.X),
+		MinY: math.Min(r.MinY, p.Y),
+		MaxX: math.Max(r.MaxX, p.X),
+		MaxY: math.Max(r.MaxY, p.Y),
+	}
+}
+
+// Clip returns r clipped to bounds. The result is invalid when r lies
+// entirely outside bounds.
+func (r Rect) Clip(bounds Rect) Rect { return r.Intersect(bounds) }
+
+// OverlapArea returns the area shared by r and s.
+func (r Rect) OverlapArea(s Rect) float64 { return r.Intersect(s).Area() }
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%g, %g]x[%g, %g]", r.MinX, r.MaxX, r.MinY, r.MaxY)
+}
+
+// Quadrant identifies one of the four child cells produced by splitting a
+// cell at a split point. The naming follows Figure 1/Algorithm 1 of the
+// paper: bitx = p.X > split.X, bity = p.Y > split.Y.
+type Quadrant uint8
+
+// The four quadrants. A is the bottom-left cell (both bits zero), B is
+// bottom-right (bitx set), C is top-left (bity set), and D is top-right.
+const (
+	QuadA Quadrant = iota // bottom-left  (bitx=0, bity=0)
+	QuadB                 // bottom-right (bitx=1, bity=0)
+	QuadC                 // top-left     (bitx=0, bity=1)
+	QuadD                 // top-right    (bitx=1, bity=1)
+)
+
+// String implements fmt.Stringer.
+func (q Quadrant) String() string {
+	switch q {
+	case QuadA:
+		return "A"
+	case QuadB:
+		return "B"
+	case QuadC:
+		return "C"
+	case QuadD:
+		return "D"
+	}
+	return fmt.Sprintf("Quadrant(%d)", uint8(q))
+}
+
+// QuadrantOf classifies p against the split point: which of the four child
+// cells of a cell split at split contains p.
+func QuadrantOf(p, split Point) Quadrant {
+	var q Quadrant
+	if p.X > split.X {
+		q |= 1 // bitx
+	}
+	if p.Y > split.Y {
+		q |= 2 // bity
+	}
+	return q
+}
+
+// QuadrantRect returns the sub-rectangle of cell corresponding to quadrant q
+// under a split at split. The quadrants tile cell: shared edges are assigned
+// to the lower quadrant, consistent with the strict > comparisons in
+// QuadrantOf.
+func QuadrantRect(cell Rect, split Point, q Quadrant) Rect {
+	r := cell
+	if q&1 != 0 {
+		r.MinX = split.X
+	} else {
+		r.MaxX = split.X
+	}
+	if q&2 != 0 {
+		r.MinY = split.Y
+	} else {
+		r.MaxY = split.Y
+	}
+	return r
+}

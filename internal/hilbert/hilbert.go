@@ -1,0 +1,85 @@
+// Package hilbert implements the Hilbert space-filling curve on a 2^order ×
+// 2^order grid. The Hilbert curve visits every grid cell exactly once while
+// preserving locality better than the Z-order curve; it is the substrate for
+// the HRR baseline (Hilbert-packed R-tree) evaluated in Figure 4 of the
+// paper.
+package hilbert
+
+// Curve describes a Hilbert curve of a given order: a bijection between
+// grid coordinates in [0, 2^order)² and curve positions in [0, 4^order).
+type Curve struct {
+	order uint // number of recursion levels; side = 1<<order
+}
+
+// New returns a Hilbert curve of the given order. Order must be in (0, 32].
+func New(order uint) Curve {
+	if order == 0 || order > 32 {
+		panic("hilbert: order out of range (0, 32]")
+	}
+	return Curve{order: order}
+}
+
+// Order returns the curve order.
+func (c Curve) Order() uint { return c.order }
+
+// Side returns the grid side length 2^order.
+func (c Curve) Side() uint32 {
+	if c.order >= 32 {
+		return 0 // 2^32 does not fit; callers use Side()==0 to mean full range
+	}
+	return 1 << c.order
+}
+
+// Pos returns the curve position of grid cell (x, y) using the standard
+// iterative rotation algorithm. Coordinates outside the grid are clamped.
+func (c Curve) Pos(x, y uint32) uint64 {
+	if c.order < 32 {
+		max := uint32(1)<<c.order - 1
+		if x > max {
+			x = max
+		}
+		if y > max {
+			y = max
+		}
+	}
+	var d uint64
+	for s := uint32(1) << (c.order - 1); s > 0; s >>= 1 {
+		var rx, ry uint32
+		if x&s > 0 {
+			rx = 1
+		}
+		if y&s > 0 {
+			ry = 1
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		x, y = rot(s, x, y, rx, ry)
+	}
+	return d
+}
+
+// XY returns the grid cell at curve position d. It is the inverse of Pos.
+func (c Curve) XY(d uint64) (x, y uint32) {
+	t := d
+	for s := uint32(1); s < 1<<c.order && s != 0; s <<= 1 {
+		rx := uint32(1) & uint32(t/2)
+		ry := uint32(1) & uint32(t^uint64(rx))
+		x, y = rot(s, x, y, rx, ry)
+		x += s * rx
+		y += s * ry
+		t /= 4
+	}
+	return x, y
+}
+
+// rot rotates/flips the quadrant-local coordinates per the Hilbert
+// recursion.
+func rot(s, x, y, rx, ry uint32) (uint32, uint32) {
+	if ry == 0 {
+		if rx == 1 {
+			x = s - 1 - x
+			y = s - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}

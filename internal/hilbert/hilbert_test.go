@@ -1,0 +1,112 @@
+package hilbert
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRoundTripSmallOrders(t *testing.T) {
+	for order := uint(1); order <= 6; order++ {
+		c := New(order)
+		side := uint64(1) << order
+		seen := make(map[uint64]bool)
+		for x := uint64(0); x < side; x++ {
+			for y := uint64(0); y < side; y++ {
+				d := c.Pos(uint32(x), uint32(y))
+				if d >= side*side {
+					t.Fatalf("order %d: Pos(%d,%d)=%d out of range", order, x, y, d)
+				}
+				if seen[d] {
+					t.Fatalf("order %d: duplicate position %d", order, d)
+				}
+				seen[d] = true
+				gx, gy := c.XY(d)
+				if uint64(gx) != x || uint64(gy) != y {
+					t.Fatalf("order %d: XY(Pos(%d,%d)) = (%d,%d)", order, x, y, gx, gy)
+				}
+			}
+		}
+		if uint64(len(seen)) != side*side {
+			t.Fatalf("order %d: %d positions, want %d", order, len(seen), side*side)
+		}
+	}
+}
+
+func TestRoundTripLargeOrderRandom(t *testing.T) {
+	c := New(16)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20000; i++ {
+		x := rng.Uint32() % (1 << 16)
+		y := rng.Uint32() % (1 << 16)
+		gx, gy := c.XY(c.Pos(x, y))
+		if gx != x || gy != y {
+			t.Fatalf("roundtrip failed for (%d, %d): got (%d, %d)", x, y, gx, gy)
+		}
+	}
+}
+
+// The defining locality property of the Hilbert curve: consecutive curve
+// positions are grid neighbours (Manhattan distance exactly 1).
+func TestCurveContinuity(t *testing.T) {
+	c := New(5)
+	side := uint64(1) << 5
+	px, py := c.XY(0)
+	for d := uint64(1); d < side*side; d++ {
+		x, y := c.XY(d)
+		dist := absDiff(x, px) + absDiff(y, py)
+		if dist != 1 {
+			t.Fatalf("positions %d and %d are distance %d apart", d-1, d, dist)
+		}
+		px, py = x, y
+	}
+}
+
+func TestClamping(t *testing.T) {
+	c := New(4)
+	max := uint32(15)
+	if c.Pos(1000, 1000) != c.Pos(max, max) {
+		t.Error("out-of-grid coordinates should clamp to the grid edge")
+	}
+}
+
+func TestNewPanicsOnBadOrder(t *testing.T) {
+	for _, order := range []uint{0, 33} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) should panic", order)
+				}
+			}()
+			New(order)
+		}()
+	}
+}
+
+func TestSideAndOrder(t *testing.T) {
+	c := New(8)
+	if c.Order() != 8 {
+		t.Errorf("Order = %d", c.Order())
+	}
+	if c.Side() != 256 {
+		t.Errorf("Side = %d", c.Side())
+	}
+	if New(32).Side() != 0 {
+		t.Error("order-32 side should report 0 (full uint32 range)")
+	}
+}
+
+func absDiff(a, b uint32) uint32 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func BenchmarkPos(b *testing.B) {
+	c := New(16)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = c.Pos(uint32(i)&0xFFFF, uint32(i>>8)&0xFFFF)
+	}
+	_ = sink
+}

@@ -1,0 +1,250 @@
+// Package indextest provides a conformance suite run against every spatial
+// index in this repository: results must match a brute-force reference on
+// random, clustered, duplicated, collinear, and degenerate inputs across
+// random, workload, and edge-case queries. Each index package's tests call
+// Conformance with its constructor.
+package indextest
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/index"
+)
+
+// Builder constructs an index over data with an anticipated workload
+// (workload-agnostic indexes ignore the second argument).
+type Builder func(pts []geom.Point, queries []geom.Rect) index.Index
+
+// ClusteredPoints generates multi-modal test data.
+func ClusteredPoints(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	centers := []geom.Point{{X: 0.15, Y: 0.2}, {X: 0.7, Y: 0.25}, {X: 0.4, Y: 0.75}, {X: 0.85, Y: 0.85}}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		c := centers[rng.Intn(len(centers))]
+		pts[i] = geom.Point{
+			X: clamp01(c.X + rng.NormFloat64()*0.07),
+			Y: clamp01(c.Y + rng.NormFloat64()*0.07),
+		}
+	}
+	return pts
+}
+
+// SkewedQueries generates a hotspot-concentrated workload.
+func SkewedQueries(n int, seed int64) []geom.Rect {
+	rng := rand.New(rand.NewSource(seed))
+	hot := []geom.Point{{X: 0.7, Y: 0.25}, {X: 0.4, Y: 0.75}}
+	qs := make([]geom.Rect, n)
+	for i := range qs {
+		c := hot[rng.Intn(len(hot))]
+		w := 0.01 + rng.Float64()*0.05
+		cx := clamp01(c.X + rng.NormFloat64()*0.05)
+		cy := clamp01(c.Y + rng.NormFloat64()*0.05)
+		qs[i] = geom.Rect{MinX: cx - w, MinY: cy - w, MaxX: cx + w, MaxY: cy + w}
+	}
+	return qs
+}
+
+func clamp01(v float64) float64 { return math.Min(1, math.Max(0, v)) }
+
+// Conformance runs the full correctness suite against build.
+func Conformance(t *testing.T, build Builder) {
+	t.Helper()
+	t.Run("RandomQueries", func(t *testing.T) { randomQueries(t, build) })
+	t.Run("WorkloadQueries", func(t *testing.T) { workloadQueries(t, build) })
+	t.Run("EdgeRects", func(t *testing.T) { edgeRects(t, build) })
+	t.Run("PointQueries", func(t *testing.T) { pointQueries(t, build) })
+	t.Run("TinyInputs", func(t *testing.T) { tinyInputs(t, build) })
+	t.Run("Duplicates", func(t *testing.T) { duplicates(t, build) })
+	t.Run("Collinear", func(t *testing.T) { collinear(t, build) })
+	t.Run("Accounting", func(t *testing.T) { accounting(t, build) })
+}
+
+// ConformanceUpdatable additionally exercises Insert.
+func ConformanceUpdatable(t *testing.T, build func(pts []geom.Point, queries []geom.Rect) index.Updatable) {
+	t.Helper()
+	Conformance(t, func(pts []geom.Point, queries []geom.Rect) index.Index { return build(pts, queries) })
+	t.Run("Inserts", func(t *testing.T) {
+		pts := ClusteredPoints(2000, 31)
+		qs := SkewedQueries(100, 32)
+		idx := build(pts, qs)
+		ref := index.NewBrute(pts)
+		rng := rand.New(rand.NewSource(33))
+		for i := 0; i < 1500; i++ {
+			p := geom.Point{X: rng.Float64(), Y: rng.Float64()}
+			idx.Insert(p)
+			ref.Insert(p)
+		}
+		if idx.Len() != ref.Len() {
+			t.Fatalf("Len after inserts = %d, want %d", idx.Len(), ref.Len())
+		}
+		for i := 0; i < 100; i++ {
+			r := randRect(rng)
+			same(t, idx.RangeQuery(r), ref.RangeQuery(r), "after inserts")
+		}
+	})
+}
+
+func randRect(rng *rand.Rand) geom.Rect {
+	cx, cy := rng.Float64(), rng.Float64()
+	w, h := rng.Float64()*0.25, rng.Float64()*0.25
+	return geom.Rect{MinX: cx - w, MinY: cy - h, MaxX: cx + w, MaxY: cy + h}
+}
+
+func randomQueries(t *testing.T, build Builder) {
+	t.Helper()
+	pts := ClusteredPoints(5000, 1)
+	qs := SkewedQueries(200, 2)
+	idx := build(pts, qs)
+	ref := index.NewBrute(pts)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 150; i++ {
+		r := randRect(rng)
+		same(t, idx.RangeQuery(r), ref.RangeQuery(r), r.String())
+	}
+}
+
+func workloadQueries(t *testing.T, build Builder) {
+	t.Helper()
+	pts := ClusteredPoints(5000, 4)
+	qs := SkewedQueries(200, 5)
+	idx := build(pts, qs)
+	ref := index.NewBrute(pts)
+	for _, r := range qs[:100] {
+		same(t, idx.RangeQuery(r), ref.RangeQuery(r), "workload")
+	}
+}
+
+func edgeRects(t *testing.T, build Builder) {
+	t.Helper()
+	pts := ClusteredPoints(2000, 6)
+	idx := build(pts, SkewedQueries(50, 7))
+	ref := index.NewBrute(pts)
+	cases := []geom.Rect{
+		{MinX: -1, MinY: -1, MaxX: 2, MaxY: 2},
+		{MinX: 5, MinY: 5, MaxX: 6, MaxY: 6},
+		{MinX: 0.5, MinY: 0.5, MaxX: 0.5, MaxY: 0.5},
+		{MinX: pts[0].X, MinY: pts[0].Y, MaxX: pts[0].X, MaxY: pts[0].Y},
+		{MinX: 0.3, MinY: -1, MaxX: 0.31, MaxY: 2},
+		{MinX: -1, MinY: 0.7, MaxX: 2, MaxY: 0.71},
+	}
+	for _, r := range cases {
+		same(t, idx.RangeQuery(r), ref.RangeQuery(r), r.String())
+	}
+}
+
+func pointQueries(t *testing.T, build Builder) {
+	t.Helper()
+	pts := ClusteredPoints(3000, 8)
+	idx := build(pts, SkewedQueries(50, 9))
+	for i := 0; i < len(pts); i += 7 {
+		if !idx.PointQuery(pts[i]) {
+			t.Fatalf("indexed point %v not found", pts[i])
+		}
+	}
+	rng := rand.New(rand.NewSource(10))
+	inData := map[geom.Point]bool{}
+	for _, p := range pts {
+		inData[p] = true
+	}
+	for i := 0; i < 300; i++ {
+		q := geom.Point{X: rng.Float64(), Y: rng.Float64()}
+		if idx.PointQuery(q) != inData[q] {
+			t.Fatalf("point query mismatch for %v", q)
+		}
+	}
+	if idx.PointQuery(geom.Point{X: 42, Y: 42}) {
+		t.Fatal("out-of-domain point reported found")
+	}
+}
+
+func tinyInputs(t *testing.T, build Builder) {
+	t.Helper()
+	for _, n := range []int{1, 2, 3, 10} {
+		pts := ClusteredPoints(n, int64(100+n))
+		idx := build(pts, nil)
+		if idx.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, idx.Len())
+		}
+		all := idx.RangeQuery(geom.Rect{MinX: -1, MinY: -1, MaxX: 2, MaxY: 2})
+		if len(all) != n {
+			t.Fatalf("n=%d: full query returned %d", n, len(all))
+		}
+		if !idx.PointQuery(pts[0]) {
+			t.Fatalf("n=%d: first point not found", n)
+		}
+	}
+}
+
+func duplicates(t *testing.T, build Builder) {
+	t.Helper()
+	pts := make([]geom.Point, 600)
+	for i := range pts {
+		pts[i] = geom.Point{X: 0.25 * float64(i%3), Y: 0.25 * float64(i%2)}
+	}
+	idx := build(pts, nil)
+	ref := index.NewBrute(pts)
+	r := geom.Rect{MinX: 0, MinY: 0, MaxX: 0.3, MaxY: 0.3}
+	same(t, idx.RangeQuery(r), ref.RangeQuery(r), "duplicates")
+	full := geom.Rect{MinX: -1, MinY: -1, MaxX: 1, MaxY: 1}
+	same(t, idx.RangeQuery(full), ref.RangeQuery(full), "duplicates full")
+}
+
+func collinear(t *testing.T, build Builder) {
+	t.Helper()
+	pts := make([]geom.Point, 1000)
+	for i := range pts {
+		pts[i] = geom.Point{X: 0.4, Y: float64(i) / 1000}
+	}
+	idx := build(pts, nil)
+	ref := index.NewBrute(pts)
+	r := geom.Rect{MinX: 0, MinY: 0.2, MaxX: 1, MaxY: 0.6}
+	same(t, idx.RangeQuery(r), ref.RangeQuery(r), "collinear")
+}
+
+func accounting(t *testing.T, build Builder) {
+	t.Helper()
+	pts := ClusteredPoints(2000, 11)
+	idx := build(pts, SkewedQueries(50, 12))
+	if idx.Bytes() <= 0 {
+		t.Error("Bytes must be positive")
+	}
+	before := *idx.Stats()
+	idx.RangeQuery(geom.Rect{MinX: 0.2, MinY: 0.2, MaxX: 0.8, MaxY: 0.8})
+	d := idx.Stats().Diff(before)
+	if d.RangeQueries != 1 {
+		t.Errorf("RangeQueries delta = %d, want 1", d.RangeQueries)
+	}
+	if d.ResultPoints <= 0 {
+		t.Error("expected a non-empty result for the broad query")
+	}
+}
+
+// same asserts two point multisets are equal.
+func same(t *testing.T, got, want []geom.Point, ctx string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d points, want %d", ctx, len(got), len(want))
+	}
+	a := append([]geom.Point(nil), got...)
+	b := append([]geom.Point(nil), want...)
+	lessP := func(s []geom.Point) func(i, j int) bool {
+		return func(i, j int) bool {
+			if s[i].X != s[j].X {
+				return s[i].X < s[j].X
+			}
+			return s[i].Y < s[j].Y
+		}
+	}
+	sort.Slice(a, lessP(a))
+	sort.Slice(b, lessP(b))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: multisets differ at %d: %v vs %v", ctx, i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Package rankspace maps float coordinates to dense integer ranks — the
+// "rank space" projection used by ZM-index-style learned spatial indexes
+// (Zpgm, QUILTS, RSMI in the paper's Figure 4). Each coordinate maps to its
+// rank among all data coordinates of that dimension, so a query rectangle
+// maps to an inclusive rank rectangle.
+package rankspace
+
+import (
+	"sort"
+
+	"github.com/wazi-index/wazi/internal/geom"
+)
+
+// Mapping holds the sorted per-dimension coordinate arrays.
+type Mapping struct {
+	xs, ys []float64
+}
+
+// New builds the mapping for a dataset.
+func New(pts []geom.Point) *Mapping {
+	m := &Mapping{
+		xs: make([]float64, len(pts)),
+		ys: make([]float64, len(pts)),
+	}
+	for i, p := range pts {
+		m.xs[i] = p.X
+		m.ys[i] = p.Y
+	}
+	sort.Float64s(m.xs)
+	sort.Float64s(m.ys)
+	return m
+}
+
+// Len returns the number of points the mapping was built over.
+func (m *Mapping) Len() int { return len(m.xs) }
+
+// RankX returns the rank of an x-coordinate that is present in the data:
+// the index of its first occurrence in the sorted coordinate array.
+func (m *Mapping) RankX(v float64) uint32 {
+	return uint32(sort.SearchFloat64s(m.xs, v))
+}
+
+// RankY is RankX for the y dimension.
+func (m *Mapping) RankY(v float64) uint32 {
+	return uint32(sort.SearchFloat64s(m.ys, v))
+}
+
+// HasX reports whether the exact coordinate value occurs in the data.
+func (m *Mapping) HasX(v float64) bool {
+	i := sort.SearchFloat64s(m.xs, v)
+	return i < len(m.xs) && m.xs[i] == v
+}
+
+// HasY is HasX for the y dimension.
+func (m *Mapping) HasY(v float64) bool {
+	i := sort.SearchFloat64s(m.ys, v)
+	return i < len(m.ys) && m.ys[i] == v
+}
+
+// RangeX maps a closed value interval [a, b] to the inclusive rank interval
+// of coordinates falling inside it. ok is false when no coordinate does.
+func (m *Mapping) RangeX(a, b float64) (lo, hi uint32, ok bool) {
+	l := sort.SearchFloat64s(m.xs, a)
+	h := sort.Search(len(m.xs), func(i int) bool { return m.xs[i] > b })
+	if l >= h {
+		return 0, 0, false
+	}
+	return uint32(l), uint32(h - 1), true
+}
+
+// RangeY is RangeX for the y dimension.
+func (m *Mapping) RangeY(a, b float64) (lo, hi uint32, ok bool) {
+	l := sort.SearchFloat64s(m.ys, a)
+	h := sort.Search(len(m.ys), func(i int) bool { return m.ys[i] > b })
+	if l >= h {
+		return 0, 0, false
+	}
+	return uint32(l), uint32(h - 1), true
+}
+
+// Bytes returns the mapping's footprint.
+func (m *Mapping) Bytes() int64 { return int64(len(m.xs)+len(m.ys)) * 8 }

@@ -1,0 +1,98 @@
+package rankspace
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/wazi-index/wazi/internal/geom"
+)
+
+func TestRanksMatchSortedPositions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geom.Point, 500)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64(), Y: rng.Float64()}
+		if i > 0 && rng.Intn(5) == 0 {
+			pts[i].X = pts[rng.Intn(i)].X // duplicate coordinates
+		}
+	}
+	m := New(pts)
+	if m.Len() != len(pts) {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	xs := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = p.X
+	}
+	sort.Float64s(xs)
+	for _, p := range pts {
+		r := int(m.RankX(p.X))
+		if xs[r] != p.X {
+			t.Fatalf("RankX(%v) = %d, but xs[%d] = %v", p.X, r, r, xs[r])
+		}
+		if r > 0 && xs[r-1] == p.X {
+			t.Fatalf("RankX must return the first occurrence of %v", p.X)
+		}
+		if !m.HasX(p.X) || !m.HasY(p.Y) {
+			t.Fatal("HasX/HasY must report indexed coordinates")
+		}
+	}
+	if m.HasX(-5) || m.HasY(99) {
+		t.Error("HasX/HasY false positives")
+	}
+}
+
+func TestRangeMapsToInclusiveRanks(t *testing.T) {
+	pts := []geom.Point{{X: 0.1, Y: 0.5}, {X: 0.2, Y: 0.5}, {X: 0.2, Y: 0.7}, {X: 0.9, Y: 0.1}}
+	m := New(pts)
+	lo, hi, ok := m.RangeX(0.15, 0.5)
+	if !ok || lo != 1 || hi != 2 {
+		t.Fatalf("RangeX(0.15, 0.5) = (%d, %d, %v), want (1, 2, true)", lo, hi, ok)
+	}
+	// Exact-boundary inclusivity.
+	lo, hi, ok = m.RangeX(0.1, 0.2)
+	if !ok || lo != 0 || hi != 2 {
+		t.Fatalf("RangeX(0.1, 0.2) = (%d, %d, %v), want (0, 2, true)", lo, hi, ok)
+	}
+	if _, _, ok := m.RangeX(0.3, 0.8); ok {
+		t.Error("empty range must report ok=false")
+	}
+	if _, _, ok := m.RangeY(2, 3); ok {
+		t.Error("out-of-domain range must report ok=false")
+	}
+	if m.Bytes() <= 0 {
+		t.Error("Bytes must be positive")
+	}
+}
+
+// Property: for random data and intervals, the rank range size equals the
+// brute-force count of coordinates in the interval.
+func TestRangeCountsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]geom.Point, 300)
+	for i := range pts {
+		pts[i] = geom.Point{X: float64(rng.Intn(50)) / 50, Y: rng.Float64()}
+	}
+	m := New(pts)
+	for trial := 0; trial < 500; trial++ {
+		a, b := rng.Float64(), rng.Float64()
+		if a > b {
+			a, b = b, a
+		}
+		want := 0
+		for _, p := range pts {
+			if p.X >= a && p.X <= b {
+				want++
+			}
+		}
+		lo, hi, ok := m.RangeX(a, b)
+		got := 0
+		if ok {
+			got = int(hi-lo) + 1
+		}
+		if got != want {
+			t.Fatalf("RangeX(%v, %v) covers %d ranks, want %d", a, b, got, want)
+		}
+	}
+}

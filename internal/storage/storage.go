@@ -1,0 +1,120 @@
+// Package storage provides the clustered page abstraction shared by the
+// indexes in this repository, together with the instrumentation counters the
+// paper's ablation study reports (pages scanned, bounding boxes checked,
+// points filtered, excess points).
+//
+// A Page holds up to a fixed capacity of points in arbitrary order (§3: "we
+// consider the data points within a page to be stored in random order"). An
+// index is clustered: points of consecutive leaf nodes live in consecutive
+// pages.
+package storage
+
+import "github.com/wazi-index/wazi/internal/geom"
+
+// Page is one leaf page of a clustered index.
+type Page struct {
+	Pts []geom.Point
+}
+
+// Len returns the number of points stored in the page.
+func (p *Page) Len() int { return len(p.Pts) }
+
+// Filter appends to dst the points of the page that fall inside r and
+// returns the extended slice. The caller's Stats, if any, must be updated
+// separately; Filter itself is allocation-free apart from dst growth.
+func (p *Page) Filter(r geom.Rect, dst []geom.Point) []geom.Point {
+	for _, pt := range p.Pts {
+		if r.Contains(pt) {
+			dst = append(dst, pt)
+		}
+	}
+	return dst
+}
+
+// Contains reports whether the page stores a point equal to pt.
+func (p *Page) Contains(pt geom.Point) bool {
+	for _, q := range p.Pts {
+		if q == pt {
+			return true
+		}
+	}
+	return false
+}
+
+// Remove deletes one occurrence of pt from the page, returning whether a
+// point was removed.
+func (p *Page) Remove(pt geom.Point) bool {
+	for i, q := range p.Pts {
+		if q == pt {
+			p.Pts[i] = p.Pts[len(p.Pts)-1]
+			p.Pts = p.Pts[:len(p.Pts)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// Bytes returns the approximate in-memory footprint of the page.
+func (p *Page) Bytes() int64 {
+	return int64(cap(p.Pts))*16 + 24 // 16 bytes per point + slice header
+}
+
+// Stats accumulates the access counters reported in the paper's evaluation
+// (Figure 9 projection/scan split and the Figure 13 ablation metrics). All
+// counters are cumulative; callers snapshot and subtract, or Reset between
+// measurement windows.
+type Stats struct {
+	// RangeQueries counts range queries executed.
+	RangeQueries int64
+	// PointQueries counts point queries executed.
+	PointQueries int64
+	// NodesVisited counts internal tree nodes visited during projection.
+	NodesVisited int64
+	// BBChecked counts leaf bounding-box overlap tests performed during the
+	// scanning phase (Figure 13 bottom-left).
+	BBChecked int64
+	// PagesScanned counts pages whose points were filtered (Figure 13
+	// bottom-right).
+	PagesScanned int64
+	// PointsScanned counts points compared against a query rectangle — the
+	// paper's retrieval cost.
+	PointsScanned int64
+	// ResultPoints counts points returned. ExcessPoints (Figure 13
+	// top-right) is PointsScanned - ResultPoints.
+	ResultPoints int64
+	// LookaheadJumps counts range-query steps that followed a look-ahead
+	// pointer instead of the next pointer.
+	LookaheadJumps int64
+	// Inserts and Deletes count update operations.
+	Inserts int64
+	Deletes int64
+	// PageSplits and PageMerges count structural updates triggered by
+	// overflowing/underflowing pages.
+	PageSplits int64
+	PageMerges int64
+}
+
+// ExcessPoints returns the number of points scanned but not returned —
+// the redundant work metric of the ablation study.
+func (s *Stats) ExcessPoints() int64 { return s.PointsScanned - s.ResultPoints }
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() { *s = Stats{} }
+
+// Diff returns the counter deltas accumulated since an earlier snapshot.
+func (s Stats) Diff(since Stats) Stats {
+	return Stats{
+		RangeQueries:   s.RangeQueries - since.RangeQueries,
+		PointQueries:   s.PointQueries - since.PointQueries,
+		NodesVisited:   s.NodesVisited - since.NodesVisited,
+		BBChecked:      s.BBChecked - since.BBChecked,
+		PagesScanned:   s.PagesScanned - since.PagesScanned,
+		PointsScanned:  s.PointsScanned - since.PointsScanned,
+		ResultPoints:   s.ResultPoints - since.ResultPoints,
+		LookaheadJumps: s.LookaheadJumps - since.LookaheadJumps,
+		Inserts:        s.Inserts - since.Inserts,
+		Deletes:        s.Deletes - since.Deletes,
+		PageSplits:     s.PageSplits - since.PageSplits,
+		PageMerges:     s.PageMerges - since.PageMerges,
+	}
+}

@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/wazi-index/wazi/internal/dataset"
+	"github.com/wazi-index/wazi/internal/geom"
+)
+
+func TestFromCentersSelectivity(t *testing.T) {
+	centers := []geom.Point{{X: 0.5, Y: 0.5}, {X: 0.1, Y: 0.9}, {X: 0.99, Y: 0.01}}
+	for _, sel := range Selectivities {
+		qs := FromCenters(centers, sel, UnitSquare)
+		for i, q := range qs {
+			if !q.Valid() {
+				t.Fatalf("sel %v: invalid query %v", sel, q)
+			}
+			if !UnitSquare.ContainsRect(q) {
+				t.Fatalf("sel %v: query %v escapes the domain", sel, q)
+			}
+			// Boundary-centered queries are shifted inward, not shrunk:
+			// every query keeps the target area.
+			if rel := math.Abs(q.Area()-sel) / sel; rel > 1e-9 {
+				t.Fatalf("sel %v: query %d area %v (rel err %v)", sel, i, q.Area(), rel)
+			}
+		}
+	}
+}
+
+func TestSkewedWorkloadProperties(t *testing.T) {
+	qs := Skewed(dataset.NewYork, 2000, 0.0256e-2, 1)
+	if len(qs) != 2000 {
+		t.Fatalf("generated %d queries", len(qs))
+	}
+	// Centers must concentrate near the region's hotspots: median distance
+	// to the nearest hotspot should be well under the uniform expectation.
+	hs := dataset.Hotspots(dataset.NewYork)
+	var near int
+	for _, q := range qs {
+		c := q.Center()
+		for _, h := range hs {
+			dx, dy := c.X-h.X, c.Y-h.Y
+			if math.Sqrt(dx*dx+dy*dy) < 0.15 {
+				near++
+				break
+			}
+		}
+	}
+	if float64(near)/float64(len(qs)) < 0.8 {
+		t.Errorf("only %d/%d skewed queries near hotspots", near, len(qs))
+	}
+}
+
+func TestSkewedDeterministic(t *testing.T) {
+	a := Skewed(dataset.Japan, 100, 0.0064e-2, 42)
+	b := Skewed(dataset.Japan, 100, 0.0064e-2, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different workloads")
+		}
+	}
+}
+
+func TestUniformWorkloadSpread(t *testing.T) {
+	qs := Uniform(4000, 0.0064e-2, 2)
+	var g [16]int
+	for _, q := range qs {
+		c := q.Center()
+		i := int(c.X*4) + 4*int(c.Y*4)
+		if i > 15 {
+			i = 15
+		}
+		g[i]++
+	}
+	for i, c := range g {
+		if c < 4000/16/2 || c > 4000/16*2 {
+			t.Errorf("uniform workload cell %d has %d queries", i, c)
+		}
+	}
+}
+
+func TestMix(t *testing.T) {
+	a := Uniform(1000, 0.0064e-2, 3)
+	b := Skewed(dataset.Iberia, 1000, 0.0064e-2, 4)
+	bset := map[geom.Rect]bool{}
+	for _, q := range b {
+		bset[q] = true
+	}
+	for _, frac := range []float64{0, 0.25, 0.5, 1} {
+		m := Mix(a, b, frac, 5)
+		if len(m) != len(a) {
+			t.Fatalf("Mix changed workload size: %d", len(m))
+		}
+		fromB := 0
+		for _, q := range m {
+			if bset[q] {
+				fromB++
+			}
+		}
+		want := int(frac * float64(len(a)))
+		if abs(fromB-want) > 20 { // collisions between a and b are possible but rare
+			t.Errorf("frac %v: %d queries from b, want about %d", frac, fromB, want)
+		}
+	}
+	// Clamping and empty-b robustness.
+	if got := Mix(a, nil, 0.5, 6); len(got) != len(a) {
+		t.Error("Mix with empty b should copy a")
+	}
+	if got := Mix(a, b, 2.0, 7); len(got) != len(a) {
+		t.Error("Mix must clamp fracB")
+	}
+}
+
+func TestMixDoesNotMutateInput(t *testing.T) {
+	a := Uniform(100, 0.0064e-2, 8)
+	orig := append([]geom.Rect(nil), a...)
+	Mix(a, Uniform(100, 0.0064e-2, 9), 1, 10)
+	for i := range a {
+		if a[i] != orig[i] {
+			t.Fatal("Mix mutated its input")
+		}
+	}
+}
+
+func TestPointQueries(t *testing.T) {
+	data := dataset.Generate(dataset.CaliNev, 1000, 11)
+	pq := PointQueries(data, 500, 12)
+	if len(pq) != 500 {
+		t.Fatalf("got %d point queries", len(pq))
+	}
+	inData := map[geom.Point]bool{}
+	for _, p := range data {
+		inData[p] = true
+	}
+	for _, p := range pq {
+		if !inData[p] {
+			t.Fatalf("point query %v not drawn from the data", p)
+		}
+	}
+}
+
+func TestInsertBatch(t *testing.T) {
+	pts := InsertBatch(1000, 13)
+	if len(pts) != 1000 {
+		t.Fatalf("got %d inserts", len(pts))
+	}
+	for _, p := range pts {
+		if !UnitSquare.Contains(p) {
+			t.Fatalf("insert %v outside domain", p)
+		}
+	}
+}
+
+func TestSelectivityListsMatchPaper(t *testing.T) {
+	want := []float64{0.000016, 0.000064, 0.000256, 0.001024}
+	for i, s := range Selectivities {
+		if math.Abs(s-want[i]) > 1e-12 {
+			t.Errorf("Selectivities[%d] = %v, want %v", i, s, want[i])
+		}
+	}
+	if len(AblationSelectivities) != 3 {
+		t.Error("Figure 13 uses three selectivities")
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,165 @@
+package zorder
+
+// Pattern generalizes the Z-order curve to arbitrary monotone bit-merge
+// orders: any interleaving of the two dimensions' bits, from most to least
+// significant, defines a monotone space-filling curve. QUILTS (Nishimura &
+// Yokota, SIGMOD 2017) selects such a pattern to fit a query workload; the
+// classic Z-order is the alternating pattern.
+//
+// Patterns keep each dimension's bits in significance order, which is what
+// preserves monotonicity (dominated grid points get smaller keys).
+type Pattern struct {
+	dims []uint8 // dims[i] is the dimension of output bit i, MSB first
+	nx   uint    // bits of dimension 0 (x)
+	ny   uint    // bits of dimension 1 (y)
+}
+
+// NewPattern builds a pattern from a dimension sequence, most significant
+// output bit first. Each entry must be 0 (x) or 1 (y); at most 32 bits per
+// dimension and 64 total.
+func NewPattern(dims []uint8) Pattern {
+	if len(dims) > 64 {
+		panic("zorder: pattern longer than 64 bits")
+	}
+	p := Pattern{dims: append([]uint8(nil), dims...)}
+	for _, d := range dims {
+		switch d {
+		case 0:
+			p.nx++
+		case 1:
+			p.ny++
+		default:
+			panic("zorder: pattern dimension must be 0 or 1")
+		}
+	}
+	if p.nx > 32 || p.ny > 32 {
+		panic("zorder: more than 32 bits for one dimension")
+	}
+	return p
+}
+
+// Alternating returns the standard Z-order pattern with bits-per-dimension
+// resolution (y more significant within each pair, matching Encode).
+func Alternating(bitsPerDim uint) Pattern {
+	dims := make([]uint8, 0, 2*bitsPerDim)
+	for i := uint(0); i < bitsPerDim; i++ {
+		dims = append(dims, 1, 0)
+	}
+	return NewPattern(dims)
+}
+
+// Bits returns the total number of key bits.
+func (p Pattern) Bits() int { return len(p.dims) }
+
+// XBits and YBits return the per-dimension resolutions.
+func (p Pattern) XBits() uint { return p.nx }
+
+// YBits returns the number of y bits.
+func (p Pattern) YBits() uint { return p.ny }
+
+// Encode maps grid coordinates to a key under the pattern. Coordinates are
+// truncated to the pattern's per-dimension resolution.
+func (p Pattern) Encode(x, y uint32) Key {
+	var k uint64
+	xb, yb := p.nx, p.ny
+	for i := 0; i < len(p.dims); i++ {
+		k <<= 1
+		if p.dims[i] == 0 {
+			xb--
+			k |= uint64(x>>xb) & 1
+		} else {
+			yb--
+			k |= uint64(y>>yb) & 1
+		}
+	}
+	return Key(k)
+}
+
+// Decode is the inverse of Encode (up to resolution truncation).
+func (p Pattern) Decode(k Key) (x, y uint32) {
+	xb, yb := p.nx, p.ny
+	kk := uint64(k)
+	for i := 0; i < len(p.dims); i++ {
+		bit := (kk >> uint(len(p.dims)-1-i)) & 1
+		if p.dims[i] == 0 {
+			xb--
+			x |= uint32(bit) << xb
+		} else {
+			yb--
+			y |= uint32(bit) << yb
+		}
+	}
+	return x, y
+}
+
+// InRect reports whether k decodes into the inclusive grid rectangle.
+func (p Pattern) InRect(k Key, minX, minY, maxX, maxY uint32) bool {
+	x, y := p.Decode(k)
+	return x >= minX && x <= maxX && y >= minY && y <= maxY
+}
+
+// BigMin returns the smallest key strictly greater than cur inside the
+// rectangle [zmin, zmax] (keys of the rectangle's corners), generalizing
+// the Tropf–Herzog algorithm to arbitrary bit-merge patterns.
+func (p Pattern) BigMin(cur, zmin, zmax Key) (Key, bool) {
+	if cur >= zmax {
+		return 0, false
+	}
+	bigmin := Key(0)
+	found := false
+	lo, hi := uint64(zmin), uint64(zmax)
+	c := uint64(cur)
+	n := len(p.dims)
+	for i := 0; i < n; i++ {
+		bit := uint(n - 1 - i)
+		mask := uint64(1) << bit
+		cb, lb, hb := c&mask, lo&mask, hi&mask
+		switch {
+		case cb == 0 && lb == 0 && hb == 0:
+		case cb == 0 && lb == 0 && hb != 0:
+			bigmin = Key(p.loadOnes(lo, i))
+			found = true
+			hi = p.loadZeros(hi, i)
+		case cb == 0 && lb != 0 && hb != 0:
+			return Key(lo), Key(lo) > cur
+		case cb != 0 && lb == 0 && hb == 0:
+			return bigmin, found
+		case cb != 0 && lb == 0 && hb != 0:
+			lo = p.loadOnes(lo, i)
+		case cb != 0 && lb != 0 && hb != 0:
+		default: // lb set, hb clear: inconsistent input
+			return 0, false
+		}
+	}
+	return bigmin, found
+}
+
+// loadOnes sets output-bit index i (MSB order) and clears all lower bits of
+// the same dimension.
+func (p Pattern) loadOnes(v uint64, i int) uint64 {
+	n := len(p.dims)
+	bit := uint(n - 1 - i)
+	d := p.dims[i]
+	out := v | 1<<bit
+	for j := i + 1; j < n; j++ {
+		if p.dims[j] == d {
+			out &^= 1 << uint(n-1-j)
+		}
+	}
+	return out
+}
+
+// loadZeros clears output-bit index i and sets all lower bits of the same
+// dimension.
+func (p Pattern) loadZeros(v uint64, i int) uint64 {
+	n := len(p.dims)
+	bit := uint(n - 1 - i)
+	d := p.dims[i]
+	out := v &^ (1 << bit)
+	for j := i + 1; j < n; j++ {
+		if p.dims[j] == d {
+			out |= 1 << uint(n-1-j)
+		}
+	}
+	return out
+}

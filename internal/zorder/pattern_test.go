@@ -1,0 +1,139 @@
+package zorder
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomPattern(rng *rand.Rand, bitsPerDim int) Pattern {
+	dims := make([]uint8, 0, 2*bitsPerDim)
+	nx, ny := 0, 0
+	for len(dims) < 2*bitsPerDim {
+		d := uint8(rng.Intn(2))
+		if d == 0 && nx == bitsPerDim {
+			d = 1
+		}
+		if d == 1 && ny == bitsPerDim {
+			d = 0
+		}
+		dims = append(dims, d)
+		if d == 0 {
+			nx++
+		} else {
+			ny++
+		}
+	}
+	return NewPattern(dims)
+}
+
+func TestPatternRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		p := randomPattern(rng, 8)
+		for i := 0; i < 200; i++ {
+			x := rng.Uint32() % 256
+			y := rng.Uint32() % 256
+			gx, gy := p.Decode(p.Encode(x, y))
+			if gx != x || gy != y {
+				t.Fatalf("pattern %d: roundtrip (%d,%d) -> (%d,%d)", trial, x, y, gx, gy)
+			}
+		}
+	}
+}
+
+func TestPatternMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		p := randomPattern(rng, 8)
+		for i := 0; i < 500; i++ {
+			x1, y1 := rng.Uint32()%200, rng.Uint32()%200
+			x2 := x1 + rng.Uint32()%(256-x1)
+			y2 := y1 + rng.Uint32()%(256-y1)
+			if p.Encode(x1, y1) > p.Encode(x2, y2) {
+				t.Fatalf("pattern %d not monotone: (%d,%d) vs (%d,%d)", trial, x1, y1, x2, y2)
+			}
+		}
+	}
+}
+
+func TestAlternatingMatchesStandardOrder(t *testing.T) {
+	p := Alternating(16)
+	rng := rand.New(rand.NewSource(3))
+	// Relative order must agree with the full-resolution standard curve for
+	// coordinates within the pattern's grid.
+	for i := 0; i < 2000; i++ {
+		x1, y1 := rng.Uint32()%65536, rng.Uint32()%65536
+		x2, y2 := rng.Uint32()%65536, rng.Uint32()%65536
+		a1, a2 := p.Encode(x1, y1), p.Encode(x2, y2)
+		s1, s2 := Encode(x1, y1), Encode(x2, y2)
+		if (a1 < a2) != (s1 < s2) {
+			t.Fatalf("alternating pattern order disagrees with Encode for (%d,%d) vs (%d,%d)",
+				x1, y1, x2, y2)
+		}
+	}
+}
+
+func bruteBigMinPattern(p Pattern, cur Key, minX, minY, maxX, maxY uint32) (Key, bool) {
+	best := Key(0)
+	found := false
+	for x := minX; x <= maxX; x++ {
+		for y := minY; y <= maxY; y++ {
+			k := p.Encode(x, y)
+			if k > cur && (!found || k < best) {
+				best, found = k, true
+			}
+		}
+	}
+	return best, found
+}
+
+func TestPatternBigMinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 40; trial++ {
+		p := randomPattern(rng, 4) // 16x16 grid keeps brute force cheap
+		for q := 0; q < 150; q++ {
+			x1, x2 := rng.Uint32()%16, rng.Uint32()%16
+			y1, y2 := rng.Uint32()%16, rng.Uint32()%16
+			if x1 > x2 {
+				x1, x2 = x2, x1
+			}
+			if y1 > y2 {
+				y1, y2 = y2, y1
+			}
+			cur := Key(rng.Uint64() % 256)
+			zmin, zmax := p.Encode(x1, y1), p.Encode(x2, y2)
+			got, gotOK := p.BigMin(cur, zmin, zmax)
+			want, wantOK := bruteBigMinPattern(p, cur, x1, y1, x2, y2)
+			if gotOK != wantOK || (gotOK && got != want) {
+				t.Fatalf("pattern %d: BigMin(%d, (%d,%d)-(%d,%d)) = (%d,%v), want (%d,%v)",
+					trial, cur, x1, y1, x2, y2, got, gotOK, want, wantOK)
+			}
+		}
+	}
+}
+
+func TestNewPatternPanics(t *testing.T) {
+	cases := [][]uint8{
+		make([]uint8, 65), // too long
+		{0, 1, 2},         // bad dimension
+		append(make([]uint8, 0), repeat(0, 33)...), // 33 x bits
+	}
+	for i, dims := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: NewPattern should panic", i)
+				}
+			}()
+			NewPattern(dims)
+		}()
+	}
+}
+
+func repeat(v uint8, n int) []uint8 {
+	out := make([]uint8, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

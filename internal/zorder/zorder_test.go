@@ -1,0 +1,179 @@
+package zorder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	f := func(x, y uint32) bool {
+		gx, gy := Decode(Encode(x, y))
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeKnownValues(t *testing.T) {
+	cases := []struct {
+		x, y uint32
+		want Key
+	}{
+		{0, 0, 0},
+		{1, 0, 1},
+		{0, 1, 2},
+		{1, 1, 3},
+		{2, 0, 4},
+		{3, 3, 15},
+		{0xFFFFFFFF, 0xFFFFFFFF, 0xFFFFFFFFFFFFFFFF},
+	}
+	for _, c := range cases {
+		if got := Encode(c.x, c.y); got != c.want {
+			t.Errorf("Encode(%d, %d) = %d, want %d", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+// Property: Z-order is monotone under dominance — if a is dominated by b
+// componentwise, Encode(a) <= Encode(b).
+func TestMonotoneUnderDominance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		x1, y1 := rng.Uint32(), rng.Uint32()
+		dx, dy := rng.Uint32()%1000, rng.Uint32()%1000
+		x2, y2 := x1+dx, y1+dy
+		if x2 < x1 || y2 < y1 {
+			continue // overflow wrapped; skip
+		}
+		if Encode(x1, y1) > Encode(x2, y2) {
+			t.Fatalf("monotonicity violated: (%d,%d) vs (%d,%d)", x1, y1, x2, y2)
+		}
+	}
+}
+
+func TestInRect(t *testing.T) {
+	k := Encode(5, 9)
+	if !InRect(k, 5, 9, 5, 9) {
+		t.Error("point must be in its own degenerate rect")
+	}
+	if InRect(k, 6, 9, 10, 10) {
+		t.Error("x below range")
+	}
+	if !InRect(k, 0, 0, 100, 100) {
+		t.Error("point inside broad rect")
+	}
+}
+
+// bruteBigMin finds the smallest key > cur inside the rect by exhaustive
+// grid scan — ground truth for small grids.
+func bruteBigMin(cur Key, minX, minY, maxX, maxY uint32) (Key, bool) {
+	best := Key(0)
+	found := false
+	for x := minX; x <= maxX; x++ {
+		for y := minY; y <= maxY; y++ {
+			k := Encode(x, y)
+			if k > cur && (!found || k < best) {
+				best, found = k, true
+			}
+		}
+	}
+	return best, found
+}
+
+func TestBigMinMatchesBruteForceSmallGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const side = 16
+	for trial := 0; trial < 3000; trial++ {
+		x1, x2 := rng.Uint32()%side, rng.Uint32()%side
+		y1, y2 := rng.Uint32()%side, rng.Uint32()%side
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		if y1 > y2 {
+			y1, y2 = y2, y1
+		}
+		cur := Key(rng.Uint64() % uint64(Encode(side-1, side-1)+1))
+		zmin, zmax := Encode(x1, y1), Encode(x2, y2)
+		got, gotOK := BigMin(cur, zmin, zmax)
+		want, wantOK := bruteBigMin(cur, x1, y1, x2, y2)
+		if gotOK != wantOK {
+			t.Fatalf("BigMin(%d, rect (%d,%d)-(%d,%d)): found=%v, want %v",
+				cur, x1, y1, x2, y2, gotOK, wantOK)
+		}
+		if gotOK && got != want {
+			t.Fatalf("BigMin(%d, rect (%d,%d)-(%d,%d)) = %d, want %d",
+				cur, x1, y1, x2, y2, got, want)
+		}
+	}
+}
+
+// Property: when BigMin succeeds, the result is strictly greater than cur
+// and decodes to a grid point inside the rectangle.
+func TestBigMinResultProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 5000; trial++ {
+		x1, x2 := rng.Uint32()%100000, rng.Uint32()%100000
+		y1, y2 := rng.Uint32()%100000, rng.Uint32()%100000
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		if y1 > y2 {
+			y1, y2 = y2, y1
+		}
+		cur := Key(rng.Uint64() % (uint64(Encode(x2, y2)) + 2))
+		got, ok := BigMin(cur, Encode(x1, y1), Encode(x2, y2))
+		if !ok {
+			continue
+		}
+		if got <= cur {
+			t.Fatalf("BigMin result %d not greater than cur %d", got, cur)
+		}
+		if !InRect(got, x1, y1, x2, y2) {
+			gx, gy := Decode(got)
+			t.Fatalf("BigMin result (%d, %d) outside rect (%d,%d)-(%d,%d)",
+				gx, gy, x1, y1, x2, y2)
+		}
+	}
+}
+
+func TestBigMinExhaustedScan(t *testing.T) {
+	zmin, zmax := Encode(2, 2), Encode(3, 3)
+	if _, ok := BigMin(zmax, zmin, zmax); ok {
+		t.Error("no key can exceed zmax inside the rect")
+	}
+	if _, ok := BigMin(zmax+100, zmin, zmax); ok {
+		t.Error("cur beyond zmax must report not found")
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	if got := CommonPrefixLen(0, 0); got != 64 {
+		t.Errorf("identical keys share 64 bits, got %d", got)
+	}
+	if got := CommonPrefixLen(0, 1); got != 63 {
+		t.Errorf("keys differing in last bit share 63, got %d", got)
+	}
+	if got := CommonPrefixLen(0, 1<<63); got != 0 {
+		t.Errorf("keys differing in first bit share 0, got %d", got)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	var sink Key
+	for i := 0; i < b.N; i++ {
+		sink = Encode(uint32(i), uint32(i)*2654435761)
+	}
+	_ = sink
+}
+
+func BenchmarkBigMin(b *testing.B) {
+	zmin, zmax := Encode(1000, 1000), Encode(100000, 100000)
+	var sink Key
+	for i := 0; i < b.N; i++ {
+		k, _ := BigMin(Key(uint64(i)*2654435761%uint64(zmax)), zmin, zmax)
+		sink = k
+	}
+	_ = sink
+}

@@ -1,0 +1,304 @@
+package wazi_test
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	wazi "github.com/wazi-index/wazi"
+	"github.com/wazi-index/wazi/internal/dataset"
+	"github.com/wazi-index/wazi/internal/workload"
+)
+
+func testData(n int, seed int64) []wazi.Point {
+	return dataset.Generate(dataset.NewYork, n, seed)
+}
+
+func testWorkload(n int, seed int64) []wazi.Rect {
+	return workload.Skewed(dataset.NewYork, n, 0.0256e-2, seed)
+}
+
+func bruteRange(pts []wazi.Point, r wazi.Rect) []wazi.Point {
+	var out []wazi.Point
+	for _, p := range pts {
+		if r.Contains(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func sortPts(pts []wazi.Point) {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].X != pts[j].X {
+			return pts[i].X < pts[j].X
+		}
+		return pts[i].Y < pts[j].Y
+	})
+}
+
+func assertSame(t *testing.T, got, want []wazi.Point, ctx string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d, want %d", ctx, len(got), len(want))
+	}
+	g := append([]wazi.Point(nil), got...)
+	w := append([]wazi.Point(nil), want...)
+	sortPts(g)
+	sortPts(w)
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("%s: differ at %d: %v vs %v", ctx, i, g[i], w[i])
+		}
+	}
+}
+
+func TestEndToEndWaZI(t *testing.T) {
+	pts := testData(8000, 1)
+	qs := testWorkload(300, 2)
+	idx, err := wazi.NewWorkloadAware(pts, qs, wazi.WithSeed(3), wazi.WithLeafSize(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idx.WorkloadAware() {
+		t.Error("WorkloadAware should be true")
+	}
+	if idx.Len() != len(pts) {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	for _, r := range qs[:50] {
+		assertSame(t, idx.RangeQuery(r), bruteRange(pts, r), "workload query")
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		r := wazi.NewRect(
+			wazi.Point{X: rng.Float64(), Y: rng.Float64()},
+			wazi.Point{X: rng.Float64(), Y: rng.Float64()},
+		)
+		assertSame(t, idx.RangeQuery(r), bruteRange(pts, r), "random query")
+		if got, want := idx.RangeCount(r), len(bruteRange(pts, r)); got != want {
+			t.Fatalf("RangeCount = %d, want %d", got, want)
+		}
+	}
+	if !idx.PointQuery(pts[17]) {
+		t.Error("indexed point not found")
+	}
+	if idx.Bytes() <= 0 || idx.Describe() == "" {
+		t.Error("accounting accessors broken")
+	}
+}
+
+func TestEndToEndBase(t *testing.T) {
+	pts := testData(4000, 5)
+	idx, err := wazi.New(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.WorkloadAware() {
+		t.Error("base index should not report workload awareness")
+	}
+	full := idx.RangeQuery(idx.Bounds())
+	if len(full) != len(pts) {
+		t.Fatalf("full query returned %d", len(full))
+	}
+}
+
+func TestOptionsApply(t *testing.T) {
+	pts := testData(3000, 6)
+	qs := testWorkload(100, 7)
+	_, err := wazi.NewWorkloadAware(pts, qs,
+		wazi.WithLeafSize(64),
+		wazi.WithCandidates(8),
+		wazi.WithAlpha(0.01),
+		wazi.WithoutSkipping(),
+		wazi.WithSeed(8),
+		wazi.WithExactCounts(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wazi.New(nil); err != wazi.ErrNoPoints {
+		t.Errorf("empty build err = %v, want ErrNoPoints", err)
+	}
+}
+
+func TestUpdatesAndKNN(t *testing.T) {
+	pts := testData(2000, 9)
+	idx, err := wazi.NewWorkloadAware(pts, testWorkload(100, 10), wazi.WithLeafSize(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := wazi.Point{X: 0.123, Y: 0.456}
+	idx.Insert(p)
+	if !idx.PointQuery(p) {
+		t.Error("inserted point not found")
+	}
+	if !idx.Delete(p) {
+		t.Error("delete failed")
+	}
+	if idx.PointQuery(p) {
+		t.Error("deleted point still found")
+	}
+	nn := idx.KNN(wazi.Point{X: 0.5, Y: 0.5}, 5)
+	if len(nn) != 5 {
+		t.Fatalf("KNN returned %d", len(nn))
+	}
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	pts := testData(5000, 11)
+	qs := testWorkload(200, 12)
+	idx, err := wazi.NewWorkloadAware(pts, qs, wazi.WithSeed(13), wazi.WithLeafSize(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := wazi.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != idx.Len() {
+		t.Fatalf("loaded Len = %d, want %d", loaded.Len(), idx.Len())
+	}
+	if !loaded.WorkloadAware() {
+		t.Error("workload-awareness lost in roundtrip")
+	}
+	rng := rand.New(rand.NewSource(14))
+	for i := 0; i < 60; i++ {
+		r := wazi.NewRect(
+			wazi.Point{X: rng.Float64(), Y: rng.Float64()},
+			wazi.Point{X: rng.Float64(), Y: rng.Float64()},
+		)
+		assertSame(t, loaded.RangeQuery(r), idx.RangeQuery(r), "loaded vs original")
+	}
+	// Loaded index remains updatable.
+	loaded.Insert(wazi.Point{X: 0.5, Y: 0.5})
+	if !loaded.PointQuery(wazi.Point{X: 0.5, Y: 0.5}) {
+		t.Error("loaded index not updatable")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := wazi.Load(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Error("Load must reject garbage input")
+	}
+	if _, err := wazi.Load(bytes.NewReader(nil)); err == nil {
+		t.Error("Load must reject empty input")
+	}
+	// Truncated snapshot.
+	pts := testData(1000, 15)
+	idx, _ := wazi.New(pts)
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := wazi.Load(bytes.NewReader(trunc)); err == nil {
+		t.Error("Load must reject a truncated snapshot")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	pts := testData(3000, 16)
+	idx, err := wazi.NewWorkloadAware(pts, testWorkload(100, 17), wazi.WithLeafSize(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := wazi.NewConcurrent(idx)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				switch rng.Intn(4) {
+				case 0:
+					c.Insert(wazi.Point{X: rng.Float64(), Y: rng.Float64()})
+				case 1:
+					c.PointQuery(wazi.Point{X: rng.Float64(), Y: rng.Float64()})
+				case 2:
+					r := wazi.NewRect(
+						wazi.Point{X: rng.Float64(), Y: rng.Float64()},
+						wazi.Point{X: rng.Float64(), Y: rng.Float64()},
+					)
+					c.RangeQuery(r)
+				default:
+					c.KNN(wazi.Point{X: rng.Float64(), Y: rng.Float64()}, 3)
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if c.Len() < 3000 {
+		t.Errorf("Len after concurrent inserts = %d", c.Len())
+	}
+	if c.Snapshot().RangeQueries == 0 {
+		t.Error("stats not recorded under concurrency")
+	}
+}
+
+func TestRebuildAdvisor(t *testing.T) {
+	bounds := wazi.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	build := testWorkload(2000, 18)
+	a := wazi.NewRebuildAdvisor(bounds, build, 512, 0.5)
+
+	// Same-distribution traffic: low drift, no rebuild.
+	same := testWorkload(2000, 19)
+	for _, q := range same {
+		a.Observe(q)
+	}
+	if d := a.Drift(); d > 0.3 {
+		t.Errorf("same-distribution drift = %v, expected low", d)
+	}
+	if a.RebuildRecommended() {
+		t.Error("rebuild recommended without drift")
+	}
+
+	// Shift to a differently skewed workload (another region): drift rises
+	// past the threshold.
+	other := workload.Skewed(dataset.CaliNev, 2000, 0.0256e-2, 20)
+	for _, q := range other {
+		a.Observe(q)
+	}
+	if d := a.Drift(); d < 0.5 {
+		t.Errorf("post-shift drift = %v, expected above threshold", d)
+	}
+	if !a.RebuildRecommended() {
+		t.Error("rebuild should be recommended after a full workload shift")
+	}
+	if a.Observed() != 4000 {
+		t.Errorf("Observed = %d", a.Observed())
+	}
+}
+
+func TestRebuildAdvisorWarmup(t *testing.T) {
+	bounds := wazi.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	a := wazi.NewRebuildAdvisor(bounds, testWorkload(100, 21), 0, 0)
+	// Below a quarter of the window, drift must report 0 (not enough
+	// evidence).
+	q := workload.Uniform(10, 0.0064e-2, 22)
+	for _, r := range q {
+		a.Observe(r)
+	}
+	if a.Drift() != 0 {
+		t.Errorf("drift during warmup = %v, want 0", a.Drift())
+	}
+}
+
+func TestWorkloadCostExposed(t *testing.T) {
+	pts := testData(4000, 23)
+	qs := testWorkload(200, 24)
+	base, _ := wazi.New(pts, wazi.WithoutSkipping())
+	aware, _ := wazi.NewWorkloadAware(pts, qs, wazi.WithSeed(25), wazi.WithoutSkipping(), wazi.WithExactCounts())
+	cb := base.WorkloadCost(qs, 0.1)
+	cw := aware.WorkloadCost(qs, 0.1)
+	if cw > cb {
+		t.Errorf("workload-aware cost %v exceeds base %v", cw, cb)
+	}
+}

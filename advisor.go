@@ -1,6 +1,9 @@
 package wazi
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // RebuildAdvisor addresses the paper's third future-work item: deciding
 // when a workload-aware index should be rebuilt as its workload drifts.
@@ -12,7 +15,11 @@ import "math"
 // centers and a sliding window over recently observed queries, and reports
 // drift as the total-variation distance between the two distributions
 // (0 = identical, 1 = disjoint). Observing is O(1) per query.
+//
+// An advisor is safe for concurrent use: the sharded serving layer calls
+// Observe from parallel query paths while its control loop polls Drift.
 type RebuildAdvisor struct {
+	mu        sync.Mutex
 	side      int
 	bounds    Rect
 	reference []float64 // normalized histogram of the build workload
@@ -89,6 +96,8 @@ func (a *RebuildAdvisor) cell(bounds Rect, q Rect) int {
 // Observe records one executed query.
 func (a *RebuildAdvisor) Observe(q Rect) {
 	c := a.cell(a.bounds, q)
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if old := a.window[a.next]; old >= 0 {
 		a.counts[old]--
 	}
@@ -103,6 +112,12 @@ func (a *RebuildAdvisor) Observe(q Rect) {
 // returns 0 until enough queries (a quarter of the window) have been
 // observed to make the estimate meaningful.
 func (a *RebuildAdvisor) Drift() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.drift()
+}
+
+func (a *RebuildAdvisor) drift() float64 {
 	filled := a.seen
 	if filled > len(a.window) {
 		filled = len(a.window)
@@ -118,7 +133,15 @@ func (a *RebuildAdvisor) Drift() float64 {
 }
 
 // RebuildRecommended reports whether drift has crossed the threshold.
-func (a *RebuildAdvisor) RebuildRecommended() bool { return a.Drift() >= a.threshold }
+func (a *RebuildAdvisor) RebuildRecommended() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.drift() >= a.threshold
+}
 
 // Observed returns how many queries have been observed in total.
-func (a *RebuildAdvisor) Observed() int { return a.seen }
+func (a *RebuildAdvisor) Observed() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.seen
+}

@@ -18,6 +18,7 @@ import (
 	"testing"
 	"time"
 
+	wazi "github.com/wazi-index/wazi"
 	"github.com/wazi-index/wazi/internal/bench"
 	"github.com/wazi-index/wazi/internal/core"
 	"github.com/wazi-index/wazi/internal/dataset"
@@ -375,6 +376,42 @@ func BenchmarkAblationLeafSize(b *testing.B) {
 			benchRange(b, z, qs[half:])
 		})
 	}
+}
+
+// BenchmarkShardedParallelRange compares the two serving layers under
+// parallel clients: the single-mutex Concurrent wrapper against the
+// lock-free fan-out Sharded layer (the waziexp "sharded" experiment in
+// testing.B form). Run with -cpu to sweep client parallelism, e.g.
+// go test -bench=ShardedParallel -cpu=1,4,16.
+func BenchmarkShardedParallelRange(b *testing.B) {
+	w := env.workload(benchScale)
+	qs := w.BySelectivity[bench.MidSelectivity]
+	half := len(qs) / 2
+	single, err := wazi.NewWorkloadAware(w.Data, qs[:half], wazi.WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sharded, err := wazi.NewSharded(w.Data, qs[:half],
+		wazi.WithShards(8), wazi.WithoutAutoRebuild(),
+		wazi.WithIndexOptions(wazi.WithSeed(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sharded.Close()
+	run := func(q func(geom.Rect) []geom.Point) func(b *testing.B) {
+		return func(b *testing.B) {
+			measure := qs[half:]
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					_ = q(measure[i%len(measure)])
+					i++
+				}
+			})
+		}
+	}
+	b.Run("Concurrent", run(wazi.NewConcurrent(single).RangeQuery))
+	b.Run("Sharded", run(sharded.RangeQuery))
 }
 
 // BenchmarkKNN exercises the kNN-by-range-decomposition path (§6.3 remark).

@@ -9,7 +9,9 @@
 //	waziexp -list                     # show available experiment ids
 //
 // Experiment ids match the paper's artifact numbers: tab1, tab2, fig4,
-// fig6, fig7, fig8, fig9, fig10, tab3, tab4, tab5, fig11, fig12, fig13.
+// fig6, fig7, fig8, fig9, fig10, tab3, tab4, tab5, fig11, fig12, fig13 —
+// plus "sharded", the serving-layer experiment comparing single-mutex
+// Concurrent against the Sharded fan-out layer under 1–64 goroutines.
 package main
 
 import (

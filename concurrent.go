@@ -3,10 +3,11 @@ package wazi
 import "sync"
 
 // Concurrent wraps an Index for use from multiple goroutines. Operations
-// are serialized with a single mutex: queries mutate the shared access
-// counters and inserts may restructure the tree, so even reads require
-// exclusive access. For read-heavy parallel workloads, shard the data
-// across per-goroutine indexes instead.
+// are serialized with a single mutex: inserts may restructure the tree, so
+// reads and writes take turns. It is the simplest safe wrapper — and it
+// cannot scale past one core. For read-heavy parallel serving use Sharded,
+// which partitions the data across per-shard indexes and serves reads
+// lock-free.
 type Concurrent struct {
 	mu  sync.Mutex
 	idx *Index

@@ -1,0 +1,104 @@
+// Sharded serving demo: partition points across per-shard WaZI indexes,
+// serve parallel range queries lock-free, then drift the workload and watch
+// the background control loop rebuild the affected shards workload-aware —
+// with zero downtime for readers.
+//
+// Run with:
+//
+//	go run ./examples/sharded
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	wazi "github.com/wazi-index/wazi"
+)
+
+func hotspotWorkload(n int, cx, cy float64, seed int64) []wazi.Rect {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]wazi.Rect, n)
+	for i := range qs {
+		x := cx + rng.NormFloat64()*0.05
+		y := cy + rng.NormFloat64()*0.05
+		qs[i] = wazi.Rect{MinX: x - 0.01, MinY: y - 0.01, MaxX: x + 0.01, MaxY: y + 0.01}
+	}
+	return qs
+}
+
+func serve(s *wazi.Sharded, qs []wazi.Rect, goroutines int, d time.Duration) float64 {
+	var done atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			for i := off; !stop.Load(); i++ {
+				_ = s.RangeQuery(qs[i%len(qs)])
+				done.Add(1)
+			}
+		}(g * len(qs) / goroutines)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	return float64(done.Load()) / d.Seconds()
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+	points := make([]wazi.Point, 100_000)
+	for i := range points {
+		points[i] = wazi.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+
+	// Anticipated workload: a hotspot in the south-west.
+	buildQs := hotspotWorkload(2000, 0.25, 0.25, 1)
+
+	s, err := wazi.NewSharded(points, buildQs,
+		wazi.WithShards(8),
+		wazi.WithRebuildInterval(50*time.Millisecond),
+		wazi.WithDriftWindow(512),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer s.Close()
+	fmt.Println(s.Describe())
+	for i, info := range s.Shards() {
+		fmt.Printf("  shard %d: %6d points, workload-aware=%v\n", i, info.Points, info.WorkloadAware)
+	}
+
+	// Phase 1: serve the anticipated distribution.
+	qps := serve(s, buildQs, 8, time.Second)
+	fmt.Printf("\nphase 1 (anticipated workload): %.0f queries/sec\n", qps)
+
+	// Writes never block readers: insert while serving continues.
+	for i := 0; i < 5000; i++ {
+		s.Insert(wazi.Point{X: rng.Float64(), Y: rng.Float64()})
+	}
+	fmt.Printf("after 5000 live inserts: %d points\n", s.Len())
+
+	// Phase 2: traffic drifts to a hotspot in the north-east. The per-shard
+	// advisors detect the shift; the control loop rebuilds drifted shards
+	// with the recent query window and hot-swaps them in while queries keep
+	// flowing.
+	driftQs := hotspotWorkload(2000, 0.75, 0.75, 2)
+	qps = serve(s, driftQs, 8, 2*time.Second)
+	fmt.Printf("\nphase 2 (drifted workload): %.0f queries/sec\n", qps)
+	fmt.Printf("rebuilds during drift: %d\n", s.Rebuilds())
+	for i, info := range s.Shards() {
+		fmt.Printf("  shard %d: %6d points, drift=%.2f, rebuilds=%d\n",
+			i, info.Points, info.Drift, info.Rebuilds)
+	}
+
+	// Phase 3: the rebuilt layout now serves the drifted hotspot as its
+	// anticipated workload.
+	qps = serve(s, driftQs, 8, time.Second)
+	fmt.Printf("\nphase 3 (after adaptation): %.0f queries/sec\n", qps)
+	fmt.Println(s.Describe())
+}

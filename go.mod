@@ -1,0 +1,3 @@
+module github.com/wazi-index/wazi
+
+go 1.24

@@ -1,0 +1,70 @@
+package sfcarr_test
+
+import (
+	"testing"
+
+	"github.com/wazi-index/wazi/internal/baselines/sfcarr"
+	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/index"
+	"github.com/wazi-index/wazi/internal/indextest"
+	"github.com/wazi-index/wazi/internal/zorder"
+)
+
+// fullLocator is the trivial Locator: the window is the whole array, so
+// lowerBound degrades to a plain binary search. It isolates the sfcarr core
+// (sorting, BIGMIN scanning, rank mapping) from any learned component.
+type fullLocator struct{ n int }
+
+func (l fullLocator) Window(zorder.Key) (int, int) { return 0, l.n - 1 }
+func (l fullLocator) Bytes() int64                 { return 0 }
+
+// lyingLocator returns a deliberately wrong, narrow window. The exponential
+// widening in lowerBound must recover, so results stay correct even under a
+// badly mistrained model — the safety net the learned baselines rely on.
+type lyingLocator struct{ n int }
+
+func (l lyingLocator) Window(zorder.Key) (int, int) {
+	mid := l.n / 2
+	return mid, mid
+}
+func (l lyingLocator) Bytes() int64 { return 0 }
+
+func TestConformanceFullWindow(t *testing.T) {
+	indextest.Conformance(t, func(pts []geom.Point, _ []geom.Rect) index.Index {
+		return sfcarr.Build(pts, sfcarr.StdZ{}, func(keys []zorder.Key) sfcarr.Locator {
+			return fullLocator{n: len(keys)}
+		})
+	})
+}
+
+func TestConformanceLyingLocator(t *testing.T) {
+	indextest.Conformance(t, func(pts []geom.Point, _ []geom.Rect) index.Index {
+		return sfcarr.Build(pts, sfcarr.StdZ{}, func(keys []zorder.Key) sfcarr.Locator {
+			return lyingLocator{n: len(keys)}
+		})
+	})
+}
+
+// TestKeysSorted pins the Build contract the locators depend on: the key
+// array is sorted and aligned with the point array.
+func TestKeysSorted(t *testing.T) {
+	pts := indextest.ClusteredPoints(3000, 9)
+	idx := sfcarr.Build(pts, sfcarr.StdZ{}, func(keys []zorder.Key) sfcarr.Locator {
+		return fullLocator{n: len(keys)}
+	})
+	keys := idx.Keys()
+	if len(keys) != len(pts) {
+		t.Fatalf("got %d keys for %d points", len(keys), len(pts))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			t.Fatalf("keys not sorted at %d", i)
+		}
+	}
+	if idx.Len() != len(pts) {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	if idx.Bytes() <= 0 {
+		t.Fatal("Bytes must be positive")
+	}
+}

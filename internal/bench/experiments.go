@@ -34,6 +34,7 @@ func Experiments() []struct {
 		{"fig11", Fig11Inserts},
 		{"fig12", Fig12WorkloadDrift},
 		{"fig13", Fig13Ablation},
+		{"sharded", ShardedThroughput},
 	}
 }
 

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	wazi "github.com/wazi-index/wazi"
+	"github.com/wazi-index/wazi/internal/geom"
+)
+
+// shardedGoroutineLadder is the client-concurrency ladder of the sharded
+// serving experiment.
+var shardedGoroutineLadder = []int{1, 2, 4, 8, 16, 32, 64}
+
+// querier abstracts the two serving layers under comparison.
+type querier interface {
+	RangeQuery(r geom.Rect) []geom.Point
+}
+
+// ShardedThroughput measures aggregate range-query throughput of the
+// single-mutex Concurrent wrapper versus the sharded serving layer as the
+// number of client goroutines grows. This is the serving-layer experiment
+// the paper's "build offline, serve online" deployment model (§6.5) implies
+// but never runs: with every read serialized, Concurrent cannot scale past
+// one core, while Sharded fans out over per-shard indexes and scales with
+// the hardware.
+func ShardedThroughput(cfg Config) []Table {
+	cfg.fill()
+	r := cfg.Regions[0]
+	w := MakeWorkloads(r, cfg.Scale, cfg)
+	qs := w.BySelectivity[MidSelectivity]
+	half := len(qs) / 2
+
+	single, err := wazi.NewWorkloadAware(w.Data, qs[:half], wazi.WithLeafSize(cfg.LeafSize), wazi.WithSeed(cfg.Seed))
+	if err != nil {
+		panic(err)
+	}
+	conc := wazi.NewConcurrent(single)
+	// Pin the shard count rather than inherit GOMAXPROCS: on a small
+	// machine the interesting effects (MBR-pruned fan-out, no mutex
+	// convoy) still need several shards to show, and on a big one eight
+	// shards already saturate the goroutine ladder.
+	shards := max(8, runtime.GOMAXPROCS(0))
+	sharded, err := wazi.NewSharded(w.Data, qs[:half],
+		wazi.WithShards(shards),
+		wazi.WithIndexOptions(wazi.WithLeafSize(cfg.LeafSize), wazi.WithSeed(cfg.Seed)),
+		wazi.WithoutAutoRebuild())
+	if err != nil {
+		panic(err)
+	}
+	defer sharded.Close()
+
+	t := Table{
+		ID:     "sharded",
+		Title:  fmt.Sprintf("Aggregate range-query throughput by client goroutines (%s, %d points, %d shards, GOMAXPROCS=%d)", r, cfg.Scale, sharded.NumShards(), runtime.GOMAXPROCS(0)),
+		Header: []string{"Goroutines", "Concurrent (q/s)", "Sharded (q/s)", "Speedup"},
+		Notes: []string{
+			"expected shape: Concurrent flat or degrading with goroutines (single mutex); Sharded scaling with cores",
+		},
+	}
+	for _, g := range shardedGoroutineLadder {
+		cq := measureThroughput(conc, qs[half:], g)
+		sq := measureThroughput(sharded, qs[half:], g)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", g),
+			fmt.Sprintf("%.0f", cq),
+			fmt.Sprintf("%.0f", sq),
+			fmt.Sprintf("%.2fx", sq/cq),
+		})
+	}
+	return []Table{t}
+}
+
+// measureThroughput runs g goroutines for a fixed wall-clock window, each
+// looping over the query set from a different offset, and returns aggregate
+// queries per second.
+func measureThroughput(idx querier, qs []geom.Rect, g int) float64 {
+	const window = 250 * time.Millisecond
+	// Warmup pass.
+	for _, q := range qs[:min(len(qs), 64)] {
+		_ = idx.RangeQuery(q)
+	}
+	var done atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			n := int64(0)
+			for j := off; !stop.Load(); j++ {
+				_ = idx.RangeQuery(qs[j%len(qs)])
+				n++
+			}
+			done.Add(n)
+		}(i * len(qs) / g)
+	}
+	start := time.Now()
+	time.Sleep(window)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	return float64(done.Load()) / elapsed.Seconds()
+}

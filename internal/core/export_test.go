@@ -1,6 +1,9 @@
 package core
 
-import "github.com/wazi-index/wazi/internal/geom"
+import (
+	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/storage"
+)
 
 // Test-only exports.
 
@@ -8,13 +11,22 @@ import "github.com/wazi-index/wazi/internal/geom"
 func (z *ZIndex) CheckInvariants() error { return z.checkInvariants() }
 
 // TreeTraversal exposes Algorithm 1 for tests.
-func (z *ZIndex) TreeTraversal(p geom.Point) *Leaf { return z.treeTraversal(p) }
+func (z *ZIndex) TreeTraversal(p geom.Point) *Leaf {
+	var d storage.Stats
+	return z.treeTraversal(p, &d)
+}
 
 // LowerBoundLeaf exposes the projection lower bound for tests.
-func (z *ZIndex) LowerBoundLeaf(p geom.Point) *Leaf { return z.lowerBoundLeaf(p) }
+func (z *ZIndex) LowerBoundLeaf(p geom.Point) *Leaf {
+	var d storage.Stats
+	return z.lowerBoundLeaf(p, &d)
+}
 
 // UpperBoundLeaf exposes the projection upper bound for tests.
-func (z *ZIndex) UpperBoundLeaf(p geom.Point) *Leaf { return z.upperBoundLeaf(p) }
+func (z *ZIndex) UpperBoundLeaf(p geom.Point) *Leaf {
+	var d storage.Stats
+	return z.upperBoundLeaf(p, &d)
+}
 
 // CellCost exposes the Eq. 5 evaluator for tests.
 func CellCost(cell geom.Rect, split geom.Point, o Ordering, queries []geom.Rect, n [4]float64, alpha float64) float64 {

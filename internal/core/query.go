@@ -4,15 +4,24 @@ import (
 	"time"
 
 	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/storage"
 )
+
+// Query processing accumulates its access counters into a stack-local
+// storage.Stats and flushes it once per query with Stats.AtomicAdd. That
+// keeps the hot loops free of atomic operations while making a built index
+// safe to query from many goroutines at once — the property the sharded
+// serving layer in the root package depends on. Update paths (update.go)
+// still write counters directly: structural mutation requires exclusive
+// access anyway.
 
 // treeTraversal descends to the leaf whose cell contains p (Algorithm 1).
 // It returns nil when the path reaches an empty quadrant (no leaf exists
-// there).
-func (z *ZIndex) treeTraversal(p geom.Point) *Leaf {
+// there). Visited nodes are counted into d.
+func (z *ZIndex) treeTraversal(p geom.Point, d *storage.Stats) *Leaf {
 	n := z.root
 	for n != nil && n.leaf == nil {
-		z.stats.NodesVisited++
+		d.NodesVisited++
 		pos := n.order.Pos(geom.QuadrantOf(p, n.split))
 		n = n.child[pos]
 	}
@@ -26,8 +35,8 @@ func (z *ZIndex) treeTraversal(p geom.Point) *Leaf {
 // any point dominating p's cell position — the "low" extreme of Algorithm 2.
 // When the quadrant containing p is empty, the next non-empty quadrant in
 // the ordering is used.
-func (z *ZIndex) lowerBoundLeaf(p geom.Point) *Leaf {
-	return lowerBound(z.root, p, &z.stats.NodesVisited)
+func (z *ZIndex) lowerBoundLeaf(p geom.Point, d *storage.Stats) *Leaf {
+	return lowerBound(z.root, p, &d.NodesVisited)
 }
 
 func lowerBound(n *node, p geom.Point, visited *int64) *Leaf {
@@ -53,8 +62,8 @@ func lowerBound(n *node, p geom.Point, visited *int64) *Leaf {
 // upperBoundLeaf returns the last leaf in Ord whose cell could contain p or
 // any point dominated by p's cell position — the "high" extreme of
 // Algorithm 2.
-func (z *ZIndex) upperBoundLeaf(p geom.Point) *Leaf {
-	return upperBound(z.root, p, &z.stats.NodesVisited)
+func (z *ZIndex) upperBoundLeaf(p geom.Point, d *storage.Stats) *Leaf {
+	return upperBound(z.root, p, &d.NodesVisited)
 }
 
 func upperBound(n *node, p geom.Point, visited *int64) *Leaf {
@@ -109,16 +118,18 @@ func lastLeaf(n *node) *Leaf {
 
 // PointQuery reports whether the index contains a point equal to p.
 func (z *ZIndex) PointQuery(p geom.Point) bool {
-	z.stats.PointQueries++
+	var d storage.Stats
+	d.PointQueries = 1
+	defer func() { z.stats.AtomicAdd(d) }()
 	if !z.bounds.Contains(p) {
 		return false
 	}
-	l := z.treeTraversal(p)
+	l := z.treeTraversal(p, &d)
 	if l == nil {
 		return false
 	}
-	z.stats.PagesScanned++
-	z.stats.PointsScanned += int64(l.page.Len())
+	d.PagesScanned++
+	d.PointsScanned += int64(l.page.Len())
 	return l.page.Contains(p)
 }
 
@@ -132,23 +143,25 @@ func (z *ZIndex) RangeQuery(r geom.Rect) []geom.Point {
 // extended slice, avoiding per-query allocations for callers that reuse
 // buffers.
 func (z *ZIndex) RangeQueryAppend(dst []geom.Point, r geom.Rect) []geom.Point {
-	z.stats.RangeQueries++
+	var d storage.Stats
+	d.RangeQueries = 1
+	defer func() { z.stats.AtomicAdd(d) }()
 	clipped := r.Intersect(z.bounds)
 	if !clipped.Valid() {
 		return dst
 	}
-	low := z.lowerBoundLeaf(clipped.BL())
-	high := z.upperBoundLeaf(clipped.TR())
+	low := z.lowerBoundLeaf(clipped.BL(), &d)
+	high := z.upperBoundLeaf(clipped.TR(), &d)
 	if low == nil || high == nil || low.ord > high.ord {
 		return dst
 	}
 	useSkip := !z.opts.DisableSkipping
 	before := len(dst)
 	for p := low; p != nil && p.ord <= high.ord; {
-		z.stats.BBChecked++
+		d.BBChecked++
 		if p.bounds.Intersects(r) {
-			z.stats.PagesScanned++
-			z.stats.PointsScanned += int64(p.page.Len())
+			d.PagesScanned++
+			d.PointsScanned += int64(p.page.Len())
 			dst = p.page.Filter(r, dst)
 			p = p.next
 			continue
@@ -157,16 +170,16 @@ func (z *ZIndex) RangeQueryAppend(dst []geom.Point, r geom.Rect) []geom.Point {
 			p = p.next
 			continue
 		}
-		p = z.followLookahead(p, r)
+		p = z.followLookahead(p, r, &d)
 	}
-	z.stats.ResultPoints += int64(len(dst) - before)
+	d.ResultPoints += int64(len(dst) - before)
 	return dst
 }
 
 // followLookahead picks, among the criteria disqualifying p for query r,
 // the look-ahead pointer that jumps farthest in Ord (§5.1). A nil pointer
 // means no later leaf can satisfy that criterion, so the scan terminates.
-func (z *ZIndex) followLookahead(p *Leaf, r geom.Rect) *Leaf {
+func (z *ZIndex) followLookahead(p *Leaf, r geom.Rect, d *storage.Stats) *Leaf {
 	next := p.next
 	jumped := false
 	consider := func(c Criterion) {
@@ -197,7 +210,7 @@ func (z *ZIndex) followLookahead(p *Leaf, r geom.Rect) *Leaf {
 		consider(Right)
 	}
 	if jumped {
-		z.stats.LookaheadJumps++
+		d.LookaheadJumps++
 	}
 	return next
 }
@@ -208,19 +221,21 @@ func (z *ZIndex) followLookahead(p *Leaf, r geom.Rect) *Leaf {
 // and scan (filtering points from overlapping pages). Figure 9 of the paper
 // reports exactly this split. The result set is identical to RangeQuery's.
 func (z *ZIndex) RangeQueryPhased(r geom.Rect) (pts []geom.Point, projection, scan time.Duration) {
-	z.stats.RangeQueries++
+	var d storage.Stats
+	d.RangeQueries = 1
+	defer func() { z.stats.AtomicAdd(d) }()
 	clipped := r.Intersect(z.bounds)
 	if !clipped.Valid() {
 		return nil, 0, 0
 	}
 	start := time.Now()
 	var overlapping []*Leaf
-	low := z.lowerBoundLeaf(clipped.BL())
-	high := z.upperBoundLeaf(clipped.TR())
+	low := z.lowerBoundLeaf(clipped.BL(), &d)
+	high := z.upperBoundLeaf(clipped.TR(), &d)
 	if low != nil && high != nil && low.ord <= high.ord {
 		useSkip := !z.opts.DisableSkipping
 		for p := low; p != nil && p.ord <= high.ord; {
-			z.stats.BBChecked++
+			d.BBChecked++
 			if p.bounds.Intersects(r) {
 				overlapping = append(overlapping, p)
 				p = p.next
@@ -230,44 +245,44 @@ func (z *ZIndex) RangeQueryPhased(r geom.Rect) (pts []geom.Point, projection, sc
 				p = p.next
 				continue
 			}
-			p = z.followLookahead(p, r)
+			p = z.followLookahead(p, r, &d)
 		}
 	}
 	projection = time.Since(start)
 
 	start = time.Now()
 	for _, p := range overlapping {
-		z.stats.PagesScanned++
-		z.stats.PointsScanned += int64(p.page.Len())
+		d.PagesScanned++
+		d.PointsScanned += int64(p.page.Len())
 		pts = p.page.Filter(r, pts)
 	}
 	scan = time.Since(start)
-	z.stats.ResultPoints += int64(len(pts))
+	d.ResultPoints += int64(len(pts))
 	return pts, projection, scan
 }
 
 // RangeCount returns the number of points inside r without materializing
 // them.
 func (z *ZIndex) RangeCount(r geom.Rect) int {
-	// Reuse the allocation-free append path with a small stack buffer; for
-	// counting we still need to filter, so just count matches inline.
-	z.stats.RangeQueries++
+	var d storage.Stats
+	d.RangeQueries = 1
+	defer func() { z.stats.AtomicAdd(d) }()
 	clipped := r.Intersect(z.bounds)
 	if !clipped.Valid() {
 		return 0
 	}
-	low := z.lowerBoundLeaf(clipped.BL())
-	high := z.upperBoundLeaf(clipped.TR())
+	low := z.lowerBoundLeaf(clipped.BL(), &d)
+	high := z.upperBoundLeaf(clipped.TR(), &d)
 	if low == nil || high == nil || low.ord > high.ord {
 		return 0
 	}
 	useSkip := !z.opts.DisableSkipping
 	count := 0
 	for p := low; p != nil && p.ord <= high.ord; {
-		z.stats.BBChecked++
+		d.BBChecked++
 		if p.bounds.Intersects(r) {
-			z.stats.PagesScanned++
-			z.stats.PointsScanned += int64(p.page.Len())
+			d.PagesScanned++
+			d.PointsScanned += int64(p.page.Len())
 			for _, pt := range p.page.Pts {
 				if r.Contains(pt) {
 					count++
@@ -280,8 +295,8 @@ func (z *ZIndex) RangeCount(r geom.Rect) int {
 			p = p.next
 			continue
 		}
-		p = z.followLookahead(p, r)
+		p = z.followLookahead(p, r, &d)
 	}
-	z.stats.ResultPoints += int64(count)
+	d.ResultPoints += int64(count)
 	return count
 }

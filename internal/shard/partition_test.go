@@ -1,0 +1,137 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/wazi-index/wazi/internal/geom"
+)
+
+func clusteredPoints(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	return pts
+}
+
+func hotspotQueries(n int, cx, cy float64, seed int64) []geom.Rect {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]geom.Rect, n)
+	for i := range qs {
+		x := cx + rng.NormFloat64()*0.03
+		y := cy + rng.NormFloat64()*0.03
+		qs[i] = geom.Rect{MinX: x - 0.01, MinY: y - 0.01, MaxX: x + 0.01, MaxY: y + 0.01}
+	}
+	return qs
+}
+
+// TestPartitionCoversAllPoints checks the fundamental contract: every point
+// lands in exactly one group, and Locate agrees with the assignment.
+func TestPartitionCoversAllPoints(t *testing.T) {
+	pts := clusteredPoints(5000, 1)
+	qs := hotspotQueries(300, 0.7, 0.3, 2)
+	for _, n := range []int{1, 2, 4, 7, 16} {
+		p := Partition(pts, qs, n)
+		if p.NumShards() > n {
+			t.Fatalf("n=%d: produced %d shards", n, p.NumShards())
+		}
+		if len(p.Groups) != p.NumShards() {
+			t.Fatalf("n=%d: %d groups for %d shards", n, len(p.Groups), p.NumShards())
+		}
+		total := 0
+		for g, group := range p.Groups {
+			total += len(group)
+			for _, pt := range group {
+				if p.Locate(pt) != g {
+					t.Fatalf("n=%d: point %v assigned to %d, Locate says %d", n, pt, g, p.Locate(pt))
+				}
+			}
+		}
+		if total != len(pts) {
+			t.Fatalf("n=%d: groups hold %d points, want %d", n, total, len(pts))
+		}
+	}
+}
+
+// TestPartitionBalance: with a uniform workload the split should be roughly
+// balanced by point count.
+func TestPartitionBalance(t *testing.T) {
+	pts := clusteredPoints(8000, 3)
+	p := Partition(pts, nil, 8)
+	if p.NumShards() < 7 {
+		t.Fatalf("uniform data produced only %d shards", p.NumShards())
+	}
+	for g, group := range p.Groups {
+		if len(group) < len(pts)/p.NumShards()/4 || len(group) > len(pts)/p.NumShards()*4 {
+			t.Errorf("group %d badly unbalanced: %d of %d points", g, len(group), len(pts))
+		}
+	}
+}
+
+// TestPartitionWorkloadAware: a hotspot workload must shrink the shards
+// covering the hotspot — the hottest shard should hold clearly fewer points
+// than the uniform share.
+func TestPartitionWorkloadAware(t *testing.T) {
+	pts := clusteredPoints(8000, 4)
+	hot := hotspotQueries(500, 0.2, 0.2, 5)
+	p := Partition(pts, hot, 8)
+	center := geom.Point{X: 0.2, Y: 0.2}
+	g := p.Locate(center)
+	share := len(pts) / p.NumShards()
+	if len(p.Groups[g]) >= share {
+		t.Errorf("hotspot shard holds %d points, uniform share is %d — partitioner ignored the workload", len(p.Groups[g]), share)
+	}
+}
+
+// TestPartitionDuplicateKeys: coincident points must never straddle a cut.
+func TestPartitionDuplicateKeys(t *testing.T) {
+	pts := make([]geom.Point, 1200)
+	for i := range pts {
+		pts[i] = geom.Point{X: 0.25 * float64(i%3), Y: 0.5 * float64(i%2)}
+	}
+	p := Partition(pts, nil, 6)
+	for _, pt := range pts {
+		g := p.Locate(pt)
+		found := false
+		for _, q := range p.Groups[g] {
+			if q == pt {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("point %v not in its Locate group", pt)
+		}
+	}
+}
+
+// TestPartitionMoreShardsThanPoints clamps gracefully.
+func TestPartitionMoreShardsThanPoints(t *testing.T) {
+	pts := clusteredPoints(3, 6)
+	p := Partition(pts, nil, 16)
+	if p.NumShards() > 3 {
+		t.Fatalf("3 points spread over %d shards", p.NumShards())
+	}
+	total := 0
+	for _, g := range p.Groups {
+		total += len(g)
+	}
+	if total != 3 {
+		t.Fatalf("groups hold %d points", total)
+	}
+}
+
+// TestLocateOutOfBounds: routing must be total for points outside the
+// original data bounds (inserts can arrive anywhere).
+func TestLocateOutOfBounds(t *testing.T) {
+	pts := clusteredPoints(1000, 7)
+	p := Partition(pts, nil, 4)
+	for _, pt := range []geom.Point{{X: -5, Y: -5}, {X: 5, Y: 5}, {X: -1, Y: 2}} {
+		g := p.Locate(pt)
+		if g < 0 || g >= p.NumShards() {
+			t.Fatalf("Locate(%v) = %d out of range", pt, g)
+		}
+	}
+}

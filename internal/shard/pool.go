@@ -1,0 +1,84 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed-size worker pool for fan-out query execution. Do hands
+// tasks to idle workers and runs the overflow on the calling goroutine, so
+// a query is never queued behind another query's tasks and the pool can
+// never deadlock: every task is independent and somebody always runs it.
+type Pool struct {
+	tasks  chan func()
+	quit   chan struct{}
+	wg     sync.WaitGroup
+	inline bool
+	closed atomic.Bool
+}
+
+// NewPool starts a pool with n workers. With n <= 1 the pool runs in inline
+// mode: one worker adds no parallelism over the calling goroutine, so no
+// workers are spawned and Do degenerates to a loop — the right shape on a
+// single-core machine.
+func NewPool(n int) *Pool {
+	if n <= 1 {
+		return &Pool{inline: true}
+	}
+	p := &Pool{tasks: make(chan func()), quit: make(chan struct{})}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			for {
+				select {
+				case f := <-p.tasks:
+					f()
+				case <-p.quit:
+					return
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// Do runs every task and returns when all have finished. Tasks that find no
+// idle worker execute inline on the caller. After Close, everything runs
+// inline, so in-flight queries drain safely during shutdown.
+func (p *Pool) Do(tasks []func()) {
+	if len(tasks) == 1 {
+		tasks[0]()
+		return
+	}
+	if p == nil || p.inline || p.closed.Load() {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(tasks))
+	for _, t := range tasks {
+		t := t
+		wrapped := func() { defer wg.Done(); t() }
+		select {
+		case p.tasks <- wrapped:
+		default:
+			wrapped()
+		}
+	}
+	wg.Wait()
+}
+
+// Inline reports whether the pool executes everything on the caller.
+func (p *Pool) Inline() bool { return p == nil || p.inline || p.closed.Load() }
+
+// Close stops the workers. Idempotent; concurrent Do calls fall back to
+// inline execution.
+func (p *Pool) Close() {
+	if p.closed.CompareAndSwap(false, true) && !p.inline {
+		close(p.quit)
+		p.wg.Wait()
+	}
+}

@@ -1,0 +1,62 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolRunsAllTasks checks completion of every task, including the
+// inline-overflow path (more tasks than workers).
+func TestPoolRunsAllTasks(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var sum atomic.Int64
+	tasks := make([]func(), 100)
+	for i := range tasks {
+		i := i
+		tasks[i] = func() { sum.Add(int64(i + 1)) }
+	}
+	p.Do(tasks)
+	if got := sum.Load(); got != 5050 {
+		t.Fatalf("task sum = %d, want 5050", got)
+	}
+}
+
+// TestPoolConcurrentDo runs many Do calls from separate goroutines — no
+// deadlock, no lost tasks.
+func TestPoolConcurrentDo(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var sum atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tasks := make([]func(), 5)
+				for j := range tasks {
+					tasks[j] = func() { sum.Add(1) }
+				}
+				p.Do(tasks)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := sum.Load(); got != 8*50*5 {
+		t.Fatalf("ran %d tasks, want %d", got, 8*50*5)
+	}
+}
+
+// TestPoolAfterClose: Do must keep working (inline) after Close.
+func TestPoolAfterClose(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close() // idempotent
+	var sum atomic.Int64
+	p.Do([]func(){func() { sum.Add(1) }, func() { sum.Add(1) }})
+	if sum.Load() != 2 {
+		t.Fatal("tasks lost after Close")
+	}
+}

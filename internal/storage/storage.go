@@ -9,7 +9,11 @@
 // pages.
 package storage
 
-import "github.com/wazi-index/wazi/internal/geom"
+import (
+	"sync/atomic"
+
+	"github.com/wazi-index/wazi/internal/geom"
+)
 
 // Page is one leaf page of a clustered index.
 type Page struct {
@@ -98,8 +102,57 @@ type Stats struct {
 // the redundant work metric of the ablation study.
 func (s *Stats) ExcessPoints() int64 { return s.PointsScanned - s.ResultPoints }
 
-// Reset zeroes all counters.
-func (s *Stats) Reset() { *s = Stats{} }
+// Reset zeroes all counters. Safe against concurrent AtomicAdd callers.
+func (s *Stats) Reset() {
+	for _, f := range s.fields() {
+		atomic.StoreInt64(f, 0)
+	}
+}
+
+// fields lists the counters in declaration order, so the atomic helpers
+// below stay in sync with the struct definition.
+func (s *Stats) fields() [12]*int64 {
+	return [12]*int64{
+		&s.RangeQueries, &s.PointQueries, &s.NodesVisited, &s.BBChecked,
+		&s.PagesScanned, &s.PointsScanned, &s.ResultPoints, &s.LookaheadJumps,
+		&s.Inserts, &s.Deletes, &s.PageSplits, &s.PageMerges,
+	}
+}
+
+// AtomicAdd folds the delta d into s with atomic additions, skipping zero
+// fields. Query paths accumulate a per-query Stats on the stack and flush it
+// here once, which is what makes an index safe to read from many goroutines
+// at once (the serving layer in the root package relies on this).
+func (s *Stats) AtomicAdd(d Stats) {
+	dst := s.fields()
+	src := d.fields()
+	for i, f := range dst {
+		if v := *src[i]; v != 0 {
+			atomic.AddInt64(f, v)
+		}
+	}
+}
+
+// AtomicSnapshot returns a consistent-enough copy of the counters using
+// atomic loads, for readers that run concurrently with AtomicAdd writers.
+func (s *Stats) AtomicSnapshot() Stats {
+	var out Stats
+	dst := out.fields()
+	for i, f := range s.fields() {
+		*dst[i] = atomic.LoadInt64(f)
+	}
+	return out
+}
+
+// Add returns the field-wise sum of s and o, for aggregating counters
+// across shards.
+func (s Stats) Add(o Stats) Stats {
+	dst := s.fields()
+	for i, f := range o.fields() {
+		*dst[i] += *f
+	}
+	return s
+}
 
 // Diff returns the counter deltas accumulated since an earlier snapshot.
 func (s Stats) Diff(since Stats) Stats {

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"sync"
 	"testing"
 
 	"github.com/wazi-index/wazi/internal/geom"
@@ -68,6 +69,48 @@ func TestStatsDiffAndReset(t *testing.T) {
 	s.Reset()
 	if s != (Stats{}) {
 		t.Errorf("Reset left %+v", s)
+	}
+}
+
+func TestStatsAtomicAdd(t *testing.T) {
+	all := Stats{
+		RangeQueries: 1, PointQueries: 2, NodesVisited: 3, BBChecked: 4,
+		PagesScanned: 5, PointsScanned: 6, ResultPoints: 7, LookaheadJumps: 8,
+		Inserts: 9, Deletes: 10, PageSplits: 11, PageMerges: 12,
+	}
+	var s Stats
+	s.AtomicAdd(all)
+	if s != all {
+		t.Fatalf("AtomicAdd dropped fields: %+v", s)
+	}
+	if s.AtomicSnapshot() != all {
+		t.Fatalf("AtomicSnapshot = %+v", s.AtomicSnapshot())
+	}
+	if got := all.Add(all); got.RangeQueries != 2 || got.PageMerges != 24 {
+		t.Fatalf("Add = %+v", got)
+	}
+}
+
+// TestStatsAtomicAddConcurrent checks the aggregation contract under
+// parallel writers; meaningful under -race.
+func TestStatsAtomicAddConcurrent(t *testing.T) {
+	var s Stats
+	var wg sync.WaitGroup
+	const workers, rounds = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				s.AtomicAdd(Stats{RangeQueries: 1, PointsScanned: 3})
+				_ = s.AtomicSnapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	got := s.AtomicSnapshot()
+	if got.RangeQueries != workers*rounds || got.PointsScanned != 3*workers*rounds {
+		t.Fatalf("lost updates: %+v", got)
 	}
 }
 

@@ -1,0 +1,980 @@
+package wazi
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/shard"
+)
+
+// Sharded is the serving-layer counterpart of Index: it partitions the data
+// across N per-shard WaZI indexes with a workload-aware Z-order partitioner
+// (hotspot regions get more, smaller shards), executes queries by parallel
+// fan-out over only the shards whose bounds intersect the query, and adapts
+// to workload drift by rebuilding drifted shards in the background and
+// hot-swapping them in.
+//
+// The read data path is lock-free: every query loads an immutable snapshot
+// through an atomic pointer, so writes, compactions, and rebuilds never
+// block readers. (Drift monitoring is the one exception: each query takes
+// a short per-shard mutex to update the advisor's histogram, and a sampled
+// one for the recent-query ring.)
+// Writes are serialized among themselves and land in small per-shard delta
+// buffers (copy-on-write) that background compaction folds into the shard's
+// index. This is the deployment model of §6.5 — build offline, serve online
+// — extended with the zero-downtime adaptation the paper leaves as future
+// work: each shard's RebuildAdvisor watches its observed queries, and once
+// drift crosses the Figure 12 crossover threshold the shard is rebuilt with
+// NewWorkloadAware on the recent query window and swapped in atomically.
+type Sharded struct {
+	snap atomic.Pointer[shardedSnapshot]
+	mu   sync.Mutex // serializes writers, compactions, and snapshot swaps
+	plan *shard.Plan
+	pool *shard.Pool
+	opts shardedConfig
+	ctls []*shardCtl
+
+	// Logical operation counters, maintained at this layer because shard
+	// counters tally per-shard work, not per-caller operations.
+	rangeQs  atomic.Int64
+	pointQs  atomic.Int64
+	knnQs    atomic.Int64
+	inserts  atomic.Int64
+	deletes  atomic.Int64
+	rebuilds atomic.Int64
+
+	// retired accumulates the final counters of shard indexes replaced by
+	// compaction or rebuild, so aggregate Stats never move backwards.
+	// Guarded by mu.
+	retired Stats
+
+	loop   chan struct{} // closed to stop the rebuild loop; nil when disabled
+	kicked chan struct{} // nudges the loop when a backlog crosses the threshold
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// shardedSnapshot is the immutable world a query runs against.
+type shardedSnapshot struct {
+	shards []*shardSnap
+}
+
+// shardSnap is one shard's immutable state: a built index (nil while the
+// shard holds only buffered writes), the insert buffer, and delete
+// tombstones. All three are copy-on-write: writers build a new shardSnap
+// and swap the snapshot; readers never see a mutation.
+type shardSnap struct {
+	idx    *Index        // immutable once published; nil for an empty shard
+	extra  []Point       // inserts not yet compacted into idx
+	dead   map[Point]int // tombstoned multiset of deletes against idx
+	deadN  int           // total tombstone count
+	bounds Rect          // MBR of live contents (never shrinks on delete)
+	empty  bool
+}
+
+// live returns the number of points the shard currently serves.
+func (s *shardSnap) live() int {
+	n := len(s.extra) - s.deadN
+	if s.idx != nil {
+		n += s.idx.Len()
+	}
+	return n
+}
+
+// backlog is the write-buffer pressure that triggers compaction.
+func (s *shardSnap) backlog() int { return len(s.extra) + s.deadN }
+
+// shardCtl is a shard's mutable control state. advisor is an atomic pointer
+// because query paths observe into it while rebuilds replace it; the other
+// fields are guarded by Sharded.mu.
+type shardCtl struct {
+	advisor    atomic.Pointer[RebuildAdvisor]
+	recent     *queryRing
+	rebuilding bool
+	log        []shardOp // writes arriving while a rebuild is in flight
+	rebuilds   int
+}
+
+// shardOp is one logged write, replayed onto a freshly rebuilt shard index
+// before it is swapped in.
+type shardOp struct {
+	p   Point
+	del bool
+}
+
+// queryRing is a thread-safe bounded ring of recently observed queries; its
+// contents become the anticipated workload of a drift-triggered rebuild.
+// Only one in ringSampleRate observations enters the mutex — the ring feeds
+// rebuild workloads, where a sample is as good as the full stream, and the
+// query hot path should shed shared-state traffic where it can.
+type queryRing struct {
+	tick   atomic.Uint64
+	mu     sync.Mutex
+	buf    []Rect
+	next   int
+	filled bool
+}
+
+const ringSampleRate = 4
+
+func newQueryRing(n int) *queryRing { return &queryRing{buf: make([]Rect, n)} }
+
+func (r *queryRing) add(q Rect) {
+	if r.tick.Add(1)%ringSampleRate != 1 {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = q
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.filled = true
+	}
+	r.mu.Unlock()
+}
+
+func (r *queryRing) snapshot() []Rect {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.filled {
+		return append([]Rect(nil), r.buf...)
+	}
+	return append([]Rect(nil), r.buf[:r.next]...)
+}
+
+// shardedConfig collects ShardedOption values.
+type shardedConfig struct {
+	shards           int
+	workers          int
+	indexOpts        []Option
+	driftThreshold   float64
+	windowSize       int
+	compactThreshold int
+	rebuildInterval  time.Duration
+	autoRebuild      bool
+}
+
+// ShardedOption customizes NewSharded.
+type ShardedOption func(*shardedConfig)
+
+// WithShards sets the shard count (default: GOMAXPROCS, capped at 64).
+func WithShards(n int) ShardedOption { return func(c *shardedConfig) { c.shards = n } }
+
+// WithWorkers sets the fan-out worker-pool size (default: GOMAXPROCS).
+func WithWorkers(n int) ShardedOption { return func(c *shardedConfig) { c.workers = n } }
+
+// WithIndexOptions forwards options to every per-shard index build,
+// including drift rebuilds.
+func WithIndexOptions(opts ...Option) ShardedOption {
+	return func(c *shardedConfig) { c.indexOpts = opts }
+}
+
+// WithDriftThreshold sets the per-shard drift level at which a rebuild
+// triggers (default 0.6, the paper's Figure 12 crossover).
+func WithDriftThreshold(t float64) ShardedOption {
+	return func(c *shardedConfig) { c.driftThreshold = t }
+}
+
+// WithDriftWindow sets how many recent queries per shard inform drift
+// detection and rebuild workloads (default 1024).
+func WithDriftWindow(n int) ShardedOption { return func(c *shardedConfig) { c.windowSize = n } }
+
+// WithCompactThreshold sets the per-shard write-buffer size (inserts plus
+// tombstones) at which the buffer is compacted into the shard's index
+// (default 1024).
+func WithCompactThreshold(n int) ShardedOption {
+	return func(c *shardedConfig) { c.compactThreshold = n }
+}
+
+// WithRebuildInterval sets how often the background control loop polls
+// shards for drift and backlog (default 200ms).
+func WithRebuildInterval(d time.Duration) ShardedOption {
+	return func(c *shardedConfig) { c.rebuildInterval = d }
+}
+
+// WithoutAutoRebuild disables the background control loop. Compaction then
+// happens synchronously on the writing goroutine, and drift rebuilds only
+// when CheckRebuilds is called.
+func WithoutAutoRebuild() ShardedOption { return func(c *shardedConfig) { c.autoRebuild = false } }
+
+func (c *shardedConfig) fill() {
+	procs := runtime.GOMAXPROCS(0)
+	if c.shards <= 0 {
+		c.shards = procs
+		if c.shards > 64 {
+			c.shards = 64
+		}
+	}
+	if c.workers <= 0 {
+		c.workers = procs
+	}
+	if c.driftThreshold <= 0 {
+		c.driftThreshold = 0.6
+	}
+	if c.windowSize <= 0 {
+		c.windowSize = 1024
+	}
+	if c.compactThreshold <= 0 {
+		c.compactThreshold = 1024
+	}
+	if c.rebuildInterval <= 0 {
+		c.rebuildInterval = 200 * time.Millisecond
+	}
+}
+
+// NewSharded builds a sharded serving layer over points: the workload-aware
+// partitioner assigns each point a shard, every non-empty shard gets its own
+// WaZI index built with the slice of workload that intersects its bounds,
+// and (unless disabled) a background goroutine starts watching for drift.
+// Call Close when done to stop the background machinery.
+func NewSharded(points []Point, workload []Rect, opts ...ShardedOption) (*Sharded, error) {
+	if len(points) == 0 {
+		return nil, ErrNoPoints
+	}
+	cfg := shardedConfig{autoRebuild: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cfg.fill()
+
+	plan := shard.Partition(points, workload, cfg.shards)
+	s := &Sharded{plan: plan, opts: cfg}
+	snap := &shardedSnapshot{shards: make([]*shardSnap, plan.NumShards())}
+	s.ctls = make([]*shardCtl, plan.NumShards())
+	for i, group := range plan.Groups {
+		ctl := &shardCtl{recent: newQueryRing(cfg.windowSize)}
+		s.ctls[i] = ctl
+		if len(group) == 0 {
+			snap.shards[i] = &shardSnap{empty: true}
+			continue
+		}
+		bounds := geom.RectFromPoints(group)
+		shardQs := intersectingQueries(workload, bounds)
+		idx, err := buildShardIndex(group, shardQs, cfg.indexOpts)
+		if err != nil {
+			return nil, fmt.Errorf("wazi: building shard %d: %w", i, err)
+		}
+		snap.shards[i] = &shardSnap{idx: idx, bounds: idx.Bounds()}
+		ctl.advisor.Store(NewRebuildAdvisor(idx.Bounds(), shardQs, cfg.windowSize, cfg.driftThreshold))
+	}
+	s.snap.Store(snap)
+	s.pool = shard.NewPool(cfg.workers)
+	if cfg.autoRebuild {
+		s.loop = make(chan struct{})
+		s.kicked = make(chan struct{}, 1)
+		s.wg.Add(1)
+		go s.rebuildLoop()
+	}
+	return s, nil
+}
+
+// buildShardIndex builds one shard's index, workload-aware when the shard
+// has an anticipated workload.
+func buildShardIndex(pts []Point, queries []Rect, opts []Option) (*Index, error) {
+	if len(queries) > 0 {
+		return NewWorkloadAware(pts, queries, opts...)
+	}
+	return New(pts, opts...)
+}
+
+func intersectingQueries(workload []Rect, bounds Rect) []Rect {
+	var out []Rect
+	for _, q := range workload {
+		if q.Intersects(bounds) {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Close stops the background control loop and the worker pool. Queries
+// issued after Close still work (fan-out degrades to inline execution);
+// writes remain valid but are no longer compacted automatically.
+func (s *Sharded) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	if s.loop != nil {
+		close(s.loop)
+		s.wg.Wait()
+	}
+	s.pool.Close()
+}
+
+// ---------------------------------------------------------------- queries
+
+// RangeQuery returns all indexed points inside the closed rectangle r,
+// fanning out to the shards whose bounds intersect r.
+func (s *Sharded) RangeQuery(r Rect) []Point {
+	s.rangeQs.Add(1)
+	snap := s.snap.Load()
+	targets := s.targets(snap, r)
+	switch len(targets) {
+	case 0:
+		return nil
+	case 1:
+		return shardRange(snap.shards[targets[0]], r, nil)
+	}
+	if s.pool.Inline() {
+		var out []Point
+		for _, si := range targets {
+			out = shardRange(snap.shards[si], r, out)
+		}
+		return out
+	}
+	results := make([][]Point, len(targets))
+	tasks := make([]func(), len(targets))
+	for ti, si := range targets {
+		ti, si := ti, si
+		tasks[ti] = func() { results[ti] = shardRange(snap.shards[si], r, nil) }
+	}
+	s.pool.Do(tasks)
+	total := 0
+	for _, res := range results {
+		total += len(res)
+	}
+	out := make([]Point, 0, total)
+	for _, res := range results {
+		out = append(out, res...)
+	}
+	return out
+}
+
+// RangeCount returns the number of points inside r without materializing
+// them.
+func (s *Sharded) RangeCount(r Rect) int {
+	s.rangeQs.Add(1)
+	snap := s.snap.Load()
+	targets := s.targets(snap, r)
+	if len(targets) == 0 {
+		return 0
+	}
+	if len(targets) == 1 || s.pool.Inline() {
+		total := 0
+		for _, si := range targets {
+			total += shardCount(snap.shards[si], r)
+		}
+		return total
+	}
+	counts := make([]int, len(targets))
+	tasks := make([]func(), len(targets))
+	for ti, si := range targets {
+		ti, si := ti, si
+		tasks[ti] = func() { counts[ti] = shardCount(snap.shards[si], r) }
+	}
+	s.pool.Do(tasks)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// targets returns the shards whose bounds intersect r, and feeds the query
+// to each target's drift advisor and recent-query window.
+func (s *Sharded) targets(snap *shardedSnapshot, r Rect) []int {
+	var out []int
+	for i, ss := range snap.shards {
+		if ss.empty || !ss.bounds.Intersects(r) {
+			continue
+		}
+		out = append(out, i)
+		ctl := s.ctls[i]
+		if a := ctl.advisor.Load(); a != nil {
+			a.Observe(r)
+		}
+		ctl.recent.add(r)
+	}
+	return out
+}
+
+// shardRange runs a range query against one immutable shard snapshot.
+func shardRange(ss *shardSnap, r Rect, dst []Point) []Point {
+	before := len(dst)
+	if ss.idx != nil {
+		dst = ss.idx.RangeQueryAppend(dst, r)
+	}
+	if ss.deadN > 0 {
+		dst = filterDead(dst, before, ss.dead)
+	}
+	for _, p := range ss.extra {
+		if r.Contains(p) {
+			dst = append(dst, p)
+		}
+	}
+	return dst
+}
+
+func shardCount(ss *shardSnap, r Rect) int {
+	n := 0
+	if ss.idx != nil {
+		n = ss.idx.RangeCount(r)
+		// Every tombstone refers to points present in the index (Delete
+		// checks before tombstoning), so subtracting the in-rectangle
+		// tombstones is exact — no need to materialize the result set.
+		for p, c := range ss.dead {
+			if r.Contains(p) {
+				n -= c
+			}
+		}
+	}
+	for _, p := range ss.extra {
+		if r.Contains(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// filterDead removes tombstoned occurrences from pts[from:], respecting
+// multiset semantics: a tombstone count of c removes at most c copies.
+func filterDead(pts []Point, from int, dead map[Point]int) []Point {
+	var remaining map[Point]int
+	out := pts[:from]
+	for _, p := range pts[from:] {
+		c, ok := dead[p]
+		if !ok {
+			out = append(out, p)
+			continue
+		}
+		if remaining == nil {
+			remaining = make(map[Point]int, len(dead))
+			for k, v := range dead {
+				remaining[k] = v
+			}
+			c = remaining[p]
+		} else {
+			c = remaining[p]
+		}
+		if c > 0 {
+			remaining[p] = c - 1
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// PointQuery reports whether a point equal to p is indexed. Z-order routing
+// makes this a single-shard lookup.
+func (s *Sharded) PointQuery(p Point) bool {
+	s.pointQs.Add(1)
+	ss := s.snap.Load().shards[s.plan.Locate(p)]
+	if ss.empty {
+		return false
+	}
+	for _, q := range ss.extra {
+		if q == p {
+			return true
+		}
+	}
+	if ss.idx == nil {
+		return false
+	}
+	if ss.deadN > 0 {
+		if d := ss.dead[p]; d > 0 {
+			// Some copies are tombstoned; survive only if the index holds more.
+			return ss.idx.RangeCount(pointRect(p)) > d
+		}
+	}
+	return ss.idx.PointQuery(p)
+}
+
+func pointRect(p Point) Rect {
+	return Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
+}
+
+// KNN returns the k points nearest to q, closest first: per-shard candidate
+// sets are gathered by parallel fan-out and merged through a global
+// bounded max-heap.
+func (s *Sharded) KNN(q Point, k int) []Point {
+	s.knnQs.Add(1)
+	if k <= 0 {
+		return nil
+	}
+	snap := s.snap.Load()
+	var targets []int
+	for i, ss := range snap.shards {
+		if !ss.empty && ss.live() > 0 {
+			targets = append(targets, i)
+		}
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+	cands := make([][]Point, len(targets))
+	if len(targets) == 1 || s.pool.Inline() {
+		for ti, si := range targets {
+			cands[ti] = shardKNN(snap.shards[si], q, k)
+		}
+	} else {
+		tasks := make([]func(), len(targets))
+		for ti, si := range targets {
+			ti, si := ti, si
+			tasks[ti] = func() { cands[ti] = shardKNN(snap.shards[si], q, k) }
+		}
+		s.pool.Do(tasks)
+	}
+
+	h := &knnHeap{q: q}
+	for _, cs := range cands {
+		for _, p := range cs {
+			if h.Len() < k {
+				heap.Push(h, p)
+			} else if distSq(p, q) < distSq(h.pts[0], q) {
+				h.pts[0] = p
+				heap.Fix(h, 0)
+			}
+		}
+	}
+	out := make([]Point, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Point)
+	}
+	return out
+}
+
+// shardKNN returns one shard's k nearest candidates to q (unordered beyond
+// the guarantee that the shard's true top-k all appear).
+func shardKNN(ss *shardSnap, q Point, k int) []Point {
+	var cands []Point
+	if ss.idx != nil {
+		// Tombstoned points may occupy top spots; over-fetch so k live
+		// candidates survive the filter.
+		cands = ss.idx.KNN(q, k+ss.deadN)
+		if ss.deadN > 0 {
+			cands = filterDead(cands, 0, ss.dead)
+		}
+		if len(cands) > k {
+			cands = cands[:k]
+		}
+	}
+	best := cands
+	for _, p := range ss.extra {
+		if len(best) < k {
+			best = append(best, p)
+			continue
+		}
+		// Replace the current worst if p is closer.
+		wi, wd := 0, -1.0
+		for i, b := range best {
+			if d := distSq(b, q); d > wd {
+				wi, wd = i, d
+			}
+		}
+		if distSq(p, q) < wd {
+			best[wi] = p
+		}
+	}
+	return best
+}
+
+func distSq(a, b Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return dx*dx + dy*dy
+}
+
+// knnHeap is a max-heap of points by distance to q, holding the best k seen.
+type knnHeap struct {
+	pts []Point
+	q   Point
+}
+
+func (h *knnHeap) Len() int { return len(h.pts) }
+func (h *knnHeap) Less(i, j int) bool {
+	return distSq(h.pts[i], h.q) > distSq(h.pts[j], h.q)
+}
+func (h *knnHeap) Swap(i, j int)      { h.pts[i], h.pts[j] = h.pts[j], h.pts[i] }
+func (h *knnHeap) Push(x interface{}) { h.pts = append(h.pts, x.(Point)) }
+func (h *knnHeap) Pop() interface{} {
+	p := h.pts[len(h.pts)-1]
+	h.pts = h.pts[:len(h.pts)-1]
+	return p
+}
+
+// ---------------------------------------------------------------- writes
+
+// Insert adds p. The write lands in the owning shard's copy-on-write delta
+// buffer; readers observe it on their next snapshot load, without blocking.
+func (s *Sharded) Insert(p Point) {
+	s.mu.Lock()
+	i := s.plan.Locate(p)
+	snap := s.snap.Load()
+	ss := snap.shards[i]
+	ns := &shardSnap{
+		idx:   ss.idx,
+		extra: append(append(make([]Point, 0, len(ss.extra)+1), ss.extra...), p),
+		dead:  ss.dead,
+		deadN: ss.deadN,
+	}
+	if ss.empty {
+		ns.bounds = pointRect(p)
+	} else {
+		ns.bounds = ss.bounds.ExtendPoint(p)
+	}
+	s.swapShard(snap, i, ns)
+	s.inserts.Add(1)
+	ctl := s.ctls[i]
+	if ctl.rebuilding {
+		ctl.log = append(ctl.log, shardOp{p: p})
+	}
+	overflow := !ctl.rebuilding && ns.backlog() >= s.opts.compactThreshold
+	background := s.loop != nil && !s.closed
+	s.mu.Unlock()
+	if overflow {
+		if background {
+			s.kick()
+		} else {
+			s.rebuildShard(i)
+		}
+	}
+}
+
+// Delete removes one point equal to p, reporting whether one was found.
+// Deletes against the immutable shard index become tombstones that
+// compaction later clears.
+func (s *Sharded) Delete(p Point) bool {
+	s.mu.Lock()
+	i := s.plan.Locate(p)
+	snap := s.snap.Load()
+	ss := snap.shards[i]
+	ctl := s.ctls[i]
+
+	// A buffered insert is the cheapest thing to undo.
+	for j, q := range ss.extra {
+		if q == p {
+			extra := append([]Point(nil), ss.extra[:j]...)
+			extra = append(extra, ss.extra[j+1:]...)
+			ns := &shardSnap{idx: ss.idx, extra: extra, dead: ss.dead, deadN: ss.deadN,
+				bounds: ss.bounds, empty: ss.idx == nil && len(extra) == 0 && ss.deadN == 0}
+			s.swapShard(snap, i, ns)
+			s.deletes.Add(1)
+			if ctl.rebuilding {
+				ctl.log = append(ctl.log, shardOp{p: p, del: true})
+			}
+			s.mu.Unlock()
+			return true
+		}
+	}
+	if ss.idx == nil {
+		s.mu.Unlock()
+		return false
+	}
+	have := ss.idx.RangeCount(pointRect(p))
+	if have <= ss.dead[p] {
+		s.mu.Unlock()
+		return false
+	}
+	dead := make(map[Point]int, len(ss.dead)+1)
+	for k, v := range ss.dead {
+		dead[k] = v
+	}
+	dead[p]++
+	ns := &shardSnap{idx: ss.idx, extra: ss.extra, dead: dead, deadN: ss.deadN + 1, bounds: ss.bounds}
+	s.swapShard(snap, i, ns)
+	s.deletes.Add(1)
+	if ctl.rebuilding {
+		ctl.log = append(ctl.log, shardOp{p: p, del: true})
+	}
+	overflow := !ctl.rebuilding && ns.backlog() >= s.opts.compactThreshold
+	background := s.loop != nil && !s.closed
+	s.mu.Unlock()
+	if overflow {
+		if background {
+			s.kick()
+		} else {
+			s.rebuildShard(i)
+		}
+	}
+	return true
+}
+
+// swapShard publishes a snapshot identical to old except for shard i.
+// Callers hold s.mu.
+func (s *Sharded) swapShard(old *shardedSnapshot, i int, ns *shardSnap) {
+	shards := append([]*shardSnap(nil), old.shards...)
+	shards[i] = ns
+	s.snap.Store(&shardedSnapshot{shards: shards})
+}
+
+func (s *Sharded) kick() {
+	select {
+	case s.kicked <- struct{}{}:
+	default:
+	}
+}
+
+// ------------------------------------------------------------- adaptation
+
+// rebuildLoop is the background control loop: every interval (or sooner,
+// when a writer signals backlog pressure) it scans the shards and rebuilds
+// any that drifted or overflowed.
+func (s *Sharded) rebuildLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opts.rebuildInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.loop:
+			return
+		case <-t.C:
+		case <-s.kicked:
+		}
+		s.CheckRebuilds()
+	}
+}
+
+// CheckRebuilds scans every shard and rebuilds those whose drift crossed
+// the threshold or whose write backlog crossed the compaction threshold,
+// hot-swapping each rebuilt index in. It returns the number of shards
+// rebuilt. The background loop calls this periodically; tests and callers
+// running WithoutAutoRebuild can call it directly.
+func (s *Sharded) CheckRebuilds() int {
+	n := 0
+	snap := s.snap.Load()
+	for i := range s.ctls {
+		ss := snap.shards[i]
+		drifted := false
+		if a := s.ctls[i].advisor.Load(); a != nil {
+			drifted = a.RebuildRecommended()
+		}
+		if drifted || ss.backlog() >= s.opts.compactThreshold {
+			if s.rebuildShard(i) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// rebuildShard rebuilds shard i from its current live points with the
+// recently observed queries as the anticipated workload, then swaps the
+// result in. Readers are never blocked: the build runs without locks, and
+// writes that arrive meanwhile are logged and replayed onto the new index
+// before the swap. Reports whether a swap happened.
+func (s *Sharded) rebuildShard(i int) bool {
+	ctl := s.ctls[i]
+
+	s.mu.Lock()
+	if ctl.rebuilding {
+		s.mu.Unlock()
+		return false
+	}
+	ss := s.snap.Load().shards[i]
+	pts := materialize(ss)
+	recent := ctl.recent.snapshot()
+	ctl.rebuilding = true
+	ctl.log = nil
+	s.mu.Unlock()
+
+	var idx *Index
+	if len(pts) > 0 {
+		var err error
+		idx, err = buildShardIndex(pts, recent, s.opts.indexOpts)
+		if err != nil {
+			// Unreachable for non-empty pts; fail safe by aborting the swap.
+			s.mu.Lock()
+			ctl.rebuilding = false
+			ctl.log = nil
+			s.mu.Unlock()
+			return false
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ctl.rebuilding = false
+	if ss.idx != nil {
+		// Bank the retiring index's counters; readers still in flight on it
+		// may flush a few more, which is an acceptable monitoring blur.
+		s.retired = s.retired.Add(ss.idx.Stats().AtomicSnapshot())
+	}
+	var ns *shardSnap
+	if idx != nil {
+		for _, op := range ctl.log {
+			if op.del {
+				idx.Delete(op.p)
+			} else {
+				idx.Insert(op.p)
+			}
+		}
+		if idx.Len() > 0 {
+			ns = &shardSnap{idx: idx, bounds: idx.Bounds()}
+		} else {
+			ns = &shardSnap{empty: true}
+		}
+	} else {
+		// The shard was fully emptied before the rebuild; replay logged
+		// writes into a fresh delta buffer.
+		ns = &shardSnap{empty: true}
+		for _, op := range ctl.log {
+			if op.del {
+				for j, q := range ns.extra {
+					if q == op.p {
+						ns.extra = append(ns.extra[:j], ns.extra[j+1:]...)
+						break
+					}
+				}
+			} else {
+				ns.extra = append(ns.extra, op.p)
+			}
+		}
+		if len(ns.extra) > 0 {
+			ns.empty = false
+			ns.bounds = geom.RectFromPoints(ns.extra)
+		}
+	}
+	ctl.log = nil
+	if ns.idx != nil {
+		// The recent window becomes the new drift baseline.
+		ctl.advisor.Store(NewRebuildAdvisor(ns.idx.Bounds(), recent, s.opts.windowSize, s.opts.driftThreshold))
+	} else {
+		ctl.advisor.Store(nil)
+	}
+	s.swapShard(s.snap.Load(), i, ns)
+	ctl.rebuilds++
+	s.rebuilds.Add(1)
+	return true
+}
+
+// materialize flattens a shard snapshot into its live point set.
+func materialize(ss *shardSnap) []Point {
+	var pts []Point
+	if ss.idx != nil {
+		pts = ss.idx.Points()
+		if ss.deadN > 0 {
+			pts = filterDead(pts, 0, ss.dead)
+		}
+	}
+	return append(pts, ss.extra...)
+}
+
+// ------------------------------------------------------------ inspection
+
+// Len returns the number of indexed points.
+func (s *Sharded) Len() int {
+	n := 0
+	for _, ss := range s.snap.Load().shards {
+		n += ss.live()
+	}
+	return n
+}
+
+// Bounds returns the minimum bounding rectangle of all shards.
+func (s *Sharded) Bounds() Rect {
+	var out Rect
+	first := true
+	for _, ss := range s.snap.Load().shards {
+		if ss.empty {
+			continue
+		}
+		if first {
+			out, first = ss.bounds, false
+		} else {
+			out = out.Union(ss.bounds)
+		}
+	}
+	return out
+}
+
+// Bytes returns the approximate in-memory footprint across all shards.
+func (s *Sharded) Bytes() int64 {
+	var b int64
+	for _, ss := range s.snap.Load().shards {
+		if ss.idx != nil {
+			b += ss.idx.Bytes()
+		}
+		b += int64(len(ss.extra))*16 + int64(len(ss.dead))*24
+	}
+	return b
+}
+
+// NumShards returns the number of shards (some possibly empty).
+func (s *Sharded) NumShards() int { return s.plan.NumShards() }
+
+// Rebuilds returns how many shard rebuilds (drift or compaction) have
+// completed since construction.
+func (s *Sharded) Rebuilds() int64 { return s.rebuilds.Load() }
+
+// Stats returns aggregated access counters. The scan counters (pages,
+// points, bounding boxes, look-ahead jumps) are summed across live shards
+// plus every index retired by compaction or rebuild, so they are
+// monotonically non-decreasing; the operation counters reflect logical
+// calls on the Sharded layer — a fan-out query counts once, however many
+// shards served it.
+func (s *Sharded) Stats() Stats {
+	s.mu.Lock()
+	agg := s.retired
+	s.mu.Unlock()
+	for _, ss := range s.snap.Load().shards {
+		if ss.idx != nil {
+			agg = agg.Add(ss.idx.Stats().AtomicSnapshot())
+		}
+	}
+	agg.RangeQueries = s.rangeQs.Load()
+	agg.PointQueries = s.pointQs.Load() + s.knnQs.Load()
+	agg.Inserts = s.inserts.Load()
+	agg.Deletes = s.deletes.Load()
+	return agg
+}
+
+// ShardInfo describes one shard's current state.
+type ShardInfo struct {
+	// Points is the number of live points the shard serves.
+	Points int
+	// Backlog is the uncompacted write-buffer size (inserts + tombstones).
+	Backlog int
+	// Drift is the shard's current workload drift estimate in [0, 1].
+	Drift float64
+	// Rebuilds counts completed rebuilds of this shard.
+	Rebuilds int
+	// WorkloadAware reports whether the shard's index was built against an
+	// anticipated workload.
+	WorkloadAware bool
+	// Bounds is the shard's minimum bounding rectangle (zero when empty).
+	Bounds Rect
+}
+
+// Shards returns a point-in-time description of every shard.
+func (s *Sharded) Shards() []ShardInfo {
+	snap := s.snap.Load()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ShardInfo, len(snap.shards))
+	for i, ss := range snap.shards {
+		info := ShardInfo{Points: ss.live(), Backlog: ss.backlog(), Rebuilds: s.ctls[i].rebuilds}
+		if !ss.empty {
+			info.Bounds = ss.bounds
+		}
+		if ss.idx != nil {
+			info.WorkloadAware = ss.idx.WorkloadAware()
+		}
+		if a := s.ctls[i].advisor.Load(); a != nil {
+			info.Drift = a.Drift()
+		}
+		out[i] = info
+	}
+	return out
+}
+
+// Describe returns a one-line human-readable summary.
+func (s *Sharded) Describe() string {
+	snap := s.snap.Load()
+	nonEmpty := 0
+	for _, ss := range snap.shards {
+		if !ss.empty {
+			nonEmpty++
+		}
+	}
+	return fmt.Sprintf("Sharded WaZI: %d points across %d/%d shards, %d rebuilds",
+		s.Len(), nonEmpty, len(snap.shards), s.rebuilds.Load())
+}

@@ -414,6 +414,42 @@ func BenchmarkShardedParallelRange(b *testing.B) {
 	b.Run("Sharded", run(sharded.RangeQuery))
 }
 
+// BenchmarkScenarioSuites measures the Sharded serving layer under every
+// named workload suite (the waziexp "scenarios" experiment in testing.B
+// form): uniform, gaussian-skew, hotspot-shift, the mixed read/write
+// ratios, and the adversarial anti-correlated ranges. The index is trained
+// on the paper's skewed check-in workload; each suite then probes how that
+// training generalizes.
+func BenchmarkScenarioSuites(b *testing.B) {
+	w := env.workload(benchScale)
+	train := w.BySelectivity[bench.MidSelectivity][:400]
+	inserts := workload.InsertBatch(100_000, 41)
+	for _, s := range workload.Suites() {
+		b.Run(s.Name, func(b *testing.B) {
+			// A fresh index per suite: the write-heavy suites grow and
+			// compact the index, which would skew later suites.
+			sharded, err := wazi.NewSharded(w.Data, train,
+				wazi.WithShards(8), wazi.WithoutAutoRebuild(),
+				wazi.WithIndexOptions(wazi.WithSeed(1)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sharded.Close()
+			qs := s.Queries(dataset.NewYork, 512, bench.MidSelectivity, 31)
+			ops := workload.MixedOps(qs, inserts, s.WriteRatio, 51)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				op := ops[i%len(ops)]
+				if op.IsWrite {
+					sharded.Insert(op.Point)
+				} else {
+					_ = sharded.RangeQuery(op.Query)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkKNN exercises the kNN-by-range-decomposition path (§6.3 remark).
 func BenchmarkKNN(b *testing.B) {
 	br, _ := env.index("WaZI", benchScale, bench.MidSelectivity)

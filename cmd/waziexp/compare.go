@@ -1,0 +1,70 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/wazi-index/wazi/internal/bench/harness"
+)
+
+// cmdCompare implements `waziexp compare old.json new.json`: per-metric
+// deltas of the means with a regression threshold. Exit code 1 when any
+// metric regressed past the threshold, so CI can gate on it.
+func cmdCompare(args []string) int {
+	fs := flag.NewFlagSet("waziexp compare", flag.ExitOnError)
+	var (
+		threshold = fs.Float64("threshold", 0.10, "relative change beyond which a metric counts as improved/regressed")
+		verbose   = fs.Bool("v", false, "list metrics within the threshold too, not only the changed ones")
+	)
+	// Accept flags both before and after the two file arguments.
+	fs.Parse(args)
+	files := fs.Args()
+	if len(files) > 2 {
+		rest := files[2:]
+		files = files[:2]
+		fs.Parse(rest)
+		if fs.NArg() > 0 {
+			fmt.Fprintf(os.Stderr, "waziexp compare: unexpected arguments %q\n", fs.Args())
+			return 2
+		}
+	}
+	if len(files) != 2 || strings.HasPrefix(files[0], "-") || strings.HasPrefix(files[1], "-") {
+		fmt.Fprintln(os.Stderr, "usage: waziexp compare [-threshold 0.10] [-v] old.json new.json (flags before or after the files, not between them)")
+		return 2
+	}
+
+	old, err := harness.ReadFile(files[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "waziexp compare:", err)
+		return 2
+	}
+	cur, err := harness.ReadFile(files[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "waziexp compare:", err)
+		return 2
+	}
+	warnEnvMismatch(old, cur)
+
+	c := harness.Compare(old, cur, *threshold)
+	c.WriteText(os.Stdout, *verbose)
+	if n := c.Regressions(); n > 0 {
+		fmt.Fprintf(os.Stderr, "waziexp compare: %d metric(s) regressed more than %.1f%%\n", n, *threshold*100)
+		return 1
+	}
+	return 0
+}
+
+// warnEnvMismatch notes when the two reports were produced on visibly
+// different setups, where latency deltas are not meaningful.
+func warnEnvMismatch(old, cur *harness.Report) {
+	oe, ne := old.Env, cur.Env
+	if oe.GOOS != ne.GOOS || oe.GOARCH != ne.GOARCH || oe.NumCPU != ne.NumCPU || oe.Hostname != ne.Hostname {
+		fmt.Fprintf(os.Stderr, "warning: reports come from different environments (%s/%s %dcpu %q vs %s/%s %dcpu %q); timing deltas may reflect hardware, not code\n",
+			oe.GOOS, oe.GOARCH, oe.NumCPU, oe.Hostname, ne.GOOS, ne.GOARCH, ne.NumCPU, ne.Hostname)
+	}
+	if old.Suite != cur.Suite {
+		fmt.Fprintf(os.Stderr, "warning: comparing different suites (%q vs %q)\n", old.Suite, cur.Suite)
+	}
+}

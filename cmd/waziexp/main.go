@@ -1,110 +1,105 @@
-// Command waziexp regenerates the tables and figures of the WaZI paper's
-// evaluation section (§6) on the synthetic region datasets.
+// Command waziexp is the benchmark driver of this repository: it runs the
+// paper's evaluation experiments and the serving-layer experiments under
+// the harness (warmup, repetitions, summary statistics), emits optional
+// machine-readable BENCH_<suite>.json reports, and compares two reports
+// for regressions.
 //
 // Usage:
 //
-//	waziexp -exp fig6                 # one experiment
-//	waziexp -exp all                  # the whole evaluation
-//	waziexp -exp fig8 -scale 400000   # larger datasets
-//	waziexp -list                     # show available experiment ids
+//	waziexp run  -suite smoke -reps 1 -json BENCH_smoke.json
+//	waziexp run  -exp fig6,fig7 -reps 5 -warmup 1 -scale 400000
+//	waziexp list
+//	waziexp compare old.json new.json -threshold 0.10
 //
-// Experiment ids match the paper's artifact numbers: tab1, tab2, fig4,
-// fig6, fig7, fig8, fig9, fig10, tab3, tab4, tab5, fig11, fig12, fig13 —
-// plus "sharded", the serving-layer experiment comparing single-mutex
-// Concurrent against the Sharded fan-out layer under 1–64 goroutines.
+// Experiment ids match the paper's artifact numbers (tab1…fig13) plus the
+// serving-layer experiments "sharded" and "scenarios"; suites bundle them
+// (smoke, paper, serving, full). See docs/EXPERIMENTS.md for the mapping
+// of every id to its paper figure and knobs.
+//
+// Exit codes: 0 on success, 1 when compare finds a regression past the
+// threshold, 2 on usage errors — including unknown experiment ids and
+// unknown suite names.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
 	"github.com/wazi-index/wazi/internal/bench"
 	"github.com/wazi-index/wazi/internal/dataset"
 )
 
 func main() {
-	var (
-		exp     = flag.String("exp", "all", "experiment id (or comma-separated list, or 'all')")
-		scale   = flag.Int("scale", 100_000, "default dataset size per region (paper: 32M)")
-		queries = flag.Int("queries", 2_000, "range-query workload size (paper: 20,000)")
-		points  = flag.Int("points", 5_000, "point-query workload size (paper: 50,000)")
-		leaf    = flag.Int("leaf", 256, "leaf page capacity L")
-		seed    = flag.Int64("seed", 1, "random seed")
-		regions = flag.String("regions", "", "comma-separated regions (CaliNev,NewYork,Japan,Iberia); empty = all")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-	)
-	flag.Parse()
-
-	if *list {
-		for _, e := range bench.Experiments() {
-			fmt.Println(e.ID)
-		}
-		return
-	}
-
-	cfg := bench.Config{
-		Scale:        *scale,
-		Queries:      *queries,
-		PointQueries: *points,
-		LeafSize:     *leaf,
-		Seed:         *seed,
-	}
-	if *regions != "" {
-		for _, name := range strings.Split(*regions, ",") {
-			r, err := parseRegion(strings.TrimSpace(name))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
-			}
-			cfg.Regions = append(cfg.Regions, r)
-		}
-	}
-
-	want := map[string]bool{}
-	runAll := *exp == "all"
-	for _, id := range strings.Split(*exp, ",") {
-		want[strings.TrimSpace(id)] = true
-	}
-	known := map[string]bool{}
-	for _, e := range bench.Experiments() {
-		known[e.ID] = true
-	}
-	for id := range want {
-		if !runAll && !known[id] {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
-			os.Exit(2)
-		}
-	}
-
-	start := time.Now()
-	ran := 0
-	for _, e := range bench.Experiments() {
-		if !runAll && !want[e.ID] {
-			continue
-		}
-		expStart := time.Now()
-		for _, t := range e.Run(cfg) {
-			fmt.Println(t)
-		}
-		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(expStart).Round(time.Millisecond))
-		ran++
-	}
-	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "no experiments matched; use -list")
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
 		os.Exit(2)
 	}
-	fmt.Printf("ran %d experiment(s) in %v (scale %d, %d queries)\n",
-		ran, time.Since(start).Round(time.Millisecond), cfg.Scale, cfg.Queries)
+	switch os.Args[1] {
+	case "run":
+		os.Exit(cmdRun(os.Args[2:]))
+	case "list":
+		os.Exit(cmdList())
+	case "compare":
+		os.Exit(cmdCompare(os.Args[2:]))
+	case "help", "-h", "-help", "--help":
+		usage(os.Stdout)
+	default:
+		if strings.HasPrefix(os.Args[1], "-") {
+			fmt.Fprintf(os.Stderr, "waziexp: top-level flags moved under the run subcommand: waziexp run %s\n\n", strings.Join(os.Args[1:], " "))
+		} else {
+			fmt.Fprintf(os.Stderr, "waziexp: unknown command %q\n\n", os.Args[1])
+		}
+		usage(os.Stderr)
+		os.Exit(2)
+	}
 }
 
-func parseRegion(name string) (dataset.Region, error) {
-	for _, r := range dataset.Regions() {
-		if strings.EqualFold(r.String(), name) {
-			return r, nil
+func usage(w *os.File) {
+	fmt.Fprint(w, `waziexp — benchmark driver for the WaZI reproduction
+
+commands:
+  run      run experiments under the harness (see waziexp run -h)
+  list     list experiment ids and suites
+  compare  diff two BENCH_*.json reports (see waziexp compare -h)
+
+examples:
+  waziexp run -suite smoke -reps 1 -json BENCH_smoke.json
+  waziexp run -exp fig6,fig7 -reps 5 -warmup 1
+  waziexp compare BENCH_old.json BENCH_new.json -threshold 0.10
+`)
+}
+
+// cmdList prints every experiment id with its title, then the suites.
+func cmdList() int {
+	fmt.Println("experiments:")
+	for _, e := range bench.Experiments() {
+		fmt.Printf("  %-10s %s\n", e.ID, e.Title)
+	}
+	fmt.Println("\nsuites:")
+	for _, s := range bench.Suites() {
+		fmt.Printf("  %-10s %s\n", s.Name, s.Description)
+		fmt.Printf("  %-10s   (%s)\n", "", strings.Join(s.Experiments, ", "))
+	}
+	return 0
+}
+
+// parseRegions parses a comma-separated region list.
+func parseRegions(list string) ([]dataset.Region, error) {
+	var out []dataset.Region
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, r := range dataset.Regions() {
+			if strings.EqualFold(r.String(), name) {
+				out = append(out, r)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown region %q (want CaliNev, NewYork, Japan, or Iberia)", name)
 		}
 	}
-	return 0, fmt.Errorf("unknown region %q (want CaliNev, NewYork, Japan, or Iberia)", name)
+	return out, nil
 }

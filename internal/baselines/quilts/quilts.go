@@ -60,6 +60,8 @@ type scaledEncoder struct {
 	shift uint
 }
 
+// Encode, BigMin, and InRect implement the sfcarr encoder by delegating
+// to the underlying pattern on grid-shifted coordinates.
 func (e scaledEncoder) Encode(x, y uint32) zorder.Key {
 	return e.p.Encode(x>>e.shift, y>>e.shift)
 }

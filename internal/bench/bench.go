@@ -1,8 +1,11 @@
 // Package bench is the experiment engine that regenerates every table and
 // figure of the paper's evaluation section (§6) on the synthetic region
-// datasets. Each experiment is a function from a Config to one or more
-// Tables; cmd/waziexp prints them and bench_test.go wraps them in
-// testing.B benchmarks.
+// datasets, plus the serving-layer experiments this repository adds.
+// Each experiment is a function from a Config to one or more Tables;
+// cmd/waziexp runs them under internal/bench/harness (warmup,
+// repetitions, summary statistics, JSON reports), bench_test.go wraps
+// them in testing.B benchmarks, and Suites groups them into named runs
+// (smoke, paper, serving, full).
 //
 // Scale note: the paper runs 4–64 million points and 20,000 queries on a
 // C++ testbed. The defaults here are scaled down (see Config) so the full
@@ -14,7 +17,6 @@ package bench
 import (
 	"fmt"
 	"sort"
-	"strings"
 	"time"
 
 	"github.com/wazi-index/wazi/internal/baselines/cur"
@@ -26,6 +28,7 @@ import (
 	"github.com/wazi-index/wazi/internal/baselines/rsmi"
 	"github.com/wazi-index/wazi/internal/baselines/str"
 	"github.com/wazi-index/wazi/internal/baselines/zpgm"
+	"github.com/wazi-index/wazi/internal/bench/harness"
 	"github.com/wazi-index/wazi/internal/core"
 	"github.com/wazi-index/wazi/internal/dataset"
 	"github.com/wazi-index/wazi/internal/geom"
@@ -60,6 +63,14 @@ func DefaultConfig() Config {
 		LeafSize:     256,
 		Seed:         1,
 	}
+}
+
+// Filled returns a copy of c with package defaults applied to every unset
+// field, so the effective configuration can be recorded (e.g. in a
+// harness report) exactly as the experiments will see it.
+func (c Config) Filled() Config {
+	c.fill()
+	return c
 }
 
 func (c *Config) fill() {
@@ -262,55 +273,11 @@ func MeasurePhases(idx Phased, queries []geom.Rect) (projection, scan time.Durat
 	return projection / n, scan / n
 }
 
-// Table is a rendered experiment result.
-type Table struct {
-	ID     string
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
-}
-
-// String renders the table as aligned plain text.
-func (t Table) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
-	widths := make([]int, len(t.Header))
-	for i, h := range t.Header {
-		widths[i] = len(h)
-	}
-	for _, row := range t.Rows {
-		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
-			}
-		}
-	}
-	writeRow := func(cells []string) {
-		for i, cell := range cells {
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			fmt.Fprintf(&b, "%-*s", widths[i], cell)
-		}
-		b.WriteByte('\n')
-	}
-	writeRow(t.Header)
-	for i, w := range widths {
-		if i > 0 {
-			b.WriteString("  ")
-		}
-		b.WriteString(strings.Repeat("-", w))
-	}
-	b.WriteByte('\n')
-	for _, row := range t.Rows {
-		writeRow(row)
-	}
-	for _, n := range t.Notes {
-		fmt.Fprintf(&b, "note: %s\n", n)
-	}
-	return b.String()
-}
+// Table is a rendered experiment result. It is the harness's table type:
+// experiments produce Tables, the harness renders them as text, mines
+// their numeric cells into metrics, and serializes them into BENCH_*.json
+// reports.
+type Table = harness.Table
 
 // ns formats a duration as integer nanoseconds.
 func ns(d time.Duration) string { return fmt.Sprintf("%d", d.Nanoseconds()) }

@@ -11,31 +11,46 @@ import (
 	"github.com/wazi-index/wazi/internal/workload"
 )
 
-// Experiments maps experiment ids to runners, in the paper's order.
-func Experiments() []struct {
-	ID  string
-	Run func(Config) []Table
-} {
-	return []struct {
-		ID  string
-		Run func(Config) []Table
-	}{
-		{"tab1", Tab1Properties},
-		{"tab2", Tab2Parameters},
-		{"fig4", Fig4AllIndexes},
-		{"fig6", Fig6RangeBySelectivity},
-		{"fig7", Fig7ImprovementOverBase},
-		{"fig8", Fig8RangeByDatasetSize},
-		{"fig9", Fig9ProjectionScan},
-		{"fig10", Fig10PointQuery},
-		{"tab3", Tab3BuildTime},
-		{"tab4", Tab4CostRedemption},
-		{"tab5", Tab5IndexSize},
-		{"fig11", Fig11Inserts},
-		{"fig12", Fig12WorkloadDrift},
-		{"fig13", Fig13Ablation},
-		{"sharded", ShardedThroughput},
+// Experiment couples an experiment id with its runner and a short label
+// for listings. IDs named tab*/fig* match the paper's artifact numbers;
+// the rest are this repository's serving-layer additions.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Config) []Table
+}
+
+// Experiments returns every experiment in the paper's order, followed by
+// the serving-layer experiments.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"tab1", "static index property matrix", Tab1Properties},
+		{"tab2", "parameter grid (paper vs this run)", Tab2Parameters},
+		{"fig4", "range latency, all eleven indexes", Fig4AllIndexes},
+		{"fig6", "range latency by selectivity, main six", Fig6RangeBySelectivity},
+		{"fig7", "% improvement over Base", Fig7ImprovementOverBase},
+		{"fig8", "range latency by dataset size", Fig8RangeByDatasetSize},
+		{"fig9", "projection vs scan split", Fig9ProjectionScan},
+		{"fig10", "point-query latency by dataset size", Fig10PointQuery},
+		{"tab3", "build time by dataset size", Tab3BuildTime},
+		{"tab4", "cost redemption vs Base", Tab4CostRedemption},
+		{"tab5", "index sizes", Tab5IndexSize},
+		{"fig11", "insert latency and post-insert range latency", Fig11Inserts},
+		{"fig12", "range latency under workload drift", Fig12WorkloadDrift},
+		{"fig13", "skipping/partitioning ablation", Fig13Ablation},
+		{"sharded", "Concurrent vs Sharded throughput by goroutines", ShardedThroughput},
+		{"scenarios", "Sharded under the named workload suites", ScenarioSuite},
 	}
+}
+
+// ExperimentByID returns the experiment with the given id.
+func ExperimentByID(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
 }
 
 // Tab1Properties reproduces Table 1 (static index property matrix).

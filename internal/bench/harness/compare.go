@@ -1,0 +1,172 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Verdict classifies one metric's change between two reports.
+type Verdict string
+
+// The three comparison outcomes: the change exceeded the threshold in the
+// good direction, exceeded it in the bad direction, or stayed within it.
+const (
+	Improvement Verdict = "improvement"
+	Regression  Verdict = "regression"
+	Within      Verdict = "within-threshold"
+)
+
+// Delta is one metric's old-vs-new comparison. Pct is the signed relative
+// change of the mean, (new-old)/old; whether a positive Pct is good
+// depends on HigherIsBetter.
+type Delta struct {
+	Metric         string  `json:"metric"`
+	Unit           string  `json:"unit,omitempty"`
+	HigherIsBetter bool    `json:"higher_is_better,omitempty"`
+	Old            float64 `json:"old"`
+	New            float64 `json:"new"`
+	Pct            float64 `json:"pct"`
+	Verdict        Verdict `json:"verdict"`
+}
+
+// Comparison is the result of comparing two reports metric by metric.
+type Comparison struct {
+	Threshold float64 `json:"threshold"`
+	Deltas    []Delta `json:"deltas"`
+	// OnlyInOld and OnlyInNew list metric names present in one report but
+	// not the other (e.g. because the runs covered different experiments).
+	OnlyInOld []string `json:"only_in_old,omitempty"`
+	OnlyInNew []string `json:"only_in_new,omitempty"`
+}
+
+// Compare matches the two reports' metrics by name and computes per-metric
+// deltas of the means. threshold is the relative change (e.g. 0.10 for
+// 10%) beyond which a change counts as an improvement or regression; at or
+// below it the verdict is Within.
+func Compare(old, new *Report, threshold float64) Comparison {
+	c := Comparison{Threshold: threshold}
+	oldOrder, oldBy := old.Metrics()
+	newOrder, newBy := new.Metrics()
+	for _, name := range oldOrder {
+		om := oldBy[name]
+		nm, ok := newBy[name]
+		if !ok {
+			c.OnlyInOld = append(c.OnlyInOld, name)
+			continue
+		}
+		c.Deltas = append(c.Deltas, compareMetric(om, nm, threshold))
+	}
+	for _, name := range newOrder {
+		if _, ok := oldBy[name]; !ok {
+			c.OnlyInNew = append(c.OnlyInNew, name)
+		}
+	}
+	return c
+}
+
+func compareMetric(om, nm Metric, threshold float64) Delta {
+	d := Delta{
+		Metric:         om.Name,
+		Unit:           om.Unit,
+		HigherIsBetter: om.HigherIsBetter,
+		Old:            om.Summary.Mean,
+		New:            nm.Summary.Mean,
+		Verdict:        Within,
+	}
+	switch {
+	case d.Old == d.New:
+		// Includes the old==0, new==0 case: no change, no division.
+	case d.Old == 0:
+		// Appeared from zero: direction is meaningful, magnitude is not.
+		d.Pct = math.Inf(sign(d.New))
+	default:
+		d.Pct = (d.New - d.Old) / math.Abs(d.Old)
+	}
+	change := d.Pct
+	if om.HigherIsBetter {
+		change = -change
+	}
+	// change > 0 now means "got worse".
+	switch {
+	case change > threshold:
+		d.Verdict = Regression
+	case -change > threshold:
+		d.Verdict = Improvement
+	}
+	return d
+}
+
+func sign(v float64) int {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+// Regressions returns the number of deltas whose verdict is Regression.
+func (c Comparison) Regressions() int {
+	n := 0
+	for _, d := range c.Deltas {
+		if d.Verdict == Regression {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteText renders the comparison as an aligned table plus summary
+// counts. When verbose is false, only metrics whose verdict is not Within
+// are listed (the summary still counts everything).
+func (c Comparison) WriteText(w io.Writer, verbose bool) {
+	t := Table{
+		ID:     "compare",
+		Title:  fmt.Sprintf("per-metric delta of means (threshold ±%.1f%%)", c.Threshold*100),
+		Header: []string{"Metric", "Old", "New", "Delta", "Verdict"},
+	}
+	imp, reg := 0, 0
+	for _, d := range c.Deltas {
+		switch d.Verdict {
+		case Improvement:
+			imp++
+		case Regression:
+			reg++
+		}
+		if !verbose && d.Verdict == Within {
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			d.Metric,
+			formatValue(d.Old, d.Unit),
+			formatValue(d.New, d.Unit),
+			formatPct(d.Pct),
+			string(d.Verdict),
+		})
+	}
+	if len(t.Rows) > 0 {
+		fmt.Fprintln(w, t)
+	}
+	fmt.Fprintf(w, "%d metric(s) compared: %d improvement(s), %d regression(s), %d within threshold\n",
+		len(c.Deltas), imp, reg, len(c.Deltas)-imp-reg)
+	if len(c.OnlyInOld) > 0 {
+		fmt.Fprintf(w, "%d metric(s) only in old report\n", len(c.OnlyInOld))
+	}
+	if len(c.OnlyInNew) > 0 {
+		fmt.Fprintf(w, "%d metric(s) only in new report\n", len(c.OnlyInNew))
+	}
+}
+
+func formatValue(v float64, unit string) string {
+	s := fmt.Sprintf("%.4g", v)
+	if unit != "" {
+		s += " " + unit
+	}
+	return s
+}
+
+func formatPct(p float64) string {
+	if math.IsInf(p, 0) {
+		return fmt.Sprintf("%+v", p)
+	}
+	return fmt.Sprintf("%+.1f%%", p*100)
+}

@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// reportWith builds a minimal report holding the given metrics.
+func reportWith(metrics ...Metric) *Report {
+	for i := range metrics {
+		metrics[i].Summary = Summarize(metrics[i].Samples)
+	}
+	return &Report{
+		Schema:  SchemaVersion,
+		Suite:   "test",
+		Results: []Result{{Experiment: "e", Metrics: metrics}},
+	}
+}
+
+func lowerBetter(name string, samples ...float64) Metric {
+	return Metric{Name: name, Unit: "ns", Samples: samples}
+}
+
+func higherBetter(name string, samples ...float64) Metric {
+	return Metric{Name: name, Unit: "q/s", HigherIsBetter: true, Samples: samples}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	old := reportWith(
+		lowerBetter("lat/regressed", 100),
+		lowerBetter("lat/improved", 100),
+		lowerBetter("lat/flat", 100),
+		lowerBetter("lat/at-threshold", 100),
+		higherBetter("thr/regressed", 1000),
+		higherBetter("thr/improved", 1000),
+	)
+	cur := reportWith(
+		lowerBetter("lat/regressed", 125),    // +25% latency: worse
+		lowerBetter("lat/improved", 70),      // -30% latency: better
+		lowerBetter("lat/flat", 104),         // +4%: within
+		lowerBetter("lat/at-threshold", 110), // exactly +10%: within (strictly-greater rule)
+		higherBetter("thr/regressed", 800),   // -20% throughput: worse
+		higherBetter("thr/improved", 1300),   // +30% throughput: better
+	)
+
+	c := Compare(old, cur, 0.10)
+	if len(c.Deltas) != 6 {
+		t.Fatalf("%d deltas, want 6", len(c.Deltas))
+	}
+	want := map[string]Verdict{
+		"lat/regressed":    Regression,
+		"lat/improved":     Improvement,
+		"lat/flat":         Within,
+		"lat/at-threshold": Within,
+		"thr/regressed":    Regression,
+		"thr/improved":     Improvement,
+	}
+	for _, d := range c.Deltas {
+		if d.Verdict != want[d.Metric] {
+			t.Errorf("%s: verdict %s (pct %+.2f), want %s", d.Metric, d.Verdict, d.Pct, want[d.Metric])
+		}
+	}
+	if c.Regressions() != 2 {
+		t.Fatalf("Regressions() = %d, want 2", c.Regressions())
+	}
+
+	// Relative change is signed (new-old)/old regardless of direction.
+	for _, d := range c.Deltas {
+		if d.Metric == "lat/regressed" && math.Abs(d.Pct-0.25) > 1e-12 {
+			t.Errorf("lat/regressed pct = %g, want 0.25", d.Pct)
+		}
+		if d.Metric == "thr/regressed" && math.Abs(d.Pct+0.20) > 1e-12 {
+			t.Errorf("thr/regressed pct = %g, want -0.20", d.Pct)
+		}
+	}
+}
+
+func TestCompareDisjointMetrics(t *testing.T) {
+	old := reportWith(lowerBetter("only-old", 1), lowerBetter("both", 2))
+	cur := reportWith(lowerBetter("both", 2), lowerBetter("only-new", 3))
+	c := Compare(old, cur, 0.10)
+	if len(c.Deltas) != 1 || c.Deltas[0].Metric != "both" {
+		t.Fatalf("deltas: %+v", c.Deltas)
+	}
+	if len(c.OnlyInOld) != 1 || c.OnlyInOld[0] != "only-old" {
+		t.Fatalf("OnlyInOld: %v", c.OnlyInOld)
+	}
+	if len(c.OnlyInNew) != 1 || c.OnlyInNew[0] != "only-new" {
+		t.Fatalf("OnlyInNew: %v", c.OnlyInNew)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	old := reportWith(lowerBetter("zero-zero", 0), lowerBetter("zero-up", 0))
+	cur := reportWith(lowerBetter("zero-zero", 0), lowerBetter("zero-up", 5))
+	c := Compare(old, cur, 0.10)
+	for _, d := range c.Deltas {
+		switch d.Metric {
+		case "zero-zero":
+			if d.Verdict != Within || d.Pct != 0 {
+				t.Errorf("zero-zero: %+v", d)
+			}
+		case "zero-up":
+			if !math.IsInf(d.Pct, 1) || d.Verdict != Regression {
+				t.Errorf("zero-up: %+v", d)
+			}
+		}
+	}
+}
+
+func TestCompareWriteText(t *testing.T) {
+	old := reportWith(lowerBetter("a", 100), lowerBetter("b", 100))
+	cur := reportWith(lowerBetter("a", 150), lowerBetter("b", 101))
+	c := Compare(old, cur, 0.10)
+
+	var buf bytes.Buffer
+	c.WriteText(&buf, false)
+	out := buf.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "regression") {
+		t.Errorf("terse output lacks the regression:\n%s", out)
+	}
+	if strings.Contains(out, "within-threshold") {
+		t.Errorf("terse output lists unchanged metrics:\n%s", out)
+	}
+	if !strings.Contains(out, "2 metric(s) compared: 0 improvement(s), 1 regression(s), 1 within threshold") {
+		t.Errorf("summary line wrong:\n%s", out)
+	}
+
+	buf.Reset()
+	c.WriteText(&buf, true)
+	if !strings.Contains(buf.String(), "within-threshold") {
+		t.Errorf("verbose output omits unchanged metrics:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Environment is the machine and build metadata attached to every report,
+// so two BENCH_*.json files can be compared knowing whether they came from
+// the same hardware and commit.
+type Environment struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	Hostname   string `json:"hostname,omitempty"`
+	// Commit is the VCS revision the binary was built from (empty when
+	// built outside a checkout or without VCS stamping, e.g. `go run` of
+	// a dirty tree still records the parent commit).
+	Commit string `json:"commit,omitempty"`
+	// Dirty reports whether the working tree had uncommitted changes.
+	Dirty bool `json:"dirty,omitempty"`
+	// Time is the report's creation time in RFC 3339 format.
+	Time string `json:"time"`
+}
+
+// CaptureEnv snapshots the current environment. The commit is read from
+// the build info that the Go toolchain stamps into binaries built inside a
+// version-controlled module.
+func CaptureEnv() Environment {
+	e := Environment{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Time:       time.Now().UTC().Format(time.RFC3339),
+	}
+	if host, err := os.Hostname(); err == nil {
+		e.Hostname = host
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				e.Commit = s.Value
+			case "vcs.modified":
+				e.Dirty = s.Value == "true"
+			}
+		}
+	}
+	return e
+}

@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// SchemaVersion identifies the report format; bump it on breaking changes
+// so compare can refuse mismatched files instead of mis-reading them.
+const SchemaVersion = "wazi-bench/v1"
+
+// Report is the machine-readable outcome of one harness run — the content
+// of a BENCH_<suite>.json file.
+type Report struct {
+	Schema string `json:"schema"`
+	Suite  string `json:"suite"`
+	// Config records the experiment configuration the run used; it is
+	// written as-is and read back as generic JSON.
+	Config    any         `json:"config,omitempty"`
+	Env       Environment `json:"env"`
+	Results   []Result    `json:"results"`
+	ElapsedNS int64       `json:"elapsed_ns"`
+}
+
+// FindResult returns the report's result for an experiment id, or nil.
+func (r *Report) FindResult(experiment string) *Result {
+	for i := range r.Results {
+		if r.Results[i].Experiment == experiment {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// Metrics returns every metric in the report keyed by name, in report
+// order.
+func (r *Report) Metrics() ([]string, map[string]Metric) {
+	var order []string
+	byName := map[string]Metric{}
+	for _, res := range r.Results {
+		for _, m := range res.Metrics {
+			if _, ok := byName[m.Name]; !ok {
+				order = append(order, m.Name)
+			}
+			byName[m.Name] = m
+		}
+	}
+	return order, byName
+}
+
+// WriteFile writes the report as indented JSON to path.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("harness: marshal report: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a report written by WriteFile and validates its schema
+// tag.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("harness: parse %s: %w", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("harness: %s has schema %q, want %q", path, r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}

@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Reporter consumes the event stream of a Run. Begin fires once before any
+// experiment with the report's suite and environment filled in, Experiment
+// after each completed experiment, and End once with the finished report.
+// The table backend (TextReporter) and the JSON backend (JSONReporter)
+// both implement it; a Run fans out to any number of reporters.
+type Reporter interface {
+	Begin(r *Report)
+	Experiment(res Result)
+	End(r *Report) error
+}
+
+// TextReporter renders experiment tables and per-experiment summary lines
+// as plain text — the human-facing backend.
+type TextReporter struct {
+	W io.Writer
+	// Quiet suppresses the tables, leaving only the summary lines.
+	Quiet bool
+}
+
+// Begin prints the run header: suite, toolchain, machine, and commit.
+func (t *TextReporter) Begin(r *Report) {
+	fmt.Fprintf(t.W, "suite %s · %s %s/%s · %d CPUs",
+		r.Suite, r.Env.GoVersion, r.Env.GOOS, r.Env.GOARCH, r.Env.NumCPU)
+	if r.Env.Commit != "" {
+		c := r.Env.Commit
+		if len(c) > 12 {
+			c = c[:12]
+		}
+		fmt.Fprintf(t.W, " · commit %s", c)
+		if r.Env.Dirty {
+			fmt.Fprint(t.W, " (dirty)")
+		}
+	}
+	fmt.Fprintln(t.W)
+	fmt.Fprintln(t.W)
+}
+
+// Experiment prints the experiment's tables (unless Quiet) and one summary
+// line with its wall-time statistics.
+func (t *TextReporter) Experiment(res Result) {
+	if !t.Quiet {
+		for _, tb := range res.Tables {
+			fmt.Fprintln(t.W, tb)
+		}
+	}
+	w := res.WallNS
+	line := fmt.Sprintf("[%s: wall %v", res.Experiment, time.Duration(w.Mean).Round(time.Millisecond))
+	if w.N > 1 {
+		line += fmt.Sprintf(" ±%v (p50 %v, p99 %v, %d reps)",
+			time.Duration(w.Stddev).Round(time.Millisecond),
+			time.Duration(w.P50).Round(time.Millisecond),
+			time.Duration(w.P99).Round(time.Millisecond),
+			w.N)
+	}
+	line += fmt.Sprintf(", %d metrics]", len(res.Metrics))
+	fmt.Fprintln(t.W, line)
+	fmt.Fprintln(t.W)
+}
+
+// End prints the run footer.
+func (t *TextReporter) End(r *Report) error {
+	_, err := fmt.Fprintf(t.W, "suite %s: %d experiment(s) in %v\n",
+		r.Suite, len(r.Results), time.Duration(r.ElapsedNS).Round(time.Millisecond))
+	return err
+}
+
+// JSONReporter writes the finished report as indented JSON — the machine
+// backend. Set Path to write a file (the BENCH_<suite>.json convention) or
+// W to write to a stream; if both are set the file wins.
+type JSONReporter struct {
+	Path string
+	W    io.Writer
+}
+
+// Begin implements Reporter; the JSON backend buffers until End.
+func (j *JSONReporter) Begin(*Report) {}
+
+// Experiment implements Reporter; the JSON backend buffers until End.
+func (j *JSONReporter) Experiment(Result) {}
+
+// End writes the report.
+func (j *JSONReporter) End(r *Report) error {
+	if j.Path != "" {
+		return r.WriteFile(j.Path)
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = j.W.Write(append(data, '\n'))
+	return err
+}

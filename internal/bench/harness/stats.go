@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary is the descriptive statistics of one metric's samples. All
+// fields are in the metric's own unit. With a single sample the spread
+// statistics degenerate gracefully: stddev is zero and the confidence
+// interval collapses onto the mean.
+type Summary struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	P50    float64 `json:"p50"`
+	P95    float64 `json:"p95"`
+	P99    float64 `json:"p99"`
+	// CI95Lo and CI95Hi bound the 95% confidence interval of the mean,
+	// using the Student t critical value for the sample's degrees of
+	// freedom.
+	CI95Lo float64 `json:"ci95_lo"`
+	CI95Hi float64 `json:"ci95_hi"`
+}
+
+// Summarize computes a Summary over samples. It returns a zero Summary for
+// an empty slice. The input is not modified.
+func Summarize(samples []float64) Summary {
+	n := len(samples)
+	if n == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	mean := sum / float64(n)
+
+	var sq float64
+	for _, v := range sorted {
+		d := v - mean
+		sq += d * d
+	}
+	stddev := 0.0
+	if n > 1 {
+		stddev = math.Sqrt(sq / float64(n-1))
+	}
+	half := tCritical95(n-1) * stddev / math.Sqrt(float64(n))
+
+	return Summary{
+		N:      n,
+		Mean:   mean,
+		Stddev: stddev,
+		Min:    sorted[0],
+		Max:    sorted[n-1],
+		P50:    Percentile(sorted, 50),
+		P95:    Percentile(sorted, 95),
+		P99:    Percentile(sorted, 99),
+		CI95Lo: mean - half,
+		CI95Hi: mean + half,
+	}
+}
+
+// Percentile returns the p-th percentile (0..100) of sorted samples using
+// linear interpolation between closest ranks. sorted must be ascending.
+func Percentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= n {
+		hi = n - 1
+	}
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// tTable holds two-sided 95% Student t critical values for 1..30 degrees
+// of freedom; beyond 30 the normal approximation 1.96 is close enough for
+// benchmark reporting.
+var tTable = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// tCritical95 returns the two-sided 95% t critical value for df degrees of
+// freedom (df <= 0 yields 0, so a single sample gets a zero-width CI).
+func tCritical95(df int) float64 {
+	switch {
+	case df <= 0:
+		return 0
+	case df <= len(tTable):
+		return tTable[df-1]
+	default:
+		return 1.96
+	}
+}

@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g (±%g)", name, got, want, tol)
+	}
+}
+
+func TestSummarizeFixedInputs(t *testing.T) {
+	// 1..100 in scrambled order: every statistic has a closed form.
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = float64((i*37)%100 + 1)
+	}
+	s := Summarize(samples)
+
+	if s.N != 100 {
+		t.Fatalf("N = %d, want 100", s.N)
+	}
+	approx(t, "Mean", s.Mean, 50.5, 1e-9)
+	approx(t, "Min", s.Min, 1, 0)
+	approx(t, "Max", s.Max, 100, 0)
+	// Sample stddev of 1..100 is sqrt(n(n+1)/12) with Bessel: 29.0115...
+	approx(t, "Stddev", s.Stddev, 29.011491975882016, 1e-9)
+	// Linear interpolation on sorted 1..100: p maps to 1 + p/100*99.
+	approx(t, "P50", s.P50, 50.5, 1e-9)
+	approx(t, "P95", s.P95, 95.05, 1e-9)
+	approx(t, "P99", s.P99, 99.01, 1e-9)
+	// df=99 uses the 1.96 normal approximation.
+	half := 1.96 * s.Stddev / 10
+	approx(t, "CI95Lo", s.CI95Lo, 50.5-half, 1e-9)
+	approx(t, "CI95Hi", s.CI95Hi, 50.5+half, 1e-9)
+}
+
+func TestSummarizeSmallSamples(t *testing.T) {
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Fatalf("empty input: %+v, want zero Summary", s)
+	}
+
+	one := Summarize([]float64{42})
+	if one.N != 1 || one.Mean != 42 || one.Stddev != 0 ||
+		one.P50 != 42 || one.P95 != 42 || one.P99 != 42 ||
+		one.CI95Lo != 42 || one.CI95Hi != 42 {
+		t.Fatalf("single sample: %+v", one)
+	}
+
+	// Two samples: mean 10, stddev sqrt(2)*2... samples 8, 12:
+	// stddev = sqrt(((8-10)^2+(12-10)^2)/1) = sqrt(8) = 2.828...
+	two := Summarize([]float64{12, 8})
+	approx(t, "Mean", two.Mean, 10, 1e-12)
+	approx(t, "Stddev", two.Stddev, math.Sqrt(8), 1e-12)
+	approx(t, "P50", two.P50, 10, 1e-12)
+	// df=1 → t = 12.706; half-width = 12.706 * sqrt(8)/sqrt(2).
+	half := 12.706 * math.Sqrt(8) / math.Sqrt2
+	approx(t, "CI95Lo", two.CI95Lo, 10-half, 1e-9)
+	approx(t, "CI95Hi", two.CI95Hi, 10+half, 1e-9)
+}
+
+func TestPercentileEdges(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	approx(t, "p0", Percentile(sorted, 0), 10, 0)
+	approx(t, "p100", Percentile(sorted, 100), 40, 0)
+	approx(t, "p50", Percentile(sorted, 50), 25, 1e-12)
+	// rank = 0.25/100*3... p25 → rank 0.75 → 10 + 0.75*10 = 17.5.
+	approx(t, "p25", Percentile(sorted, 25), 17.5, 1e-12)
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	_ = Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input reordered: %v", in)
+	}
+}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	wazi "github.com/wazi-index/wazi"
+	"github.com/wazi-index/wazi/internal/bench/harness"
+	"github.com/wazi-index/wazi/internal/dataset"
+	"github.com/wazi-index/wazi/internal/workload"
+)
+
+// serving abstracts the two serving layers over the operations a scenario
+// stream issues.
+type serving interface {
+	RangeQuery(r wazi.Rect) []wazi.Point
+	Insert(p wazi.Point)
+}
+
+// ScenarioSuite benchmarks the serving layers under every named workload
+// suite (internal/workload.Suites): uniform, Gaussian skew, mid-stream
+// hotspot drift, mixed read/write at 10% and 30% writes, and the
+// adversarial anti-correlated ranges. Both layers are built fresh per
+// scenario on the paper's skewed check-in workload — the suites then probe
+// how that training generalizes. The table reports multi-goroutine
+// throughput of Concurrent and Sharded plus Sharded's single-client
+// per-operation latency percentiles.
+func ScenarioSuite(cfg Config) []Table {
+	cfg.fill()
+	r := cfg.Regions[0]
+	data := dataset.Generate(r, cfg.Scale, cfg.Seed)
+	train := workload.Skewed(r, cfg.Queries, MidSelectivity, cfg.Seed+21)
+	clients := runtime.GOMAXPROCS(0)
+
+	t := Table{
+		ID: "scenarios",
+		Title: fmt.Sprintf("Serving layers under the named workload suites (%s, %d points, %d client goroutines)",
+			r, cfg.Scale, clients),
+		Header: []string{"Scenario", "Writes", "Concurrent (ops/s)", "Sharded (ops/s)", "Speedup", "p50 (ns)", "p95 (ns)", "p99 (ns)"},
+		Notes: []string{
+			"both layers trained on the skewed check-in workload; suites probe generalization",
+			"percentiles are Sharded single-client per-op latency; expected shape: Sharded ahead everywhere, widest on read-heavy suites",
+		},
+	}
+	for _, s := range workload.Suites() {
+		qs := s.Queries(r, cfg.Queries, MidSelectivity, cfg.Seed+31)
+		ins := workload.InsertBatch(cfg.Queries, cfg.Seed+41)
+		ops := workload.MixedOps(qs, ins, s.WriteRatio, cfg.Seed+51)
+
+		single, err := wazi.NewWorkloadAware(data, train, wazi.WithLeafSize(cfg.LeafSize), wazi.WithSeed(cfg.Seed))
+		if err != nil {
+			panic(err)
+		}
+		conc := wazi.NewConcurrent(single)
+		sharded, err := wazi.NewSharded(data, train,
+			wazi.WithShards(max(8, clients)),
+			wazi.WithIndexOptions(wazi.WithLeafSize(cfg.LeafSize), wazi.WithSeed(cfg.Seed)),
+			wazi.WithoutAutoRebuild())
+		if err != nil {
+			panic(err)
+		}
+
+		// Throughput first, from identical fresh states, so the Speedup
+		// column is apples to apples; the latency pass then runs on a
+		// Sharded that has absorbed one throughput window of operations,
+		// i.e. an index serving under sustained writes.
+		cops := measureLoopThroughput(len(ops), clients, func(i int) { execOp(conc, ops[i]) })
+		sops := measureLoopThroughput(len(ops), clients, func(i int) { execOp(sharded, ops[i]) })
+		lat := measureOpLatencies(sharded, ops)
+		sharded.Close()
+
+		t.Rows = append(t.Rows, []string{
+			s.Name,
+			fmt.Sprintf("%.0f%%", s.WriteRatio*100),
+			fmt.Sprintf("%.0f", cops),
+			fmt.Sprintf("%.0f", sops),
+			fmt.Sprintf("%.2fx", sops/cops),
+			fmt.Sprintf("%.0f", lat.P50),
+			fmt.Sprintf("%.0f", lat.P95),
+			fmt.Sprintf("%.0f", lat.P99),
+		})
+	}
+	return []Table{t}
+}
+
+// measureOpLatencies executes the operation stream once on a single
+// goroutine, timing each operation, and summarizes the per-op latencies in
+// nanoseconds.
+func measureOpLatencies(layer serving, ops []workload.Op) harness.Summary {
+	samples := make([]float64, 0, len(ops))
+	for _, op := range ops {
+		start := time.Now()
+		execOp(layer, op)
+		samples = append(samples, float64(time.Since(start).Nanoseconds()))
+	}
+	return harness.Summarize(samples)
+}
+
+func execOp(layer serving, op workload.Op) {
+	if op.IsWrite {
+		layer.Insert(op.Point)
+	} else {
+		_ = layer.RangeQuery(op.Query)
+	}
+}

@@ -78,10 +78,17 @@ func ShardedThroughput(cfg Config) []Table {
 // looping over the query set from a different offset, and returns aggregate
 // queries per second.
 func measureThroughput(idx querier, qs []geom.Rect, g int) float64 {
+	return measureLoopThroughput(len(qs), g, func(i int) { _ = idx.RangeQuery(qs[i]) })
+}
+
+// measureLoopThroughput is the shared throughput harness: after a warmup
+// over the first min(n, 64) items, it runs g goroutines for a fixed
+// wall-clock window, each calling exec with successive item indexes from a
+// different offset, and returns aggregate executions per second.
+func measureLoopThroughput(n, g int, exec func(int)) float64 {
 	const window = 250 * time.Millisecond
-	// Warmup pass.
-	for _, q := range qs[:min(len(qs), 64)] {
-		_ = idx.RangeQuery(q)
+	for i := 0; i < min(n, 64); i++ {
+		exec(i)
 	}
 	var done atomic.Int64
 	var stop atomic.Bool
@@ -90,18 +97,17 @@ func measureThroughput(idx querier, qs []geom.Rect, g int) float64 {
 		wg.Add(1)
 		go func(off int) {
 			defer wg.Done()
-			n := int64(0)
+			c := int64(0)
 			for j := off; !stop.Load(); j++ {
-				_ = idx.RangeQuery(qs[j%len(qs)])
-				n++
+				exec(j % n)
+				c++
 			}
-			done.Add(n)
-		}(i * len(qs) / g)
+			done.Add(c)
+		}(i * n / g)
 	}
 	start := time.Now()
 	time.Sleep(window)
 	stop.Store(true)
 	wg.Wait()
-	elapsed := time.Since(start)
-	return float64(done.Load()) / elapsed.Seconds()
+	return float64(done.Load()) / time.Since(start).Seconds()
 }

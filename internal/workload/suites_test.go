@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/wazi-index/wazi/internal/dataset"
+	"github.com/wazi-index/wazi/internal/geom"
+)
+
+func TestSuitesAreNamedAndGenerate(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Suites() {
+		if s.Name == "" || s.Description == "" {
+			t.Fatalf("suite %+v lacks a name or description", s)
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate suite name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.WriteRatio < 0 || s.WriteRatio >= 1 {
+			t.Fatalf("%s: write ratio %v out of [0,1)", s.Name, s.WriteRatio)
+		}
+		qs := s.Queries(dataset.NewYork, 64, 0.0256e-2, 7)
+		if len(qs) != 64 {
+			t.Fatalf("%s: generated %d queries, want 64", s.Name, len(qs))
+		}
+		for i, q := range qs {
+			if !q.Valid() || !UnitSquare.ContainsRect(q) {
+				t.Fatalf("%s: query %d = %v outside the domain", s.Name, i, q)
+			}
+		}
+	}
+	byName, ok := SuiteByName("uniform")
+	if !ok || byName.Name != "uniform" {
+		t.Fatalf("SuiteByName(uniform) = %v, %v", byName, ok)
+	}
+	if _, ok := SuiteByName("no-such-suite"); ok {
+		t.Fatal("SuiteByName accepted an unknown name")
+	}
+}
+
+func TestSuitesDeterministicInSeed(t *testing.T) {
+	for _, s := range Suites() {
+		a := s.Queries(dataset.Japan, 32, 0.0064e-2, 11)
+		b := s.Queries(dataset.Japan, 32, 0.0064e-2, 11)
+		c := s.Queries(dataset.Japan, 32, 0.0064e-2, 12)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: same seed diverged at query %d", s.Name, i)
+			}
+		}
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: different seeds produced identical workloads", s.Name)
+		}
+	}
+}
+
+func TestSuiteQueriesKeepSelectivityArea(t *testing.T) {
+	const sel = 0.1024e-2
+	for _, s := range Suites() {
+		qs := s.Queries(dataset.CaliNev, 100, sel, 3)
+		for i, q := range qs {
+			// Clipping can only shrink; interior queries must hit the
+			// target area. Allow 1% tolerance for float noise.
+			if q.Area() > sel*UnitSquare.Area()*1.01 {
+				t.Fatalf("%s: query %d area %g exceeds selectivity %g", s.Name, i, q.Area(), sel)
+			}
+		}
+		var mean float64
+		for _, q := range qs {
+			mean += q.Area()
+		}
+		mean /= float64(len(qs))
+		if mean < sel*0.9 {
+			t.Errorf("%s: mean area %g is far below the %g target", s.Name, mean, sel)
+		}
+	}
+}
+
+func TestHotspotShiftActuallyShifts(t *testing.T) {
+	qs := HotspotShift(dataset.NewYork, 400, 0.0256e-2, 5)
+	head, tail := qs[:200], qs[200:]
+	centroid := func(rs []geom.Rect) geom.Point {
+		var c geom.Point
+		for _, r := range rs {
+			p := r.Center()
+			c.X += p.X
+			c.Y += p.Y
+		}
+		c.X /= float64(len(rs))
+		c.Y /= float64(len(rs))
+		return c
+	}
+	hc, tc := centroid(head), centroid(tail)
+	dist := math.Hypot(hc.X-tc.X, hc.Y-tc.Y)
+	if dist < 0.02 {
+		t.Fatalf("head and tail centroids nearly coincide (dist %g); no drift generated", dist)
+	}
+}
+
+func TestAntiCorrelatedShape(t *testing.T) {
+	const sel = 0.0256e-2
+	qs := AntiCorrelated(50, sel, 9)
+	sawWide, sawTall := false, false
+	for i, q := range qs {
+		w, h := q.Width(), q.Height()
+		if w > h*4 {
+			sawWide = true
+		}
+		if h > w*4 {
+			sawTall = true
+		}
+		c := q.Center()
+		if d := math.Abs(c.Y - (1 - c.X)); d > 0.2 {
+			t.Errorf("query %d center %v is %g from the anti-diagonal", i, c, d)
+		}
+	}
+	if !sawWide || !sawTall {
+		t.Fatalf("expected both orientations of thin rectangles (wide=%v tall=%v)", sawWide, sawTall)
+	}
+}
+
+func TestMixedOps(t *testing.T) {
+	qs := Uniform(700, 0.0256e-2, 1)
+	ins := dataset.Uniform(500, 2)
+
+	t.Run("read-only", func(t *testing.T) {
+		ops := MixedOps(qs, ins, 0, 3)
+		if len(ops) != len(qs) {
+			t.Fatalf("got %d ops, want %d", len(ops), len(qs))
+		}
+		for i, op := range ops {
+			if op.IsWrite || op.Query != qs[i] {
+				t.Fatalf("op %d should be query %v, got %+v", i, qs[i], op)
+			}
+		}
+	})
+
+	t.Run("ratio", func(t *testing.T) {
+		ops := MixedOps(qs, ins, 0.30, 3)
+		writes := 0
+		var gotQueries []geom.Rect
+		for _, op := range ops {
+			if op.IsWrite {
+				writes++
+			} else {
+				gotQueries = append(gotQueries, op.Query)
+			}
+		}
+		ratio := float64(writes) / float64(len(ops))
+		if math.Abs(ratio-0.30) > 0.02 {
+			t.Fatalf("write ratio %g, want ~0.30", ratio)
+		}
+		if len(gotQueries) != len(qs) {
+			t.Fatalf("lost queries: %d vs %d", len(gotQueries), len(qs))
+		}
+		for i := range qs {
+			if gotQueries[i] != qs[i] {
+				t.Fatalf("query order not preserved at %d", i)
+			}
+		}
+	})
+
+	t.Run("write-only", func(t *testing.T) {
+		for _, ratio := range []float64{1, 2.5} { // >1 clamps to 1
+			ops := MixedOps(qs, ins, ratio, 3)
+			if len(ops) != len(ins) {
+				t.Fatalf("ratio %g: got %d ops, want %d writes", ratio, len(ops), len(ins))
+			}
+			for i, op := range ops {
+				if !op.IsWrite || op.Point != ins[i] {
+					t.Fatalf("ratio %g: op %d = %+v, want insert of %v", ratio, i, op, ins[i])
+				}
+			}
+		}
+	})
+
+	t.Run("deterministic", func(t *testing.T) {
+		a := MixedOps(qs, ins, 0.30, 3)
+		b := MixedOps(qs, ins, 0.30, 3)
+		if len(a) != len(b) {
+			t.Fatal("lengths differ across identical calls")
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("ops diverge at %d", i)
+			}
+		}
+	})
+}

@@ -294,7 +294,9 @@ func intersectingQueries(workload []Rect, bounds Rect) []Rect {
 
 // Close stops the background control loop and the worker pool. Queries
 // issued after Close still work (fan-out degrades to inline execution);
-// writes remain valid but are no longer compacted automatically.
+// writes remain valid, with compaction running synchronously on the
+// writing goroutine once a shard's backlog overflows — as under
+// WithoutAutoRebuild.
 func (s *Sharded) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -589,6 +591,9 @@ type knnHeap struct {
 	q   Point
 }
 
+// Len, Less, Swap, Push, and Pop implement container/heap.Interface;
+// Less orders by descending distance so the root is the worst of the k
+// best and can be evicted first.
 func (h *knnHeap) Len() int { return len(h.pts) }
 func (h *knnHeap) Less(i, j int) bool {
 	return distSq(h.pts[i], h.q) > distSq(h.pts[j], h.q)

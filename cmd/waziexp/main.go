@@ -88,18 +88,11 @@ func cmdList() int {
 func parseRegions(list string) ([]dataset.Region, error) {
 	var out []dataset.Region
 	for _, name := range strings.Split(list, ",") {
-		name = strings.TrimSpace(name)
-		found := false
-		for _, r := range dataset.Regions() {
-			if strings.EqualFold(r.String(), name) {
-				out = append(out, r)
-				found = true
-				break
-			}
-		}
+		r, found := dataset.RegionByName(strings.TrimSpace(name))
 		if !found {
 			return nil, fmt.Errorf("unknown region %q (want CaliNev, NewYork, Japan, or Iberia)", name)
 		}
+		out = append(out, r)
 	}
 	return out, nil
 }

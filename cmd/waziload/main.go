@@ -1,0 +1,151 @@
+// Command waziload replays workload scenario suites against a running
+// waziserve instance and reports serving throughput and latency through the
+// same wazi-bench/v1 machinery as the in-process experiments, so
+// over-the-wire numbers land in the same BENCH_*.json trajectory.
+//
+// Usage:
+//
+//	waziload -addr 127.0.0.1:8080 -suite zipfian -clients 64 -duration 2s
+//	waziload -addr $(cat port.txt) -mode both -json BENCH_serving_smoke.json
+//
+// Modes: "single" replays one op per request on the per-op endpoints,
+// "batch" folds -batch consecutive ops into each /v1/batch request, and
+// "both" (the default) measures the two back to back — the resulting table
+// is the per-request-vs-batch comparison of docs/SERVING.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/wazi-index/wazi/internal/bench/harness"
+	"github.com/wazi-index/wazi/internal/dataset"
+	"github.com/wazi-index/wazi/internal/server"
+	"github.com/wazi-index/wazi/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// loadConfig is recorded in the report so a BENCH file is self-describing.
+type loadConfig struct {
+	Addr     string  `json:"addr"`
+	Suite    string  `json:"suite"`
+	Region   string  `json:"region"`
+	Ops      int     `json:"ops"`
+	Sel      float64 `json:"sel"`
+	Seed     int64   `json:"seed"`
+	Clients  int     `json:"clients"`
+	Batch    int     `json:"batch"`
+	Duration string  `json:"duration"`
+	Mode     string  `json:"mode"`
+}
+
+func run() int {
+	fs := flag.NewFlagSet("waziload", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "waziserve address (host:port or http:// URL)")
+		suite    = fs.String("suite", "zipfian", "workload scenario suite to replay (see internal/workload.Suites)")
+		region   = fs.String("region", "NewYork", "region whose workload shape to replay")
+		n        = fs.Int("n", 2_000, "operations in the replay stream (cycled for the whole duration)")
+		sel      = fs.Float64("sel", 0.0256e-2, "query selectivity (fraction of data-space area)")
+		seed     = fs.Int64("seed", 1, "workload seed")
+		clients  = fs.Int("clients", 64, "concurrent client goroutines")
+		duration = fs.Duration("duration", 2*time.Second, "wall budget per mode")
+		batch    = fs.Int("batch", 32, "ops per /v1/batch request in batch mode")
+		mode     = fs.String("mode", "both", "single, batch, or both")
+		jsonPath = fs.String("json", "", "write a wazi-bench/v1 report to this path")
+		quiet    = fs.Bool("quiet", false, "suppress the table; print only summary lines")
+	)
+	fs.Parse(os.Args[1:])
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "waziload: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	if *mode != "single" && *mode != "batch" && *mode != "both" {
+		fmt.Fprintf(os.Stderr, "waziload: -mode must be single, batch, or both (got %q)\n", *mode)
+		return 2
+	}
+
+	r, found := dataset.RegionByName(*region)
+	if !found {
+		fmt.Fprintf(os.Stderr, "waziload: unknown region %q (want CaliNev, NewYork, Japan, or Iberia)\n", *region)
+		return 2
+	}
+	ws, ok := workload.SuiteByName(*suite)
+	if !ok {
+		var names []string
+		for _, s := range workload.Suites() {
+			names = append(names, s.Name)
+		}
+		fmt.Fprintf(os.Stderr, "waziload: unknown suite %q (want %s)\n", *suite, strings.Join(names, ", "))
+		return 2
+	}
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	if err := server.WaitHealthy(base, 10*time.Second); err != nil {
+		fmt.Fprintln(os.Stderr, "waziload:", err)
+		return 1
+	}
+
+	qs := ws.Queries(r, *n, *sel, *seed)
+	ins := workload.InsertBatch(*n/4+1, *seed+1)
+	ops := workload.ToWire(workload.MixedOps(qs, ins, ws.WriteRatio, *seed+2))
+
+	cfg := loadConfig{
+		Addr: base, Suite: ws.Name, Region: r.String(), Ops: *n, Sel: *sel, Seed: *seed,
+		Clients: *clients, Batch: *batch, Duration: duration.String(), Mode: *mode,
+	}
+	reporters := []harness.Reporter{&harness.TextReporter{W: os.Stdout, Quiet: *quiet}}
+	if *jsonPath != "" {
+		reporters = append(reporters, &harness.JSONReporter{Path: *jsonPath})
+	}
+	hrun := harness.NewRun(harness.Options{Suite: "serving-http"}, cfg, reporters...)
+
+	var results []server.LoadResult
+	var loadErr error
+	hrun.Experiment("serving-http", func() []harness.Table {
+		results = results[:0]
+		if *mode == "single" || *mode == "both" {
+			res, err := server.RunLoad(base, ops, server.LoadOptions{Clients: *clients, Duration: *duration, Batch: 1})
+			if err != nil {
+				loadErr = err
+				return nil
+			}
+			results = append(results, res)
+		}
+		if *mode == "batch" || *mode == "both" {
+			res, err := server.RunLoad(base, ops, server.LoadOptions{Clients: *clients, Duration: *duration, Batch: *batch})
+			if err != nil {
+				loadErr = err
+				return nil
+			}
+			results = append(results, res)
+		}
+		return []harness.Table{server.LoadTable("serving-http", ws.Name, *clients, results)}
+	})
+	if loadErr != nil {
+		fmt.Fprintln(os.Stderr, "waziload:", loadErr)
+		return 1
+	}
+	if _, err := hrun.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "waziload:", err)
+		return 1
+	}
+	if *jsonPath != "" {
+		fmt.Printf("report written to %s\n", *jsonPath)
+	}
+	if len(results) == 2 {
+		fmt.Printf("batch/single throughput: %.2fx (%.0f vs %.0f ops/s)\n",
+			results[1].OpsPerSec/results[0].OpsPerSec, results[1].OpsPerSec, results[0].OpsPerSec)
+	}
+	return 0
+}

@@ -1,0 +1,41 @@
+package wazi
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+// RecentWindow returns shard i's recent-query ring contents — a test hook
+// for asserting that warm starts preserve the drift window that rebuilds
+// train on.
+func (s *Sharded) RecentWindow(i int) []Rect { return s.ctls[i].recent.snapshot() }
+
+// DoctorSnapshotVersion re-encodes a saved sharded snapshot with the header
+// version replaced, preserving every shard record — a test hook for
+// asserting that Load refuses future format versions with a clear error.
+func DoctorSnapshotVersion(t *testing.T, buf *bytes.Buffer, version int) []byte {
+	t.Helper()
+	dec := gob.NewDecoder(bytes.NewReader(buf.Bytes()))
+	var h shardedHeader
+	if err := dec.Decode(&h); err != nil {
+		t.Fatalf("doctoring snapshot: decode header: %v", err)
+	}
+	shards := h.Shards
+	h.Version = version
+	var out bytes.Buffer
+	enc := gob.NewEncoder(&out)
+	if err := enc.Encode(&h); err != nil {
+		t.Fatalf("doctoring snapshot: encode header: %v", err)
+	}
+	for i := 0; i < shards; i++ {
+		var rec shardedShardRecord
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatalf("doctoring snapshot: decode shard %d: %v", i, err)
+		}
+		if err := enc.Encode(&rec); err != nil {
+			t.Fatalf("doctoring snapshot: encode shard %d: %v", i, err)
+		}
+	}
+	return out.Bytes()
+}

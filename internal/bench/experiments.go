@@ -40,6 +40,7 @@ func Experiments() []Experiment {
 		{"fig13", "skipping/partitioning ablation", Fig13Ablation},
 		{"sharded", "Concurrent vs Sharded throughput by goroutines", ShardedThroughput},
 		{"scenarios", "Sharded under the named workload suites", ScenarioSuite},
+		{"serving-http", "HTTP serving: per-request vs batched replay over the wire", ServingHTTP},
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 
 	"github.com/wazi-index/wazi/internal/geom"
 )
@@ -36,6 +37,17 @@ const (
 
 // Regions lists all regions in evaluation order.
 func Regions() []Region { return []Region{CaliNev, NewYork, Japan, Iberia} }
+
+// RegionByName resolves a region case-insensitively by its String name —
+// the shared lookup behind every CLI's -region/-regions flag.
+func RegionByName(name string) (Region, bool) {
+	for _, r := range Regions() {
+		if strings.EqualFold(r.String(), name) {
+			return r, true
+		}
+	}
+	return 0, false
+}
 
 // String implements fmt.Stringer.
 func (r Region) String() string {

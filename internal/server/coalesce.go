@@ -1,0 +1,137 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// errCoalescerClosed is returned to reads that were still queued when the
+// server shut down; the HTTP layer translates it to 503.
+var errCoalescerClosed = errors.New("server: shutting down")
+
+// readTask is one pending read: a closure over the decoded request that the
+// executing worker runs against a pinned snapshot view.
+type readTask struct {
+	fn   func(ReadView) any
+	done chan any
+}
+
+// coalescer groups concurrent singleton reads into snapshot passes: a fixed
+// pool of workers drains the pending-read queue in batches, pins ONE
+// backend view per batch, and executes every read in the batch against it.
+// Two things are bought here. First, concurrency control: however many
+// requests the admission gate lets in, only `workers` goroutines actually
+// touch the index, so fan-out query execution (which parallelizes
+// internally) is never oversubscribed by request-handler goroutines.
+// Second, shared snapshot passes: under concurrency the per-read atomic
+// snapshot load, advisor bookkeeping setup, and scheduler handoff amortize
+// over the batch — the "group concurrent reads into one snapshot pass"
+// design of this serving layer. Under light load batches degenerate to size
+// one and the coalescer adds a single channel hop.
+type coalescer struct {
+	b         Backend
+	tasks     chan *readTask
+	quit      chan struct{}
+	batch     int
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	batches   atomic.Int64
+	reads     atomic.Int64
+}
+
+// newCoalescer starts `workers` executor goroutines. queueCap bounds the
+// pending-read channel; the admission gate already bounds how many requests
+// can be in flight, so the cap only needs to exceed MaxInflight.
+func newCoalescer(b Backend, workers, batch, queueCap int) *coalescer {
+	c := &coalescer{
+		b:     b,
+		tasks: make(chan *readTask, queueCap),
+		quit:  make(chan struct{}),
+		batch: batch,
+	}
+	c.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go c.worker()
+	}
+	return c
+}
+
+func (c *coalescer) worker() {
+	defer c.wg.Done()
+	for {
+		var first *readTask
+		select {
+		case <-c.quit:
+			return
+		case first = <-c.tasks:
+		}
+		group := append(make([]*readTask, 0, c.batch), first)
+	drain:
+		for len(group) < c.batch {
+			select {
+			case t := <-c.tasks:
+				group = append(group, t)
+			default:
+				break drain
+			}
+		}
+		// One view pins one immutable snapshot; the whole group is a single
+		// consistent pass over it.
+		v := c.b.View()
+		c.batches.Add(1)
+		c.reads.Add(int64(len(group)))
+		for _, t := range group {
+			t.done <- t.fn(v)
+		}
+	}
+}
+
+// run enqueues a read and waits for its result. It respects ctx both while
+// queueing and while waiting, so a client that disconnects stops consuming
+// server resources as soon as a worker would pick its task up.
+func (c *coalescer) run(ctx context.Context, fn func(ReadView) any) (any, error) {
+	t := &readTask{fn: fn, done: make(chan any, 1)}
+	select {
+	case c.tasks <- t:
+	case <-c.quit:
+		return nil, errCoalescerClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case res := <-t.done:
+		// close() answers still-queued tasks with errCoalescerClosed through
+		// the same channel; surface it as the error it is, never as a result.
+		if err, ok := res.(error); ok {
+			return nil, err
+		}
+		return res, nil
+	case <-c.quit:
+		return nil, errCoalescerClosed
+	case <-ctx.Done():
+		// The worker may still run the task; its send lands in the buffered
+		// done channel and is garbage collected with it.
+		return nil, ctx.Err()
+	}
+}
+
+// close stops the workers and fails any still-queued reads. It is
+// idempotent: both Server.Close and Serve's shutdown path may call it. The
+// HTTP server is drained before close is called, so in the normal shutdown
+// sequence the queue is already empty.
+func (c *coalescer) close() {
+	c.closeOnce.Do(func() {
+		close(c.quit)
+		c.wg.Wait()
+		for {
+			select {
+			case t := <-c.tasks:
+				t.done <- errCoalescerClosed
+			default:
+				return
+			}
+		}
+	})
+}

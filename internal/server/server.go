@@ -1,0 +1,527 @@
+// Package server exposes a wazi.Sharded index over HTTP/JSON — the serving
+// boundary of the build-offline/serve-online deployment model (§6.5 of the
+// paper), hardened for sustained traffic:
+//
+//   - request coalescing: concurrent singleton reads are grouped by a fixed
+//     worker pool into shared snapshot passes (coalesce.go);
+//   - admission control: a semaphore gate with a bounded waiting queue
+//     sheds overload with 429s instead of collapsing (admission.go);
+//   - warm starts: graceful shutdown drains in-flight requests and writes a
+//     Sharded snapshot that the next process restores without rebuilding
+//     (serve.go, wazi.Sharded.Save/LoadSharded).
+//
+// Endpoints (all op endpoints are POST with JSON bodies; see docs/SERVING.md):
+//
+//	/v1/range   {"rect":{...}}             -> {"count":n,"points":[...]}
+//	/v1/count   {"rect":{...}}             -> {"count":n}
+//	/v1/point   {"point":{...}}            -> {"found":bool}
+//	/v1/knn     {"point":{...},"k":k}      -> {"count":k,"points":[...]}
+//	/v1/insert  {"point":{...}}            -> {"ok":true}
+//	/v1/delete  {"point":{...}}            -> {"found":bool}
+//	/v1/batch   {"ops":[{"op":...},...]}   -> {"results":[...]}
+//	/healthz    GET                        -> {"status":"ok",...}
+//	/statsz     GET                        -> counters, shard + drift state
+//
+// The wire shapes are internal/workload's WireOp encoding, so scenario
+// suites replay over the network byte-for-byte as cmd/waziload sends them.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	wazi "github.com/wazi-index/wazi"
+	"github.com/wazi-index/wazi/internal/workload"
+)
+
+// ReadView is one consistent read pass over the index: every query through
+// one ReadView observes the same immutable snapshot. wazi.View implements
+// it.
+type ReadView interface {
+	RangeQuery(r wazi.Rect) []wazi.Point
+	RangeCount(r wazi.Rect) int
+	PointQuery(p wazi.Point) bool
+	KNN(q wazi.Point, k int) []wazi.Point
+}
+
+// Backend is the index the server serves. The production backend is
+// Sharded(*wazi.Sharded); tests substitute doubles to probe overload and
+// failure behavior.
+type Backend interface {
+	View() ReadView
+	Insert(p wazi.Point)
+	Delete(p wazi.Point) bool
+	Len() int
+	NumShards() int
+	Rebuilds() int64
+	Stats() wazi.Stats
+	Shards() []wazi.ShardInfo
+	Save(w io.Writer) error
+}
+
+// shardedBackend adapts *wazi.Sharded to Backend (View's concrete return
+// type needs the one-line indirection).
+type shardedBackend struct{ *wazi.Sharded }
+
+func (b shardedBackend) View() ReadView { return b.Sharded.View() }
+
+// Sharded wraps a *wazi.Sharded as a serving Backend.
+func Sharded(s *wazi.Sharded) Backend { return shardedBackend{s} }
+
+// Config tunes the serving layer. The zero value is usable: every field
+// has a sensible default.
+type Config struct {
+	// MaxInflight is the number of admitted requests executing at once
+	// (default 4x GOMAXPROCS).
+	MaxInflight int
+	// MaxQueue is how many further requests may wait for an admission slot
+	// before the gate sheds with 429s (default 4x MaxInflight). Zero means
+	// "default"; use NoQueue for a queueless gate.
+	MaxQueue int
+	// NoQueue disables the waiting queue: any request beyond MaxInflight is
+	// shed immediately.
+	NoQueue bool
+	// CoalesceWorkers is the size of the read-executor pool (default
+	// GOMAXPROCS).
+	CoalesceWorkers int
+	// CoalesceBatch caps how many reads one worker folds into a single
+	// snapshot pass (default 32).
+	CoalesceBatch int
+	// SnapshotPath, when set, is where graceful shutdown writes the
+	// warm-start snapshot.
+	SnapshotPath string
+	// DrainTimeout bounds graceful shutdown's wait for in-flight requests
+	// (default 10s).
+	DrainTimeout time.Duration
+}
+
+func (c *Config) fill() {
+	procs := runtime.GOMAXPROCS(0)
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 4 * procs
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInflight
+	}
+	if c.NoQueue {
+		c.MaxQueue = 0
+	}
+	if c.CoalesceWorkers <= 0 {
+		c.CoalesceWorkers = procs
+	}
+	if c.CoalesceBatch <= 0 {
+		c.CoalesceBatch = 32
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+}
+
+// maxBodyBytes bounds request bodies; a 64k-op batch of ~100 bytes/op fits
+// comfortably.
+const maxBodyBytes = 8 << 20
+
+// Server is the HTTP serving layer over a Backend.
+type Server struct {
+	b     Backend
+	cfg   Config
+	gate  *gate
+	co    *coalescer
+	mux   *http.ServeMux
+	start time.Time
+	ops   atomic.Int64 // logical index operations served (batch ops count individually)
+}
+
+// New builds a Server. Call Close (or let Serve's shutdown path do it) to
+// stop the read-executor pool.
+func New(b Backend, cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		b:     b,
+		cfg:   cfg,
+		gate:  newGate(cfg.MaxInflight, cfg.MaxQueue),
+		start: time.Now(),
+	}
+	s.co = newCoalescer(b, cfg.CoalesceWorkers, cfg.CoalesceBatch, cfg.MaxInflight+cfg.MaxQueue+1)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/range", s.opHandler(s.handleRange))
+	mux.HandleFunc("/v1/count", s.opHandler(s.handleCount))
+	mux.HandleFunc("/v1/point", s.opHandler(s.handlePoint))
+	mux.HandleFunc("/v1/knn", s.opHandler(s.handleKNN))
+	mux.HandleFunc("/v1/insert", s.opHandler(s.handleInsert))
+	mux.HandleFunc("/v1/delete", s.opHandler(s.handleDelete))
+	mux.HandleFunc("/v1/batch", s.opHandler(s.handleBatch))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statsz", s.handleStatsz)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the read-executor pool. Safe to call once, after the HTTP
+// listener has drained.
+func (s *Server) Close() { s.co.close() }
+
+// ---------------------------------------------------------------- plumbing
+
+type errorResp struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResp{Error: fmt.Sprintf(format, args...)})
+}
+
+// decode parses a JSON request body into v, rejecting trailing garbage.
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
+}
+
+// opHandler wraps an op endpoint with method filtering and admission
+// control: the slot is held for the whole request, so MaxInflight bounds
+// every kind of in-flight work and MaxQueue bounds the line behind it.
+func (s *Server) opHandler(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed, "%s requires POST", r.URL.Path)
+			return
+		}
+		release, err := s.gate.acquire(r.Context())
+		if err != nil {
+			if errors.Is(err, errShed) {
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests, "overloaded: admission queue full")
+			} else {
+				writeError(w, http.StatusServiceUnavailable, "canceled while queued: %v", err)
+			}
+			return
+		}
+		defer release()
+		h(w, r)
+	}
+}
+
+// read runs fn through the coalescer and writes the result (or the
+// shutdown/cancel error) for the caller.
+func (s *Server) read(w http.ResponseWriter, r *http.Request, fn func(ReadView) any) {
+	res, err := s.co.run(r.Context(), fn)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.ops.Add(1)
+	writeJSON(w, http.StatusOK, res)
+}
+
+// ---------------------------------------------------------------- requests
+
+type rectReq struct {
+	Rect *wazi.Rect `json:"rect"`
+}
+
+type pointReq struct {
+	Point *wazi.Point `json:"point"`
+}
+
+type knnReq struct {
+	Point *wazi.Point `json:"point"`
+	K     int         `json:"k"`
+}
+
+type batchReq struct {
+	Ops []workload.WireOp `json:"ops"`
+}
+
+type rangeResp struct {
+	Count  int          `json:"count"`
+	Points []wazi.Point `json:"points"`
+}
+
+type countResp struct {
+	Count int `json:"count"`
+}
+
+type foundResp struct {
+	Found bool `json:"found"`
+}
+
+type okResp struct {
+	OK bool `json:"ok"`
+}
+
+type batchResp struct {
+	Results []any `json:"results"`
+}
+
+// ---------------------------------------------------------------- handlers
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	var req rectReq
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	op := workload.WireOp{Op: workload.WireRange, Rect: req.Rect}
+	if err := op.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.read(w, r, func(v ReadView) any {
+		pts := v.RangeQuery(*req.Rect)
+		return rangeResp{Count: len(pts), Points: pts}
+	})
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	var req rectReq
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	op := workload.WireOp{Op: workload.WireCount, Rect: req.Rect}
+	if err := op.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.read(w, r, func(v ReadView) any {
+		return countResp{Count: v.RangeCount(*req.Rect)}
+	})
+}
+
+func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
+	var req pointReq
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	op := workload.WireOp{Op: workload.WirePoint, Point: req.Point}
+	if err := op.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.read(w, r, func(v ReadView) any {
+		return foundResp{Found: v.PointQuery(*req.Point)}
+	})
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	var req knnReq
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	op := workload.WireOp{Op: workload.WireKNN, Point: req.Point, K: req.K}
+	if err := op.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.read(w, r, func(v ReadView) any {
+		pts := v.KNN(*req.Point, req.K)
+		return rangeResp{Count: len(pts), Points: pts}
+	})
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req pointReq
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	op := workload.WireOp{Op: workload.WireInsert, Point: req.Point}
+	if err := op.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.b.Insert(*req.Point)
+	s.ops.Add(1)
+	writeJSON(w, http.StatusOK, okResp{OK: true})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req pointReq
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	op := workload.WireOp{Op: workload.WireDelete, Point: req.Point}
+	if err := op.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	found := s.b.Delete(*req.Point)
+	s.ops.Add(1)
+	writeJSON(w, http.StatusOK, foundResp{Found: found})
+}
+
+// handleBatch executes a mixed multi-op request under ONE admission slot —
+// client-side batching, complementing the server-side coalescer. The whole
+// batch runs as a single coalescer task, so the pool invariant (only
+// CoalesceWorkers goroutines execute index reads) holds for batches too.
+// Reads run against a view that starts as the task's pinned snapshot and is
+// re-pinned after every write, so within one batch reads observe the
+// batch's own earlier writes, and runs of consecutive reads share a
+// snapshot pass. The whole batch is validated before any op executes: a
+// malformed batch changes nothing.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchReq
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeError(w, http.StatusBadRequest, "batch has no ops")
+		return
+	}
+	for i, op := range req.Ops {
+		if err := op.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "op %d: %v", i, err)
+			return
+		}
+	}
+	res, err := s.co.run(r.Context(), func(view ReadView) any {
+		pin := func() ReadView {
+			if view == nil {
+				view = s.b.View()
+			}
+			return view
+		}
+		results := make([]any, len(req.Ops))
+		for i, op := range req.Ops {
+			switch op.Op {
+			case workload.WireRange:
+				pts := pin().RangeQuery(*op.Rect)
+				results[i] = rangeResp{Count: len(pts), Points: pts}
+			case workload.WireCount:
+				results[i] = countResp{Count: pin().RangeCount(*op.Rect)}
+			case workload.WirePoint:
+				results[i] = foundResp{Found: pin().PointQuery(*op.Point)}
+			case workload.WireKNN:
+				pts := pin().KNN(*op.Point, op.K)
+				results[i] = rangeResp{Count: len(pts), Points: pts}
+			case workload.WireInsert:
+				s.b.Insert(*op.Point)
+				view = nil // later reads must see this write
+				results[i] = okResp{OK: true}
+			case workload.WireDelete:
+				found := s.b.Delete(*op.Point)
+				view = nil
+				results[i] = foundResp{Found: found}
+			}
+		}
+		return batchResp{Results: results}
+	})
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.ops.Add(int64(len(req.Ops)))
+	writeJSON(w, http.StatusOK, res)
+}
+
+// ------------------------------------------------------------ introspection
+
+type healthResp struct {
+	Status   string `json:"status"`
+	Points   int    `json:"points"`
+	UptimeMS int64  `json:"uptime_ms"`
+	Inflight int64  `json:"inflight"`
+	Queued   int64  `json:"queued"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		writeError(w, http.StatusMethodNotAllowed, "/healthz requires GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, healthResp{
+		Status:   "ok",
+		Points:   s.b.Len(),
+		UptimeMS: time.Since(s.start).Milliseconds(),
+		Inflight: s.gate.inflight.Load(),
+		Queued:   s.gate.queued.Load(),
+	})
+}
+
+// shardState is one shard's drift/backlog state in /statsz.
+type shardState struct {
+	Shard         int     `json:"shard"`
+	Points        int     `json:"points"`
+	Backlog       int     `json:"backlog"`
+	Drift         float64 `json:"drift"`
+	Rebuilds      int     `json:"rebuilds"`
+	WorkloadAware bool    `json:"workload_aware"`
+}
+
+// statszResp surfaces the serving counters, the aggregated storage.Stats of
+// the index, and per-shard drift state. It intentionally includes both the
+// admission metrics (is the gate shedding?) and the coalescer metrics (how
+// much are reads batching?) — the two tuning knobs of docs/SERVING.md.
+type statszResp struct {
+	Points          int          `json:"points"`
+	Shards          int          `json:"shards"`
+	Rebuilds        int64        `json:"rebuilds"`
+	OpsServed       int64        `json:"ops_served"`
+	Admitted        int64        `json:"admitted_requests"`
+	Shed            int64        `json:"shed_requests"`
+	Inflight        int64        `json:"inflight"`
+	Queued          int64        `json:"queued"`
+	CoalescedPasses int64        `json:"coalesced_passes"`
+	CoalescedReads  int64        `json:"coalesced_reads"`
+	IndexStats      wazi.Stats   `json:"index_stats"`
+	ShardStates     []shardState `json:"shard_states"`
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "/statsz requires GET")
+		return
+	}
+	resp := statszResp{
+		Points:          s.b.Len(),
+		Shards:          s.b.NumShards(),
+		Rebuilds:        s.b.Rebuilds(),
+		OpsServed:       s.ops.Load(),
+		Admitted:        s.gate.admitted.Load(),
+		Shed:            s.gate.shed.Load(),
+		Inflight:        s.gate.inflight.Load(),
+		Queued:          s.gate.queued.Load(),
+		CoalescedPasses: s.co.batches.Load(),
+		CoalescedReads:  s.co.reads.Load(),
+		IndexStats:      s.b.Stats(),
+	}
+	for i, info := range s.b.Shards() {
+		resp.ShardStates = append(resp.ShardStates, shardState{
+			Shard:         i,
+			Points:        info.Points,
+			Backlog:       info.Backlog,
+			Drift:         info.Drift,
+			Rebuilds:      info.Rebuilds,
+			WorkloadAware: info.WorkloadAware,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	wazi "github.com/wazi-index/wazi"
+	"github.com/wazi-index/wazi/internal/dataset"
+	"github.com/wazi-index/wazi/internal/workload"
+)
+
+// TestGracefulShutdownWritesSnapshotAndWarmStarts exercises the full
+// restart-without-rebuild flow that `kill -TERM` triggers on cmd/waziserve:
+// a serving process is cancelled (the signal handler's context path), drains
+// cleanly, and writes a snapshot; a second server boots from that snapshot
+// alone and answers an identical range query with identical results — with
+// its rebuild counter proving no shard was reconstructed.
+func TestGracefulShutdownWritesSnapshotAndWarmStarts(t *testing.T) {
+	snapPath := filepath.Join(t.TempDir(), "wazi.snap")
+	pts := dataset.Generate(dataset.Japan, 3000, 1)
+	train := workload.Skewed(dataset.Japan, 150, 0.0256e-2, 2)
+	idx, err := wazi.NewSharded(pts, train, wazi.WithShards(6), wazi.WithoutAutoRebuild())
+	if err != nil {
+		t.Fatalf("NewSharded: %v", err)
+	}
+	defer idx.Close()
+
+	srv := New(Sharded(idx), Config{SnapshotPath: snapPath, DrainTimeout: 5 * time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	served := make(chan error, 1)
+	go func() { served <- srv.ListenAndServe(ctx, "127.0.0.1:0", ready) }()
+	addr := <-ready
+	base := "http://" + addr
+	if err := WaitHealthy(base, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate serving state over the wire so the snapshot must carry more
+	// than the initial build: inserts land in uncompacted delta buffers.
+	for i := 0; i < 40; i++ {
+		body := fmt.Sprintf(`{"point":{"X":%g,"Y":%g}}`, 0.3+float64(i)*0.001, 0.7)
+		resp, err := http.Post(base+"/v1/insert", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("insert %d: status %d", i, resp.StatusCode)
+		}
+	}
+	probe := train[0]
+	before := rangeOverWire(t, base, probe)
+
+	// The TERM path: cancel the serve context, wait for the drain + snapshot.
+	cancel()
+	if err := <-served; err != nil {
+		t.Fatalf("Serve returned %v after drain", err)
+	}
+	if fi, err := os.Stat(snapPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("no snapshot written at %s (err %v)", snapPath, err)
+	}
+	if _, err := os.Stat(snapPath + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp snapshot file left behind: %v", err)
+	}
+
+	// Restart purely from the snapshot.
+	f, err := os.Open(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := wazi.LoadSharded(f, wazi.WithoutAutoRebuild())
+	f.Close()
+	if err != nil {
+		t.Fatalf("LoadSharded: %v", err)
+	}
+	defer restored.Close()
+	if restored.Rebuilds() != idx.Rebuilds() {
+		t.Fatalf("warm start rebuilt shards: %d rebuilds vs %d pre-shutdown", restored.Rebuilds(), idx.Rebuilds())
+	}
+
+	srv2 := New(Sharded(restored), Config{})
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	ready2 := make(chan string, 1)
+	served2 := make(chan error, 1)
+	go func() { served2 <- srv2.ListenAndServe(ctx2, "127.0.0.1:0", ready2) }()
+	base2 := "http://" + <-ready2
+	if err := WaitHealthy(base2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	after := rangeOverWire(t, base2, probe)
+
+	if len(before) != len(after) {
+		t.Fatalf("restarted server returned %d points, want %d", len(after), len(before))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("hit %d differs across restart: %v vs %v", i, before[i], after[i])
+		}
+	}
+	cancel2()
+	if err := <-served2; err != nil {
+		t.Fatalf("second server shutdown: %v", err)
+	}
+}
+
+// rangeOverWire issues /v1/range and returns the hits in canonical order.
+func rangeOverWire(t *testing.T, base string, r wazi.Rect) []wazi.Point {
+	t.Helper()
+	body := fmt.Sprintf(`{"rect":{"MinX":%g,"MinY":%g,"MaxX":%g,"MaxY":%g}}`, r.MinX, r.MinY, r.MaxX, r.MaxY)
+	resp, err := http.Post(base+"/v1/range", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("range over wire: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("range over wire: status %d", resp.StatusCode)
+	}
+	var out struct {
+		Points []wazi.Point `json:"points"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("range over wire: decode: %v", err)
+	}
+	sort.Slice(out.Points, func(i, j int) bool {
+		if out.Points[i].X != out.Points[j].X {
+			return out.Points[i].X < out.Points[j].X
+		}
+		return out.Points[i].Y < out.Points[j].Y
+	})
+	return out.Points
+}
+
+// TestLoadgenAgainstLiveServer replays a zipfian suite over the wire in
+// both modes and sanity-checks the results — the in-repo version of the
+// waziserve+waziload smoke pairing.
+func TestLoadgenAgainstLiveServer(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	qs := workload.Zipfian(dataset.NewYork, 200, 0.0256e-2, 5)
+	ins := workload.InsertBatch(60, 6)
+	ops := workload.ToWire(workload.MixedOps(qs, ins, 0.1, 7))
+
+	for _, batch := range []int{1, 16} {
+		res, err := RunLoad(ts.URL, ops, LoadOptions{Clients: 8, Duration: 300 * time.Millisecond, Batch: batch})
+		if err != nil {
+			t.Fatalf("RunLoad(batch=%d): %v", batch, err)
+		}
+		if res.Errors > 0 {
+			t.Errorf("batch=%d: %d errors", batch, res.Errors)
+		}
+		if res.Ops == 0 || res.OpsPerSec <= 0 {
+			t.Errorf("batch=%d: no throughput recorded: %+v", batch, res)
+		}
+		if res.LatencyNS.N == 0 || res.LatencyNS.P95 <= 0 {
+			t.Errorf("batch=%d: missing latency summary: %+v", batch, res.LatencyNS)
+		}
+		wantMode := "single"
+		if batch > 1 {
+			wantMode = "batch"
+		}
+		if res.Mode != wantMode {
+			t.Errorf("mode = %q, want %q", res.Mode, wantMode)
+		}
+	}
+}

@@ -93,6 +93,18 @@ func Partition(pts []geom.Point, queries []geom.Rect, n int) *Plan {
 // Bounds returns the data rectangle the plan was built over.
 func (p *Plan) Bounds() geom.Rect { return p.bounds }
 
+// Cuts returns the shard boundary keys (see the cuts field), for
+// serialization. The returned slice must not be modified.
+func (p *Plan) Cuts() []zorder.Key { return p.cuts }
+
+// Restore reconstructs a plan from its serialized parts — the data bounds
+// and the boundary keys — without the initial point groups, which only
+// matter at construction time. Locate on the restored plan routes exactly
+// as on the original: routing depends only on bounds and cuts.
+func Restore(bounds geom.Rect, cuts []zorder.Key) *Plan {
+	return &Plan{bounds: bounds, cuts: append([]zorder.Key(nil), cuts...)}
+}
+
 // NumShards returns the number of shards in the plan.
 func (p *Plan) NumShards() int { return len(p.cuts) + 1 }
 

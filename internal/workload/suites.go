@@ -61,6 +61,11 @@ func Suites() []Suite {
 			Queries:     Skewed,
 		},
 		{
+			Name:        "zipfian",
+			Description: "Zipf-popular venues: query centers follow a Zipf(1.1) rank distribution over many venues, the canonical web-serving skew",
+			Queries:     Zipfian,
+		},
+		{
 			Name:        "adversarial-anticorrelated",
 			Description: "thin anti-correlated rectangles along the anti-diagonal, hostile to Z-order locality",
 			Queries: func(r dataset.Region, n int, sel float64, seed int64) []geom.Rect {
@@ -148,6 +153,41 @@ func fromHotspots(hotspots []geom.Point, n int, seed int64) []geom.Point {
 		}
 	}
 	return pts
+}
+
+// zipfVenues is the venue-universe size of the Zipfian suite: large enough
+// that the popularity tail matters, small enough that the head venues absorb
+// most of the traffic.
+const zipfVenues = 256
+
+// Zipfian generates n range queries whose centers cluster around venues
+// whose popularity follows a Zipf distribution of exponent 1.1 over rank —
+// the canonical point-popularity model of web serving traffic (a few
+// entities absorb most requests, with a long tail). The venue locations are
+// themselves drawn from the region's check-in distribution, so the hot
+// venues sit inside the region's busy areas, and each query jitters tightly
+// (σ = 0.01) around its venue. Deterministic in seed; the venue universe
+// depends only on the region, so two seeds share venues but visit them in
+// different orders.
+func Zipfian(r dataset.Region, n int, sel float64, seed int64) []geom.Rect {
+	// Venues are seeded by the region alone: the serving fleet and the load
+	// generator must agree on where the hot venues are regardless of which
+	// replay seed either uses.
+	venues := Checkins(r, zipfVenues, 0x21bf1a^int64(r))
+	rng := rand.New(rand.NewSource(seed ^ 0x21bf9))
+	zipf := rand.NewZipf(rng, 1.1, 1, zipfVenues-1)
+	centers := make([]geom.Point, 0, n)
+	for len(centers) < n {
+		v := venues[zipf.Uint64()]
+		p := geom.Point{
+			X: v.X + rng.NormFloat64()*0.01,
+			Y: v.Y + rng.NormFloat64()*0.01,
+		}
+		if UnitSquare.Contains(p) {
+			centers = append(centers, p)
+		}
+	}
+	return FromCenters(centers, sel, UnitSquare)
 }
 
 // AntiCorrelated generates n thin rectangles of the given selectivity

@@ -128,6 +128,69 @@ func TestAntiCorrelatedShape(t *testing.T) {
 	}
 }
 
+func TestZipfianSkewAndDeterminism(t *testing.T) {
+	const n = 2000
+	qs := Zipfian(dataset.NewYork, n, 0.0256e-2, 17)
+	if len(qs) != n {
+		t.Fatalf("generated %d queries, want %d", len(qs), n)
+	}
+
+	// Histogram the query centers on a coarse grid: Zipf popularity must
+	// concentrate a large share of traffic on the hottest cell while still
+	// leaving a long tail of visited cells — both are what distinguish the
+	// suite from gaussian-skew (one blob) and uniform (no head).
+	const side = 32
+	counts := map[int]int{}
+	for _, q := range qs {
+		c := q.Center()
+		cx, cy := int(c.X*side), int(c.Y*side)
+		if cx >= side {
+			cx = side - 1
+		}
+		if cy >= side {
+			cy = side - 1
+		}
+		counts[cy*side+cx]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if share := float64(maxCount) / n; share < 0.05 {
+		t.Errorf("hottest cell holds %.1f%% of queries; expected a Zipf head (>= 5%%)", share*100)
+	}
+	if len(counts) < 20 {
+		t.Errorf("only %d distinct cells visited; expected a popularity tail", len(counts))
+	}
+
+	// The venue universe is seeded by the region alone: different replay
+	// seeds must still agree on where the hot venues are.
+	other := Zipfian(dataset.NewYork, n, 0.0256e-2, 99)
+	otherCounts := map[int]int{}
+	for _, q := range other {
+		c := q.Center()
+		cx, cy := int(c.X*side), int(c.Y*side)
+		if cx >= side {
+			cx = side - 1
+		}
+		if cy >= side {
+			cy = side - 1
+		}
+		otherCounts[cy*side+cx]++
+	}
+	shared := 0
+	for cell, c := range counts {
+		if c >= n/100 && otherCounts[cell] > 0 {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Error("hot cells of two seeds are disjoint; venue universe should be seed-independent")
+	}
+}
+
 func TestMixedOps(t *testing.T) {
 	qs := Uniform(700, 0.0256e-2, 1)
 	ins := dataset.Uniform(500, 2)

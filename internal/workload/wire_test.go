@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"github.com/wazi-index/wazi/internal/dataset"
+	"github.com/wazi-index/wazi/internal/geom"
+)
+
+func TestToWireMapsOps(t *testing.T) {
+	qs := Uniform(50, 0.0256e-2, 1)
+	ins := dataset.Uniform(30, 2)
+	ops := MixedOps(qs, ins, 0.3, 3)
+	wire := ToWire(ops)
+	if len(wire) != len(ops) {
+		t.Fatalf("ToWire returned %d ops, want %d", len(wire), len(ops))
+	}
+	for i, w := range wire {
+		if err := w.Validate(); err != nil {
+			t.Fatalf("op %d invalid after ToWire: %v", i, err)
+		}
+		if ops[i].IsWrite {
+			if w.Op != WireInsert || w.Point == nil || *w.Point != ops[i].Point {
+				t.Fatalf("op %d: write mapped to %+v", i, w)
+			}
+		} else {
+			if w.Op != WireRange || w.Rect == nil || *w.Rect != ops[i].Query {
+				t.Fatalf("op %d: query mapped to %+v", i, w)
+			}
+		}
+	}
+}
+
+func TestWireOpJSONRoundTrip(t *testing.T) {
+	ops := []WireOp{
+		{Op: WireRange, Rect: &geom.Rect{MinX: 0.1, MinY: 0.2, MaxX: 0.3, MaxY: 0.4}},
+		{Op: WireKNN, Point: &geom.Point{X: 0.5, Y: 0.6}, K: 7},
+		{Op: WireDelete, Point: &geom.Point{X: 0.9, Y: 0.1}},
+	}
+	data, err := json.Marshal(ops)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back []WireOp
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(back) != len(ops) {
+		t.Fatalf("round trip changed length: %d vs %d", len(back), len(ops))
+	}
+	for i := range ops {
+		if back[i].Op != ops[i].Op || back[i].K != ops[i].K {
+			t.Fatalf("op %d changed: %+v vs %+v", i, back[i], ops[i])
+		}
+		if (ops[i].Rect == nil) != (back[i].Rect == nil) || (ops[i].Rect != nil && *back[i].Rect != *ops[i].Rect) {
+			t.Fatalf("op %d rect changed", i)
+		}
+		if (ops[i].Point == nil) != (back[i].Point == nil) || (ops[i].Point != nil && *back[i].Point != *ops[i].Point) {
+			t.Fatalf("op %d point changed", i)
+		}
+	}
+}
+
+func TestWireOpValidate(t *testing.T) {
+	pt := &geom.Point{X: 0.5, Y: 0.5}
+	rect := &geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	bad := []WireOp{
+		{},                       // missing kind
+		{Op: "scan", Rect: rect}, // unknown kind
+		{Op: WireRange},          // missing rect
+		{Op: WireCount, Rect: &geom.Rect{MinX: 1, MinY: 0, MaxX: 0, MaxY: 1}}, // min > max
+		{Op: WireRange, Rect: &geom.Rect{MinX: math.NaN(), MaxX: 1, MaxY: 1}}, // NaN
+		{Op: WirePoint}, // missing point
+		{Op: WireInsert, Point: &geom.Point{X: math.Inf(1), Y: 0}}, // Inf
+		{Op: WireKNN, Point: pt},                                   // k missing
+		{Op: WireKNN, Point: pt, K: -3},
+	}
+	for i, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("bad op %d (%+v) validated", i, w)
+		}
+	}
+	good := []WireOp{
+		{Op: WireRange, Rect: rect},
+		{Op: WireCount, Rect: rect},
+		{Op: WirePoint, Point: pt},
+		{Op: WireKNN, Point: pt, K: 1},
+		{Op: WireInsert, Point: pt},
+		{Op: WireDelete, Point: pt},
+	}
+	for i, w := range good {
+		if err := w.Validate(); err != nil {
+			t.Errorf("good op %d (%+v) rejected: %v", i, w, err)
+		}
+	}
+}

@@ -138,6 +138,21 @@ func (r *queryRing) add(q Rect) {
 	r.mu.Unlock()
 }
 
+// preload seeds the ring with an already-sampled query window (a restored
+// snapshot's), bypassing the live-path sampling.
+func (r *queryRing) preload(qs []Rect) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, q := range qs {
+		r.buf[r.next] = q
+		r.next++
+		if r.next == len(r.buf) {
+			r.next = 0
+			r.filled = true
+		}
+	}
+}
+
 func (r *queryRing) snapshot() []Rect {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -318,7 +333,12 @@ func (s *Sharded) Close() {
 // fanning out to the shards whose bounds intersect r.
 func (s *Sharded) RangeQuery(r Rect) []Point {
 	s.rangeQs.Add(1)
-	snap := s.snap.Load()
+	return s.rangeFromSnap(s.snap.Load(), r)
+}
+
+// rangeFromSnap runs a range query against one pinned snapshot; View and
+// the public query path share it.
+func (s *Sharded) rangeFromSnap(snap *shardedSnapshot, r Rect) []Point {
 	targets := s.targets(snap, r)
 	switch len(targets) {
 	case 0:
@@ -355,7 +375,11 @@ func (s *Sharded) RangeQuery(r Rect) []Point {
 // them.
 func (s *Sharded) RangeCount(r Rect) int {
 	s.rangeQs.Add(1)
-	snap := s.snap.Load()
+	return s.countFromSnap(s.snap.Load(), r)
+}
+
+// countFromSnap runs a range count against one pinned snapshot.
+func (s *Sharded) countFromSnap(snap *shardedSnapshot, r Rect) int {
 	targets := s.targets(snap, r)
 	if len(targets) == 0 {
 		return 0
@@ -470,7 +494,12 @@ func filterDead(pts []Point, from int, dead map[Point]int) []Point {
 // makes this a single-shard lookup.
 func (s *Sharded) PointQuery(p Point) bool {
 	s.pointQs.Add(1)
-	ss := s.snap.Load().shards[s.plan.Locate(p)]
+	return s.pointFromSnap(s.snap.Load(), p)
+}
+
+// pointFromSnap runs a point query against one pinned snapshot.
+func (s *Sharded) pointFromSnap(snap *shardedSnapshot, p Point) bool {
+	ss := snap.shards[s.plan.Locate(p)]
 	if ss.empty {
 		return false
 	}
@@ -500,10 +529,14 @@ func pointRect(p Point) Rect {
 // bounded max-heap.
 func (s *Sharded) KNN(q Point, k int) []Point {
 	s.knnQs.Add(1)
+	return s.knnFromSnap(s.snap.Load(), q, k)
+}
+
+// knnFromSnap runs a kNN query against one pinned snapshot.
+func (s *Sharded) knnFromSnap(snap *shardedSnapshot, q Point, k int) []Point {
 	if k <= 0 {
 		return nil
 	}
-	snap := s.snap.Load()
 	var targets []int
 	for i, ss := range snap.shards {
 		if !ss.empty && ss.live() > 0 {

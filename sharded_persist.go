@@ -1,0 +1,197 @@
+package wazi
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/wazi-index/wazi/internal/shard"
+	"github.com/wazi-index/wazi/internal/zorder"
+)
+
+// This file persists a Sharded index: the versioned partition plan plus one
+// record per shard (its built index via core persistence, the uncompacted
+// write buffer, tombstones, and the recent-query window that seeds the
+// shard's drift advisor on reload). A server can therefore stop, write a
+// snapshot, and restart serving the exact same contents without re-running
+// partitioning or any index construction — the warm-start flow of
+// cmd/waziserve.
+
+const (
+	// shardedMagic identifies a Sharded snapshot stream.
+	shardedMagic = "wazi-sharded"
+	// shardedSnapshotVersion is the on-disk format version; Load refuses
+	// any other value so a format change can never be half-read.
+	shardedSnapshotVersion = 1
+)
+
+// shardedHeader is the versioned partition-plan header that precedes the
+// per-shard records.
+type shardedHeader struct {
+	Magic   string
+	Version int
+	Bounds  Rect
+	Cuts    []uint64
+	Shards  int
+}
+
+// shardedShardRecord serializes one shard's complete state. The built index
+// is embedded as opaque bytes (the core snapshot format, itself versioned)
+// so the two formats can evolve independently.
+type shardedShardRecord struct {
+	Empty    bool
+	HasIdx   bool
+	Index    []byte
+	Extra    []Point
+	Dead     []deadRecord
+	Bounds   Rect
+	Recent   []Rect
+	Rebuilds int
+}
+
+// deadRecord is one tombstone multiset entry.
+type deadRecord struct {
+	P Point
+	N int
+}
+
+// Save serializes the Sharded index — partition plan, per-shard indexes,
+// write buffers, tombstones, and recent-query windows — so Load can restore
+// it without rebuilding. Save briefly blocks writers (it holds the write
+// mutex only long enough to capture a consistent cut of the snapshot and
+// control state) and never blocks readers; the serialization itself runs
+// lock-free, since every captured structure is immutable copy-on-write.
+func (s *Sharded) Save(w io.Writer) error {
+	s.mu.Lock()
+	snap := s.snap.Load()
+	rebuilds := make([]int, len(s.ctls))
+	recents := make([][]Rect, len(s.ctls))
+	for i, ctl := range s.ctls {
+		rebuilds[i] = ctl.rebuilds
+		recents[i] = ctl.recent.snapshot()
+	}
+	s.mu.Unlock()
+
+	cuts := s.plan.Cuts()
+	h := shardedHeader{
+		Magic:   shardedMagic,
+		Version: shardedSnapshotVersion,
+		Bounds:  s.plan.Bounds(),
+		Cuts:    make([]uint64, len(cuts)),
+		Shards:  len(snap.shards),
+	}
+	for i, c := range cuts {
+		h.Cuts[i] = uint64(c)
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(&h); err != nil {
+		return fmt.Errorf("wazi: encoding sharded header: %w", err)
+	}
+	for i, ss := range snap.shards {
+		rec := shardedShardRecord{
+			Empty:    ss.empty,
+			Extra:    ss.extra,
+			Bounds:   ss.bounds,
+			Recent:   recents[i],
+			Rebuilds: rebuilds[i],
+		}
+		for p, n := range ss.dead {
+			rec.Dead = append(rec.Dead, deadRecord{P: p, N: n})
+		}
+		if ss.idx != nil {
+			var buf bytes.Buffer
+			if err := ss.idx.Save(&buf); err != nil {
+				return fmt.Errorf("wazi: encoding shard %d index: %w", i, err)
+			}
+			rec.HasIdx = true
+			rec.Index = buf.Bytes()
+		}
+		if err := enc.Encode(&rec); err != nil {
+			return fmt.Errorf("wazi: encoding shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// LoadSharded restores a Sharded index previously written by Save: the
+// partition plan is reconstructed from its header (so Locate routes exactly
+// as before), every shard index is deserialized rather than rebuilt, and
+// each shard's drift advisor is re-seeded from the persisted recent-query
+// window. Options configure the restored instance the same way they
+// configure NewSharded; WithShards is ignored (the plan fixes the shard
+// count). A snapshot with a different format version is refused with a
+// clear error rather than guessed at.
+func LoadSharded(r io.Reader, opts ...ShardedOption) (*Sharded, error) {
+	dec := gob.NewDecoder(r)
+	var h shardedHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("wazi: decoding sharded header: %w", err)
+	}
+	if h.Magic != shardedMagic {
+		return nil, fmt.Errorf("wazi: not a sharded snapshot (magic %q)", h.Magic)
+	}
+	if h.Version != shardedSnapshotVersion {
+		return nil, fmt.Errorf("wazi: unsupported sharded snapshot version %d (this build reads version %d)",
+			h.Version, shardedSnapshotVersion)
+	}
+	if h.Shards != len(h.Cuts)+1 || h.Shards < 1 {
+		return nil, fmt.Errorf("wazi: corrupt sharded snapshot: %d shards with %d cuts", h.Shards, len(h.Cuts))
+	}
+
+	cfg := shardedConfig{autoRebuild: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cfg.shards = h.Shards // the plan, not the caller, fixes the shard count
+	cfg.fill()
+
+	cuts := make([]zorder.Key, len(h.Cuts))
+	for i, c := range h.Cuts {
+		cuts[i] = zorder.Key(c)
+	}
+	s := &Sharded{plan: shard.Restore(h.Bounds, cuts), opts: cfg}
+	snap := &shardedSnapshot{shards: make([]*shardSnap, h.Shards)}
+	s.ctls = make([]*shardCtl, h.Shards)
+	totalRebuilds := 0
+	for i := 0; i < h.Shards; i++ {
+		var rec shardedShardRecord
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("wazi: decoding shard %d: %w", i, err)
+		}
+		ctl := &shardCtl{recent: newQueryRing(cfg.windowSize), rebuilds: rec.Rebuilds}
+		// Re-seed the recent-query window: without it the first post-restart
+		// rebuild would be workload-oblivious, and the next Save would drop
+		// the window the previous process persisted.
+		ctl.recent.preload(rec.Recent)
+		s.ctls[i] = ctl
+		totalRebuilds += rec.Rebuilds
+		ss := &shardSnap{empty: rec.Empty, extra: rec.Extra, bounds: rec.Bounds}
+		if len(rec.Dead) > 0 {
+			ss.dead = make(map[Point]int, len(rec.Dead))
+			for _, d := range rec.Dead {
+				ss.dead[d.P] = d.N
+				ss.deadN += d.N
+			}
+		}
+		if rec.HasIdx {
+			idx, err := Load(bytes.NewReader(rec.Index))
+			if err != nil {
+				return nil, fmt.Errorf("wazi: loading shard %d index: %w", i, err)
+			}
+			ss.idx = idx
+			ctl.advisor.Store(NewRebuildAdvisor(idx.Bounds(), rec.Recent, cfg.windowSize, cfg.driftThreshold))
+		}
+		snap.shards[i] = ss
+	}
+	s.rebuilds.Store(int64(totalRebuilds))
+	s.snap.Store(snap)
+	s.pool = shard.NewPool(cfg.workers)
+	if cfg.autoRebuild {
+		s.loop = make(chan struct{})
+		s.kicked = make(chan struct{}, 1)
+		s.wg.Add(1)
+		go s.rebuildLoop()
+	}
+	return s, nil
+}

@@ -1,0 +1,157 @@
+package wazi_test
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+
+	wazi "github.com/wazi-index/wazi"
+	"github.com/wazi-index/wazi/internal/dataset"
+	"github.com/wazi-index/wazi/internal/workload"
+)
+
+// sortPoints orders a result set canonically so fan-out order differences
+// don't fail equivalence checks.
+func sortPoints(pts []wazi.Point) {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].X != pts[j].X {
+			return pts[i].X < pts[j].X
+		}
+		return pts[i].Y < pts[j].Y
+	})
+}
+
+// TestShardedSaveLoadRoundTrip asserts query equivalence across a
+// save/reload cycle, including buffered writes and tombstones that have not
+// been compacted into any shard index.
+func TestShardedSaveLoadRoundTrip(t *testing.T) {
+	pts := dataset.Generate(dataset.NewYork, 4000, 1)
+	qs := workload.Skewed(dataset.NewYork, 200, 0.0256e-2, 2)
+	s := newTestSharded(t, pts, qs, wazi.WithShards(8), wazi.WithoutAutoRebuild())
+
+	// Dirty the state: buffered inserts, tombstones, and some observed
+	// queries so shard snapshots are not pristine post-build artifacts.
+	extra := dataset.Uniform(100, 3)
+	for _, p := range extra {
+		s.Insert(p)
+	}
+	for _, p := range pts[:50] {
+		if !s.Delete(p) {
+			t.Fatalf("delete of indexed point %v failed", p)
+		}
+	}
+	for _, q := range qs[:50] {
+		s.RangeQuery(q)
+	}
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	r, err := wazi.LoadSharded(bytes.NewReader(buf.Bytes()), wazi.WithoutAutoRebuild())
+	if err != nil {
+		t.Fatalf("LoadSharded: %v", err)
+	}
+	defer r.Close()
+
+	if r.Len() != s.Len() {
+		t.Fatalf("Len: loaded %d, want %d", r.Len(), s.Len())
+	}
+	if r.NumShards() != s.NumShards() {
+		t.Fatalf("NumShards: loaded %d, want %d", r.NumShards(), s.NumShards())
+	}
+	if r.Rebuilds() != s.Rebuilds() {
+		t.Fatalf("Rebuilds: loaded %d, want %d", r.Rebuilds(), s.Rebuilds())
+	}
+
+	// The recent-query windows must survive the reload: they are what a
+	// post-restart drift rebuild trains on, and what the next Save persists.
+	sawRecent := false
+	for i := 0; i < s.NumShards(); i++ {
+		want, got := s.RecentWindow(i), r.RecentWindow(i)
+		if len(want) != len(got) {
+			t.Fatalf("shard %d recent window: %d queries before save, %d after load", i, len(want), len(got))
+		}
+		for j := range want {
+			if want[j] != got[j] {
+				t.Fatalf("shard %d recent window query %d changed across reload", i, j)
+			}
+		}
+		sawRecent = sawRecent || len(want) > 0
+	}
+	if !sawRecent {
+		t.Fatal("no shard had observed queries; the window-preservation check checked nothing")
+	}
+
+	for i, q := range qs {
+		want := s.RangeQuery(q)
+		got := r.RangeQuery(q)
+		sortPoints(want)
+		sortPoints(got)
+		if len(want) != len(got) {
+			t.Fatalf("query %d: %d hits before save, %d after load", i, len(want), len(got))
+		}
+		for j := range want {
+			if want[j] != got[j] {
+				t.Fatalf("query %d hit %d: %v before save, %v after load", i, j, want[j], got[j])
+			}
+		}
+		if wc, gc := s.RangeCount(q), r.RangeCount(q); wc != gc {
+			t.Fatalf("count %d: %d before save, %d after load", i, wc, gc)
+		}
+	}
+	for _, p := range append(append([]wazi.Point{}, pts[:100]...), extra[:20]...) {
+		if s.PointQuery(p) != r.PointQuery(p) {
+			t.Fatalf("PointQuery(%v) disagrees across reload", p)
+		}
+	}
+	for _, q := range []wazi.Point{{X: 0.5, Y: 0.5}, {X: 0.1, Y: 0.9}} {
+		want, got := s.KNN(q, 10), r.KNN(q, 10)
+		if len(want) != len(got) {
+			t.Fatalf("KNN(%v): %d before save, %d after load", q, len(want), len(got))
+		}
+		for j := range want {
+			if want[j] != got[j] {
+				t.Fatalf("KNN(%v) rank %d: %v before save, %v after load", q, j, want[j], got[j])
+			}
+		}
+	}
+
+	// The loaded index must stay writable and route inserts identically.
+	p := wazi.Point{X: 0.123, Y: 0.456}
+	s.Insert(p)
+	r.Insert(p)
+	if !s.PointQuery(p) || !r.PointQuery(p) {
+		t.Fatal("post-reload insert not visible")
+	}
+}
+
+// TestLoadShardedRefusesWrongVersion asserts the versioned header is
+// enforced with an actionable error instead of a misparse.
+func TestLoadShardedRefusesWrongVersion(t *testing.T) {
+	pts := dataset.Generate(dataset.Japan, 500, 1)
+	s := newTestSharded(t, pts, nil, wazi.WithShards(4), wazi.WithoutAutoRebuild())
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	// A gob stream's payload bytes are not position-independent, so rather
+	// than bit-flip we re-encode a header with a hostile version through the
+	// exported test hook: simplest is to check the two failure modes we can
+	// construct — garbage input and truncation — and the version message via
+	// a doctored save.
+	if _, err := wazi.LoadSharded(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Fatal("LoadSharded accepted garbage")
+	}
+	if _, err := wazi.LoadSharded(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Fatal("LoadSharded accepted a truncated snapshot")
+	}
+
+	doctored := wazi.DoctorSnapshotVersion(t, &buf, 99)
+	_, err := wazi.LoadSharded(bytes.NewReader(doctored))
+	if err == nil || !strings.Contains(err.Error(), "version 99") {
+		t.Fatalf("doctored version error = %v, want mention of version 99", err)
+	}
+}

@@ -1,0 +1,62 @@
+package wazi
+
+// View is a read-only handle pinned to one immutable snapshot of a Sharded
+// index. Every query on a View observes exactly the state that existed when
+// the View was taken — writes, compactions, and rebuilds that land afterwards
+// are invisible to it — so a group of reads executed against one View forms
+// a single consistent snapshot pass. That is what the serving layer's
+// request coalescer batches concurrent HTTP reads into, and what the /v1/batch
+// endpoint uses to make a mixed request's reads mutually consistent.
+//
+// A View is cheap (one atomic pointer load), never blocks or is blocked by
+// writers, and is safe for concurrent use. It holds the snapshot's memory
+// live for as long as it is referenced, so Views are meant to be short-lived:
+// take one per batch, drop it when the batch completes.
+//
+// Queries through a View still feed the per-shard drift advisors and
+// recent-query windows, and still count in Stats — a coalesced read is a
+// served read.
+type View struct {
+	s    *Sharded
+	snap *shardedSnapshot
+}
+
+// View pins the current snapshot and returns a read-only handle to it.
+func (s *Sharded) View() *View {
+	return &View{s: s, snap: s.snap.Load()}
+}
+
+// RangeQuery returns all points inside r as of the pinned snapshot.
+func (v *View) RangeQuery(r Rect) []Point {
+	v.s.rangeQs.Add(1)
+	return v.s.rangeFromSnap(v.snap, r)
+}
+
+// RangeCount returns the number of points inside r as of the pinned
+// snapshot.
+func (v *View) RangeCount(r Rect) int {
+	v.s.rangeQs.Add(1)
+	return v.s.countFromSnap(v.snap, r)
+}
+
+// PointQuery reports whether p was indexed as of the pinned snapshot.
+func (v *View) PointQuery(p Point) bool {
+	v.s.pointQs.Add(1)
+	return v.s.pointFromSnap(v.snap, p)
+}
+
+// KNN returns the k points nearest to q, closest first, as of the pinned
+// snapshot.
+func (v *View) KNN(q Point, k int) []Point {
+	v.s.knnQs.Add(1)
+	return v.s.knnFromSnap(v.snap, q, k)
+}
+
+// Len returns the number of points the pinned snapshot serves.
+func (v *View) Len() int {
+	n := 0
+	for _, ss := range v.snap.shards {
+		n += ss.live()
+	}
+	return n
+}

@@ -57,6 +57,8 @@ func run() int {
 		inflight = fs.Int("max-inflight", 0, "admitted concurrent requests (0 = 4x GOMAXPROCS)")
 		queue    = fs.Int("max-queue", 0, "requests waiting for admission before 429s (0 = 4x max-inflight)")
 		drain    = fs.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
+		storeDir = fs.String("storage-dir", "", "disk-resident leaf pages: per-shard page files under this directory (empty = RAM-resident)")
+		cachePgs = fs.Int("cache-pages", 0, "block-cache capacity per shard, in pages (0 = default 1024); needs -storage-dir")
 	)
 	fs.Parse(os.Args[1:])
 	if fs.NArg() > 0 {
@@ -65,7 +67,7 @@ func run() int {
 	}
 	logger := log.New(os.Stderr, "waziserve: ", log.LstdFlags)
 
-	idx, how, err := openIndex(*snapshot, *dataPath, *region, *scale, *train, *sel, *seed, *shards, *workers)
+	idx, how, err := openIndex(*snapshot, *dataPath, *region, *scale, *train, *sel, *seed, *shards, *workers, *storeDir, *cachePgs)
 	if err != nil {
 		logger.Print(err)
 		return 1
@@ -124,10 +126,13 @@ func run() int {
 
 // openIndex warm-starts from a snapshot when one exists, otherwise builds
 // from CSV data or the synthetic region generator.
-func openIndex(snapshot, dataPath, region string, scale, train int, sel float64, seed int64, shards, workers int) (*wazi.Sharded, string, error) {
+func openIndex(snapshot, dataPath, region string, scale, train int, sel float64, seed int64, shards, workers int, storageDir string, cachePages int) (*wazi.Sharded, string, error) {
 	opts := []wazi.ShardedOption{}
 	if workers > 0 {
 		opts = append(opts, wazi.WithWorkers(workers))
+	}
+	if storageDir != "" {
+		opts = append(opts, wazi.WithShardedStorage(storageDir, cachePages))
 	}
 	if snapshot != "" {
 		if f, err := os.Open(snapshot); err == nil {

@@ -1,0 +1,95 @@
+package wazi
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// Fuzz targets over the persistence decoders: arbitrary input must produce
+// a clean error or a usable index — never a panic. Seed corpora come from
+// real Save output so the fuzzer starts inside the format and mutates
+// outward.
+
+func fuzzPoints(n int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	return pts
+}
+
+func FuzzLoad(f *testing.F) {
+	pts := fuzzPoints(600, 1)
+	idx, err := New(pts, WithLeafSize(32), WithSeed(2))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	// A truncation and a bit flip, so the corpus starts near the failure
+	// modes that matter.
+	f.Add(buf.Bytes()[:len(buf.Bytes())/2])
+	flipped := append([]byte(nil), buf.Bytes()...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A snapshot the decoder accepted must be queryable without
+		// panicking.
+		got.RangeQuery(Rect{MinX: 0.2, MinY: 0.2, MaxX: 0.8, MaxY: 0.8})
+		got.PointQuery(Point{X: 0.5, Y: 0.5})
+		_ = got.Len()
+	})
+}
+
+func FuzzLoadSharded(f *testing.F) {
+	pts := fuzzPoints(800, 3)
+	qs := make([]Rect, 40)
+	rng := rand.New(rand.NewSource(4))
+	for i := range qs {
+		cx, cy := rng.Float64(), rng.Float64()
+		qs[i] = Rect{MinX: cx - 0.05, MinY: cy - 0.05, MaxX: cx + 0.05, MaxY: cy + 0.05}
+	}
+	s, err := NewSharded(pts, qs, WithShards(3), WithoutAutoRebuild(),
+		WithIndexOptions(WithLeafSize(32), WithSeed(5)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Leave some uncompacted write-buffer and tombstone state so those
+	// record fields are in the corpus.
+	for i := 0; i < 50; i++ {
+		s.Insert(Point{X: rng.Float64(), Y: rng.Float64()})
+		s.Delete(pts[i])
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	s.Close()
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:len(buf.Bytes())/2])
+	flipped := append([]byte(nil), buf.Bytes()...)
+	flipped[len(flipped)/4] ^= 0x10
+	f.Add(flipped)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := LoadSharded(bytes.NewReader(data), WithoutAutoRebuild())
+		if err != nil {
+			return
+		}
+		got.RangeQuery(Rect{MinX: 0.2, MinY: 0.2, MaxX: 0.8, MaxY: 0.8})
+		_ = got.Len()
+		got.Close()
+	})
+}

@@ -41,6 +41,7 @@ func Experiments() []Experiment {
 		{"sharded", "Concurrent vs Sharded throughput by goroutines", ShardedThroughput},
 		{"scenarios", "Sharded under the named workload suites", ScenarioSuite},
 		{"serving-http", "HTTP serving: per-request vs batched replay over the wire", ServingHTTP},
+		{"storage-backends", "range latency: in-memory vs disk-cold vs disk-warm page stores", StorageBackends},
 	}
 }
 

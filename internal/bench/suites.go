@@ -40,13 +40,13 @@ func Suites() []Suite {
 		},
 		{
 			Name:        "serving",
-			Description: "the serving-layer experiments: Concurrent vs Sharded throughput, the workload scenario suite, and HTTP serving",
-			Experiments: []string{"sharded", "scenarios", "serving-http"},
+			Description: "the serving-layer experiments: Concurrent vs Sharded throughput, the workload scenario suite, HTTP serving, and storage backends",
+			Experiments: []string{"sharded", "scenarios", "serving-http", "storage-backends"},
 		},
 		{
 			Name:        "full",
 			Description: "everything: the paper evaluation plus the serving-layer experiments",
-			Experiments: append(append([]string{}, paper...), "sharded", "scenarios", "serving-http"),
+			Experiments: append(append([]string{}, paper...), "sharded", "scenarios", "serving-http", "storage-backends"),
 		},
 	}
 }

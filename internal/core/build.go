@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/storage"
 )
 
 // BuildBase constructs the classic Z-index of §3: split points at the data
@@ -17,10 +18,15 @@ func BuildBase(pts []geom.Point, opts Options) (*ZIndex, error) {
 	if len(pts) == 0 {
 		return nil, ErrNoPoints
 	}
+	st, err := opts.OpenStore()
+	if err != nil {
+		return nil, err
+	}
 	own := make([]geom.Point, len(pts))
 	copy(own, pts)
 	z := &ZIndex{bounds: geom.RectFromPoints(own), count: len(own), opts: opts}
-	z.root = buildMedian(own, z.bounds, opts.LeafSize, opts.MaxDepth)
+	z.adoptStore(st)
+	z.root = buildMedian(st, own, z.bounds, opts.LeafSize, opts.MaxDepth)
 	z.rebuildLeafList()
 	if !opts.DisableSkipping {
 		z.rebuildLookahead()
@@ -29,16 +35,16 @@ func BuildBase(pts []geom.Point, opts Options) (*ZIndex, error) {
 }
 
 // buildMedian recursively builds the median/abcd tree of the base variant.
-func buildMedian(pts []geom.Point, cell geom.Rect, leafSize, depthLeft int) *node {
+func buildMedian(st storage.PageStore, pts []geom.Point, cell geom.Rect, leafSize, depthLeft int) *node {
 	n := &node{cell: cell}
 	if len(pts) <= leafSize || depthLeft == 0 {
-		n.leaf = newLeaf(cell, pts)
+		n.leaf = newLeaf(st, cell, pts)
 		return n
 	}
 	split := geom.Point{X: medianX(pts), Y: medianY(pts)}
 	parts := partition(pts, split)
 	if degenerate(parts, len(pts)) {
-		n.leaf = newLeaf(cell, pts)
+		n.leaf = newLeaf(st, cell, pts)
 		return n
 	}
 	n.split = split
@@ -49,18 +55,16 @@ func buildMedian(pts []geom.Point, cell geom.Rect, leafSize, depthLeft int) *nod
 			continue
 		}
 		pos := n.order.Pos(q)
-		n.child[pos] = buildMedian(sub, geom.QuadrantRect(cell, split, q), leafSize, depthLeft-1)
+		n.child[pos] = buildMedian(st, sub, geom.QuadrantRect(cell, split, q), leafSize, depthLeft-1)
 	}
 	return n
 }
 
 // newLeaf creates a leaf node body over pts with the given cell as its
-// bounding rectangle. The page owns its own slice.
-func newLeaf(cell geom.Rect, pts []geom.Point) *Leaf {
-	l := &Leaf{bounds: cell}
-	l.page.Pts = make([]geom.Point, len(pts))
-	copy(l.page.Pts, pts)
-	return l
+// bounding rectangle, allocating the data page in the index's store (which
+// copies pts).
+func newLeaf(st storage.PageStore, cell geom.Rect, pts []geom.Point) *Leaf {
+	return &Leaf{bounds: cell, pid: st.Alloc(pts, cell), n: len(pts)}
 }
 
 // partition splits pts into the four quadrants around split, using the same

@@ -74,9 +74,9 @@ func nodeRetrievalCost(n *node, r geom.Rect, alpha float64) float64 {
 	}
 	if n.leaf != nil {
 		if n.leaf.bounds.Intersects(r) {
-			return float64(n.leaf.page.Len())
+			return float64(n.leaf.n)
 		}
-		return alpha * float64(n.leaf.page.Len())
+		return alpha * float64(n.leaf.n)
 	}
 	pLo := n.order.Pos(geom.QuadrantOf(r.BL(), n.split))
 	pHi := n.order.Pos(geom.QuadrantOf(r.TR(), n.split))
@@ -106,7 +106,7 @@ func subtreeCount(n *node) int {
 		return 0
 	}
 	if n.leaf != nil {
-		return n.leaf.page.Len()
+		return n.leaf.n
 	}
 	total := 0
 	for _, c := range n.child {

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/storage"
 )
 
 // This file implements the exact optimizer the paper sketches in §4.3 and
@@ -34,12 +35,17 @@ func BuildOptimal(pts []geom.Point, queries []geom.Rect, opts Options) (*ZIndex,
 	}
 	own := make([]geom.Point, len(pts))
 	copy(own, pts)
+	st, err := opts.OpenStore()
+	if err != nil {
+		return nil, err
+	}
 	z := &ZIndex{
 		bounds:        geom.RectFromPoints(own),
 		count:         len(own),
 		opts:          opts,
 		workloadAware: true,
 	}
+	z.adoptStore(st)
 	clipped := make([]geom.Rect, 0, len(queries))
 	for _, q := range queries {
 		if c := q.Intersect(z.bounds); c.Valid() {
@@ -47,6 +53,7 @@ func BuildOptimal(pts []geom.Point, queries []geom.Rect, opts Options) (*ZIndex,
 		}
 	}
 	d := newDPSolver(own, clipped, z.bounds, opts)
+	d.st = st
 	full := dpState{0, len(d.bx) - 1, 0, len(d.by) - 1}
 	d.solve(full)
 	z.root = d.materialize(full, own)
@@ -74,6 +81,7 @@ type dpDecision struct {
 
 type dpSolver struct {
 	opts    Options
+	st      storage.PageStore
 	bx, by  []float64 // cut boundaries including the outer bounds
 	prefix  [][]int   // 2-D prefix counts of points per grid cell
 	queries []geom.Rect
@@ -227,7 +235,7 @@ func (d *dpSolver) materialize(s dpState, pts []geom.Point) *node {
 	cell := d.rect(s)
 	n := &node{cell: cell}
 	if dec.leaf {
-		n.leaf = newLeaf(cell, pts)
+		n.leaf = newLeaf(d.st, cell, pts)
 		return n
 	}
 	n.split = geom.Point{X: d.bx[dec.ix], Y: d.by[dec.iy]}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/wazi-index/wazi/internal/density"
 	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/storage"
 )
 
 // BuildWaZI constructs the workload-aware Z-index of §4 by greedy top-down
@@ -22,6 +23,10 @@ func BuildWaZI(pts []geom.Point, queries []geom.Rect, opts Options) (*ZIndex, er
 	if len(pts) == 0 {
 		return nil, ErrNoPoints
 	}
+	st, err := opts.OpenStore()
+	if err != nil {
+		return nil, err
+	}
 	own := make([]geom.Point, len(pts))
 	copy(own, pts)
 	z := &ZIndex{
@@ -30,7 +35,8 @@ func BuildWaZI(pts []geom.Point, queries []geom.Rect, opts Options) (*ZIndex, er
 		opts:          opts,
 		workloadAware: true,
 	}
-	b := &greedyBuilder{opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+	z.adoptStore(st)
+	b := &greedyBuilder{opts: opts, st: st, rng: rand.New(rand.NewSource(opts.Seed))}
 	switch {
 	case opts.ExactCounts:
 		b.est = nil // per-cell exact counting
@@ -58,6 +64,7 @@ func BuildWaZI(pts []geom.Point, queries []geom.Rect, opts Options) (*ZIndex, er
 // greedyBuilder carries construction state down the recursion.
 type greedyBuilder struct {
 	opts Options
+	st   storage.PageStore
 	rng  *rand.Rand
 	est  density.Estimator // nil means exact counting over the cell's points
 }
@@ -66,7 +73,7 @@ type greedyBuilder struct {
 func (b *greedyBuilder) build(pts []geom.Point, queries []geom.Rect, cell geom.Rect, depthLeft int) *node {
 	n := &node{cell: cell}
 	if len(pts) <= b.opts.LeafSize || depthLeft == 0 {
-		n.leaf = newLeaf(cell, pts)
+		n.leaf = newLeaf(b.st, cell, pts)
 		return n
 	}
 
@@ -80,7 +87,7 @@ func (b *greedyBuilder) build(pts []geom.Point, queries []geom.Rect, cell geom.R
 		order = OrderABCD
 		parts = partition(pts, split)
 		if degenerate(parts, len(pts)) {
-			n.leaf = newLeaf(cell, pts)
+			n.leaf = newLeaf(b.st, cell, pts)
 			return n
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/storage"
 )
 
 // This file implements index persistence: a built index serializes to a
@@ -13,9 +14,22 @@ import (
 // re-running construction. The derived structures — leaf list, ords,
 // look-ahead pointers — are rebuilt on load, which is linear in the index
 // size and avoids serializing cyclic pointer graphs.
+//
+// Two snapshot flavours exist:
+//
+//   - inline (version 1): every leaf record carries its points. Portable —
+//     Load can restore it into any page store.
+//   - attached (version 2): leaf records carry PageIDs into an external
+//     page store (the disk backend's page file). Written by SaveAttached,
+//     restored by LoadWithStore over a store adopted with
+//     storage.OpenPageFile — the warm-start path that never rewrites or
+//     re-reads the data pages.
 
-// snapshotHeader versions the on-disk format.
-const snapshotVersion = 1
+// Snapshot format versions.
+const (
+	snapshotVersion         = 1 // inline points
+	snapshotVersionAttached = 2 // page references into an external store
+)
 
 type snapshot struct {
 	Version       int
@@ -30,6 +44,7 @@ type snapshot struct {
 
 // nodeRecord is one preorder tree node. Children are recorded by a
 // presence mask over ordering positions; subtrees follow in position order.
+// Leaf records carry Points (inline snapshots) or PageID (attached).
 type nodeRecord struct {
 	Leaf      bool
 	Cell      geom.Rect
@@ -37,10 +52,28 @@ type nodeRecord struct {
 	Order     Ordering
 	ChildMask uint8
 	Points    []geom.Point
+	PageID    int32
 }
 
-// Save serializes the index to w.
+// Save serializes the index to w as an inline snapshot: leaf pages are
+// embedded, so the stream is self-contained and portable across storage
+// backends.
 func (z *ZIndex) Save(w io.Writer) error {
+	return z.save(w, false)
+}
+
+// SaveAttached serializes the index to w as an attached snapshot: leaf
+// records reference pages by id in the index's page store, whose backing
+// file is synced and left in place. A later LoadWithStore over the adopted
+// store restores the index without rewriting or reading the data pages.
+func (z *ZIndex) SaveAttached(w io.Writer) error {
+	if err := z.save(w, true); err != nil {
+		return err
+	}
+	return z.store.Sync()
+}
+
+func (z *ZIndex) save(w io.Writer, attached bool) error {
 	s := snapshot{
 		Version:       snapshotVersion,
 		LeafSize:      z.opts.LeafSize,
@@ -50,12 +83,19 @@ func (z *ZIndex) Save(w io.Writer) error {
 		Count:         z.count,
 		Bounds:        z.bounds,
 	}
+	if attached {
+		s.Version = snapshotVersionAttached
+	}
 	var walk func(n *node)
 	walk = func(n *node) {
 		rec := nodeRecord{Cell: n.cell}
 		if n.leaf != nil {
 			rec.Leaf = true
-			rec.Points = n.leaf.page.Pts
+			if attached {
+				rec.PageID = int32(n.leaf.pid)
+			} else {
+				rec.Points = z.store.Page(n.leaf.pid).Pts
+			}
 			s.Nodes = append(s.Nodes, rec)
 			return
 		}
@@ -77,17 +117,45 @@ func (z *ZIndex) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(&s)
 }
 
-// Load restores an index previously written by Save.
+// Load restores an index previously written by Save, onto a fresh
+// RAM-resident page store. Attached snapshots are refused: they need their
+// page store, via LoadWithStore.
 func Load(r io.Reader) (*ZIndex, error) {
+	return LoadWithStore(r, nil)
+}
+
+// LoadWithStore restores an index onto st (nil selects a fresh RAM-resident
+// store). Inline snapshots have their pages allocated into st; attached
+// snapshots adopt st's existing pages by id — st must be the store whose
+// page file the snapshot was saved against (storage.OpenPageFile), and every
+// page reference is validated before use. Corrupt input of either flavour
+// is reported as an error, never a panic.
+func LoadWithStore(r io.Reader, st storage.PageStore) (*ZIndex, error) {
 	var s snapshot
 	if err := gob.NewDecoder(r).Decode(&s); err != nil {
 		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
 	}
-	if s.Version != snapshotVersion {
+	attached := s.Version == snapshotVersionAttached
+	if s.Version != snapshotVersion && !attached {
 		return nil, fmt.Errorf("core: unsupported snapshot version %d", s.Version)
+	}
+	if attached && st == nil {
+		return nil, fmt.Errorf("core: attached snapshot requires its page store (use LoadWithStore)")
 	}
 	if len(s.Nodes) == 0 {
 		return nil, fmt.Errorf("core: snapshot has no nodes")
+	}
+	if s.Count < 0 {
+		return nil, fmt.Errorf("core: snapshot has negative count %d", s.Count)
+	}
+	if st == nil {
+		st = storage.NewMemStore()
+	}
+	if attached && st.PageCount() == 0 {
+		// Catch the "attached snapshot, wrong store" mistake up front with
+		// an actionable message instead of a per-page reference failure.
+		// An attached snapshot always references at least one page.
+		return nil, fmt.Errorf("core: attached snapshot requires the page store it was saved against (adopt its page file with storage.OpenPageFile)")
 	}
 	z := &ZIndex{
 		bounds:        s.Bounds,
@@ -100,6 +168,7 @@ func Load(r io.Reader) (*ZIndex, error) {
 		},
 	}
 	z.opts.fill()
+	z.adoptStore(st)
 	pos := 0
 	var build func() (*node, error)
 	build = func() (*node, error) {
@@ -110,7 +179,16 @@ func Load(r io.Reader) (*ZIndex, error) {
 		pos++
 		n := &node{cell: rec.Cell}
 		if rec.Leaf {
-			n.leaf = newLeaf(rec.Cell, rec.Points)
+			if attached {
+				id := storage.PageID(rec.PageID)
+				count, ok := st.PageLen(id)
+				if !ok {
+					return nil, fmt.Errorf("core: snapshot references page %d absent from the store", rec.PageID)
+				}
+				n.leaf = &Leaf{bounds: rec.Cell, pid: id, n: count}
+			} else {
+				n.leaf = newLeaf(st, rec.Cell, rec.Points)
+			}
 			return n, nil
 		}
 		n.split = rec.Split
@@ -143,10 +221,16 @@ func Load(r io.Reader) (*ZIndex, error) {
 		z.rebuildLookahead()
 	}
 	// Trust but verify: a corrupted snapshot should fail loudly now, not
-	// during a later query.
+	// during a later query. Attached leaves were sized from the store's
+	// slot headers, so this also cross-checks snapshot against page file.
 	total := 0
+	seen := make(map[storage.PageID]bool)
 	for l := z.head; l != nil; l = l.next {
-		total += l.page.Len()
+		if attached && seen[l.pid] {
+			return nil, fmt.Errorf("core: snapshot references page %d twice", l.pid)
+		}
+		seen[l.pid] = true
+		total += l.n
 	}
 	if total != z.count {
 		return nil, fmt.Errorf("core: snapshot count %d disagrees with stored points %d", z.count, total)

@@ -1,0 +1,129 @@
+package core_test
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"github.com/wazi-index/wazi/internal/core"
+	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/indextest"
+	"github.com/wazi-index/wazi/internal/storage"
+)
+
+// TestSaveAttachedWarmStart exercises the disk-resident warm-start path at
+// the core level: build on a page file, churn it, SaveAttached, then restore
+// by adopting the same page file and check the restored index answers
+// queries identically without the snapshot having carried any points.
+func TestSaveAttachedWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "core.pages")
+	pts := indextest.ClusteredPoints(4000, 1)
+	qs := indextest.SkewedQueries(100, 2)
+
+	z, err := core.BuildWaZI(pts, qs, core.Options{
+		LeafSize: 64, Seed: 3, StoragePath: path, StorageCachePages: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Store().Kind() != "disk" {
+		t.Fatalf("store kind = %q, want disk", z.Store().Kind())
+	}
+
+	// Churn so the snapshot covers split/merge-affected pages too.
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 800; i++ {
+		z.Insert(geom.Point{X: rng.Float64(), Y: rng.Float64()})
+	}
+	for i := 0; i < 400; i += 2 {
+		z.Delete(pts[i])
+	}
+	if err := z.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after churn: %v", err)
+	}
+
+	var snap bytes.Buffer
+	if err := z.SaveAttached(&snap); err != nil {
+		t.Fatal(err)
+	}
+	wantPts := z.Points()
+	var queries []geom.Rect
+	rng2 := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		cx, cy := rng2.Float64(), rng2.Float64()
+		queries = append(queries, geom.Rect{MinX: cx - 0.1, MinY: cy - 0.1, MaxX: cx + 0.1, MaxY: cy + 0.1})
+	}
+	wantResults := make([][]geom.Point, len(queries))
+	for i, q := range queries {
+		wantResults[i] = z.RangeQuery(q)
+	}
+	if err := z.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// An attached snapshot must refuse to load without its store.
+	if _, err := core.Load(bytes.NewReader(snap.Bytes())); err == nil {
+		t.Fatal("Load accepted an attached snapshot without a page store")
+	}
+
+	st, err := storage.OpenPageFile(path, storage.DiskOptions{CachePages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := core.LoadWithStore(bytes.NewReader(snap.Bytes()), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != len(wantPts) {
+		t.Fatalf("restored Len = %d, want %d", re.Len(), len(wantPts))
+	}
+	if err := re.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after warm start: %v", err)
+	}
+	for i, q := range queries {
+		got := re.RangeQuery(q)
+		if len(got) != len(wantResults[i]) {
+			t.Fatalf("query %d: %d results after warm start, want %d", i, len(got), len(wantResults[i]))
+		}
+	}
+	cs := re.CacheStats()
+	if cs.Misses == 0 {
+		t.Fatal("warm-started index served queries without touching the page file")
+	}
+	if got := re.Stats().CacheMisses; got != cs.Misses {
+		t.Fatalf("Stats().CacheMisses = %d, want %d (sink wiring)", got, cs.Misses)
+	}
+}
+
+// TestLoadInlineIntoDiskStore restores a portable inline snapshot onto a
+// disk-resident store — the cold migration path between backends.
+func TestLoadInlineIntoDiskStore(t *testing.T) {
+	pts := indextest.ClusteredPoints(1500, 7)
+	z, err := core.BuildBase(pts, core.Options{LeafSize: 64, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := z.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	st, err := storage.CreatePageFile(filepath.Join(t.TempDir(), "mig.pages"), storage.DiskOptions{SlotCap: 64, CachePages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := core.LoadWithStore(bytes.NewReader(snap.Bytes()), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	full := geom.Rect{MinX: -1, MinY: -1, MaxX: 2, MaxY: 2}
+	if got := len(re.RangeQuery(full)); got != len(pts) {
+		t.Fatalf("full query after migration = %d points, want %d", got, len(pts))
+	}
+	if err := re.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

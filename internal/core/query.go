@@ -124,13 +124,17 @@ func (z *ZIndex) PointQuery(p geom.Point) bool {
 	if !z.bounds.Contains(p) {
 		return false
 	}
+	// Point lookups count toward the cache's workload histogram too, so a
+	// point-query hot set enjoys the same eviction protection as a range
+	// hot set.
+	z.store.ObserveQuery(geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y})
 	l := z.treeTraversal(p, &d)
 	if l == nil {
 		return false
 	}
 	d.PagesScanned++
-	d.PointsScanned += int64(l.page.Len())
-	return l.page.Contains(p)
+	d.PointsScanned += int64(l.n)
+	return z.store.Page(l.pid).Contains(p)
 }
 
 // RangeQuery returns all indexed points inside the closed rectangle r
@@ -150,6 +154,9 @@ func (z *ZIndex) RangeQueryAppend(dst []geom.Point, r geom.Rect) []geom.Point {
 	if !clipped.Valid() {
 		return dst
 	}
+	// Feed the page store's workload histogram (workload-aware cache
+	// eviction for the disk backend; a no-op in RAM).
+	z.store.ObserveQuery(clipped)
 	low := z.lowerBoundLeaf(clipped.BL(), &d)
 	high := z.upperBoundLeaf(clipped.TR(), &d)
 	if low == nil || high == nil || low.ord > high.ord {
@@ -161,8 +168,8 @@ func (z *ZIndex) RangeQueryAppend(dst []geom.Point, r geom.Rect) []geom.Point {
 		d.BBChecked++
 		if p.bounds.Intersects(r) {
 			d.PagesScanned++
-			d.PointsScanned += int64(p.page.Len())
-			dst = p.page.Filter(r, dst)
+			d.PointsScanned += int64(p.n)
+			dst = z.store.Page(p.pid).Filter(r, dst)
 			p = p.next
 			continue
 		}
@@ -228,6 +235,7 @@ func (z *ZIndex) RangeQueryPhased(r geom.Rect) (pts []geom.Point, projection, sc
 	if !clipped.Valid() {
 		return nil, 0, 0
 	}
+	z.store.ObserveQuery(clipped)
 	start := time.Now()
 	var overlapping []*Leaf
 	low := z.lowerBoundLeaf(clipped.BL(), &d)
@@ -253,8 +261,8 @@ func (z *ZIndex) RangeQueryPhased(r geom.Rect) (pts []geom.Point, projection, sc
 	start = time.Now()
 	for _, p := range overlapping {
 		d.PagesScanned++
-		d.PointsScanned += int64(p.page.Len())
-		pts = p.page.Filter(r, pts)
+		d.PointsScanned += int64(p.n)
+		pts = z.store.Page(p.pid).Filter(r, pts)
 	}
 	scan = time.Since(start)
 	d.ResultPoints += int64(len(pts))
@@ -271,6 +279,7 @@ func (z *ZIndex) RangeCount(r geom.Rect) int {
 	if !clipped.Valid() {
 		return 0
 	}
+	z.store.ObserveQuery(clipped)
 	low := z.lowerBoundLeaf(clipped.BL(), &d)
 	high := z.upperBoundLeaf(clipped.TR(), &d)
 	if low == nil || high == nil || low.ord > high.ord {
@@ -282,8 +291,8 @@ func (z *ZIndex) RangeCount(r geom.Rect) int {
 		d.BBChecked++
 		if p.bounds.Intersects(r) {
 			d.PagesScanned++
-			d.PointsScanned += int64(p.page.Len())
-			for _, pt := range p.page.Pts {
+			d.PointsScanned += int64(p.n)
+			for _, pt := range z.store.Page(p.pid).Pts {
 				if r.Contains(pt) {
 					count++
 				}

@@ -33,7 +33,7 @@ func (z *ZIndex) Insert(p geom.Point) {
 		if n.child[pos] == nil {
 			// First point in this quadrant: materialize a fresh leaf.
 			cell := geom.QuadrantRect(n.cell, n.split, q)
-			n.child[pos] = &node{cell: cell, leaf: newLeaf(cell, []geom.Point{p})}
+			n.child[pos] = &node{cell: cell, leaf: newLeaf(z.store, cell, []geom.Point{p})}
 			z.count++
 			z.structuralChange()
 			return
@@ -46,12 +46,16 @@ func (z *ZIndex) Insert(p geom.Point) {
 		l.bounds = l.bounds.ExtendPoint(p)
 		grew = true
 	}
-	l.page.Pts = append(l.page.Pts, p)
+	pg := z.store.Page(l.pid)
+	pg.Pts = append(pg.Pts, p)
+	l.n++
 	z.count++
-	if l.page.Len() > z.opts.LeafSize {
-		z.splitLeaf(n)
-		return // splitLeaf refreshes the derived structures
+	if l.n > z.opts.LeafSize && z.splitLeaf(n, pg.Pts) {
+		return // splitLeaf persisted the points into fresh pages
 	}
+	// Not split (common case, or coincident points that cannot split):
+	// persist the appended page now — exactly one page write per insert.
+	z.store.Update(l.pid, pg.Pts, l.bounds)
 	if grew {
 		// Grown bounds can invalidate look-ahead pointers of earlier
 		// leaves; restore safety by full recomputation.
@@ -62,17 +66,19 @@ func (z *ZIndex) Insert(p geom.Point) {
 // splitLeaf converts an overflowing leaf node into an internal node with a
 // median split and abcd ordering, distributing its page across up to four
 // new leaves.
-func (z *ZIndex) splitLeaf(n *node) {
-	pts := n.leaf.page.Pts
+func (z *ZIndex) splitLeaf(n *node, pts []geom.Point) bool {
 	split := geom.Point{X: medianX(pts), Y: medianY(pts)}
-	parts := partition(pts, split)
+	parts := partition(pts, split) // copies pts, so freeing the page below is safe
 	if degenerate(parts, len(pts)) {
 		// Coincident points: leave the oversized page in place; a split
-		// cannot separate them.
-		return
+		// cannot separate them. (The disk backend chains continuation
+		// slots for such pages.) The caller persists the page instead.
+		return false
 	}
-	// Detach the old leaf; its next pointer keeps forwarding into the list
-	// so that any in-flight iterator would drain safely.
+	// Detach the old leaf and recycle its page; the leaf's next pointer
+	// keeps forwarding into the list so that any in-flight iterator would
+	// drain safely.
+	z.store.Free(n.leaf.pid)
 	n.leaf = nil
 	n.split = split
 	n.order = OrderABCD
@@ -81,10 +87,11 @@ func (z *ZIndex) splitLeaf(n *node) {
 			continue
 		}
 		cell := geom.QuadrantRect(n.cell, split, q)
-		n.child[n.order.Pos(q)] = &node{cell: cell, leaf: newLeaf(cell, parts[q])}
+		n.child[n.order.Pos(q)] = &node{cell: cell, leaf: newLeaf(z.store, cell, parts[q])}
 	}
 	z.stats.PageSplits++
 	z.structuralChange()
+	return true
 }
 
 // Delete removes one point equal to p, reporting whether a point was
@@ -102,9 +109,15 @@ func (z *ZIndex) Delete(p geom.Point) bool {
 		path = append(path, n)
 		n = n.child[n.order.Pos(geom.QuadrantOf(p, n.split))]
 	}
-	if n == nil || !n.leaf.page.Remove(p) {
+	if n == nil {
 		return false
 	}
+	pg := z.store.Page(n.leaf.pid)
+	if !pg.Remove(p) {
+		return false
+	}
+	z.store.Update(n.leaf.pid, pg.Pts, n.leaf.bounds)
+	n.leaf.n--
 	z.count--
 	if len(path) > 0 {
 		z.maybeMerge(path[len(path)-1])
@@ -124,7 +137,7 @@ func (z *ZIndex) maybeMerge(parent *node) {
 		if c.leaf == nil {
 			return
 		}
-		total += c.leaf.page.Len()
+		total += c.leaf.n
 	}
 	if total > z.opts.LeafSize/4 {
 		return
@@ -132,11 +145,12 @@ func (z *ZIndex) maybeMerge(parent *node) {
 	merged := make([]geom.Point, 0, total)
 	for pos := 0; pos < 4; pos++ {
 		if c := parent.child[pos]; c != nil {
-			merged = append(merged, c.leaf.page.Pts...)
+			merged = append(merged, z.store.Page(c.leaf.pid).Pts...)
+			z.store.Free(c.leaf.pid)
 			parent.child[pos] = nil
 		}
 	}
-	parent.leaf = newLeaf(parent.cell, merged)
+	parent.leaf = newLeaf(z.store, parent.cell, merged)
 	z.stats.PageMerges++
 	z.structuralChange()
 }
@@ -157,7 +171,7 @@ func (z *ZIndex) structuralChange() {
 func (z *ZIndex) Points() []geom.Point {
 	out := make([]geom.Point, 0, z.count)
 	for l := z.head; l != nil; l = l.next {
-		out = append(out, l.page.Pts...)
+		out = append(out, z.store.Page(l.pid).Pts...)
 	}
 	return out
 }

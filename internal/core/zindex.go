@@ -81,8 +81,12 @@ type node struct {
 // rectangles a pointer jumped over, so a leaf skipped at pointer-build time
 // remains guaranteed-irrelevant. See lookahead.go for the invariant.
 type Leaf struct {
-	bounds     geom.Rect
-	page       storage.Page
+	bounds geom.Rect
+	// pid locates the leaf's data page inside the index's PageStore; n
+	// caches its point count so pure projection work (counting, cost
+	// evaluation) never faults a page in from disk.
+	pid        storage.PageID
+	n          int
 	prev, next *Leaf
 	ord        int
 	la         [4]*Leaf // look-ahead pointers, indexed by criterion
@@ -121,7 +125,7 @@ func (c Criterion) String() string {
 func (l *Leaf) Bounds() geom.Rect { return l.bounds }
 
 // Len returns the number of points stored in the leaf's page.
-func (l *Leaf) Len() int { return l.page.Len() }
+func (l *Leaf) Len() int { return l.n }
 
 // Next returns the following leaf in Ord, or nil at the end of the list.
 func (l *Leaf) Next() *Leaf { return l.next }
@@ -150,6 +154,19 @@ type Options struct {
 	DisableSkipping bool
 	// Seed seeds candidate sampling and the default density estimator.
 	Seed int64
+	// Store supplies the PageStore backing the index's clustered pages.
+	// Nil selects storage chosen by StoragePath: a fresh RAM-resident
+	// store when StoragePath is empty, otherwise a disk-resident store
+	// (page file + workload-aware block cache) created at that path.
+	Store storage.PageStore
+	// StoragePath, when non-empty and Store is nil, creates the
+	// disk-resident backend at this path, truncating previous content
+	// (builds produce a new page set; warm starts go through
+	// LoadWithStore with an adopted store instead).
+	StoragePath string
+	// StorageCachePages bounds the disk backend's block cache, in pages
+	// (default 1024). Ignored for the RAM-resident backend.
+	StorageCachePages int
 	// Estimator supplies data-density estimates to the greedy cost
 	// evaluation. Nil builds an RFDE forest over the data (the paper's
 	// learned component). Ignored when ExactCounts is set.
@@ -201,6 +218,7 @@ type ZIndex struct {
 	bounds geom.Rect
 	count  int
 	opts   Options
+	store  storage.PageStore
 	stats  storage.Stats
 	// workloadAware records whether the index was built by BuildWaZI; it is
 	// reported by Describe and used by the drift advisor.
@@ -210,9 +228,44 @@ type ZIndex struct {
 // ErrNoPoints is returned when an index is built over an empty dataset.
 var ErrNoPoints = errors.New("core: cannot build index over zero points")
 
+// openStore resolves the configured PageStore: an injected store, a fresh
+// disk-resident store at StoragePath, or the RAM-resident default. Callers
+// run it after fill so LeafSize is resolved (it sizes the disk slots).
+func (o *Options) OpenStore() (storage.PageStore, error) {
+	if o.Store != nil {
+		return o.Store, nil
+	}
+	if o.StoragePath != "" {
+		return storage.CreatePageFile(o.StoragePath, storage.DiskOptions{
+			SlotCap:    o.LeafSize,
+			CachePages: o.StorageCachePages,
+		})
+	}
+	return storage.NewMemStore(), nil
+}
+
+// adoptStore attaches a resolved store to the index and routes its cache
+// counters into the index's Stats.
+func (z *ZIndex) adoptStore(st storage.PageStore) {
+	z.store = st
+	st.SetStatsSink(&z.stats)
+}
+
 // Stats returns the index's cumulative access counters. The pointer is live:
 // callers may Reset it between measurement windows.
 func (z *ZIndex) Stats() *storage.Stats { return &z.stats }
+
+// Store returns the PageStore holding the index's clustered pages.
+func (z *ZIndex) Store() storage.PageStore { return z.store }
+
+// CacheStats returns the block-cache counters of the index's page store
+// (zero-valued except Resident/Capacity for the RAM-resident backend).
+func (z *ZIndex) CacheStats() storage.CacheStats { return z.store.CacheStats() }
+
+// Close releases the page store's backing resources (the page file of a
+// disk-resident index). The index must not be used afterwards. Close is a
+// no-op for the RAM-resident backend.
+func (z *ZIndex) Close() error { return z.store.Close() }
 
 // Len returns the number of indexed points.
 func (z *ZIndex) Len() int { return z.count }
@@ -262,8 +315,9 @@ func depth(n *node) int {
 }
 
 // Bytes returns the approximate in-memory footprint of the index: tree
-// nodes, leaf structures and data pages. This is the quantity reported in
-// Table 5.
+// nodes, leaf structures, and the resident data pages (all pages for the
+// RAM backend; the block cache for the disk backend). This is the quantity
+// reported in Table 5.
 func (z *ZIndex) Bytes() int64 {
 	var b int64
 	var walk func(n *node)
@@ -272,9 +326,9 @@ func (z *ZIndex) Bytes() int64 {
 			return
 		}
 		if n.leaf != nil {
-			// Leaf struct: bounds + list pointers + ord + 4 look-ahead
-			// pointers, plus its page.
-			b += 32 + 8*7 + n.leaf.page.Bytes()
+			// Leaf struct: bounds + page id/count + list pointers + ord +
+			// 4 look-ahead pointers.
+			b += 32 + 8*8
 			return
 		}
 		b += 32 + 16 + 1 + 4*8 // cell + split + order + child pointers
@@ -283,7 +337,7 @@ func (z *ZIndex) Bytes() int64 {
 		}
 	}
 	walk(z.root)
-	return b
+	return b + z.store.Bytes()
 }
 
 // Describe returns a one-line human-readable summary of the index.
@@ -315,7 +369,11 @@ func (z *ZIndex) checkInvariants() error {
 			if !n.cell.ContainsRect(n.leaf.bounds) && n.cell != n.leaf.bounds {
 				return fmt.Errorf("leaf bounds %v escape cell %v", n.leaf.bounds, n.cell)
 			}
-			for _, p := range n.leaf.page.Pts {
+			pg := z.store.Page(n.leaf.pid)
+			if pg.Len() != n.leaf.n {
+				return fmt.Errorf("leaf count cache %d disagrees with page length %d", n.leaf.n, pg.Len())
+			}
+			for _, p := range pg.Pts {
 				if !n.leaf.bounds.Contains(p) {
 					return fmt.Errorf("point %v outside leaf bounds %v", p, n.leaf.bounds)
 				}
@@ -348,7 +406,7 @@ func (z *ZIndex) checkInvariants() error {
 		if l.ord != i {
 			return fmt.Errorf("leaf ord %d at position %d", l.ord, i)
 		}
-		total += l.page.Len()
+		total += l.n
 		prev = l
 		i++
 	}

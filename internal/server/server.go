@@ -490,6 +490,9 @@ type statszResp struct {
 	Queued          int64        `json:"queued"`
 	CoalescedPasses int64        `json:"coalesced_passes"`
 	CoalescedReads  int64        `json:"coalesced_reads"`
+	CacheHits       int64        `json:"cache_hits"`
+	CacheMisses     int64        `json:"cache_misses"`
+	CacheEvictions  int64        `json:"cache_evictions"`
 	IndexStats      wazi.Stats   `json:"index_stats"`
 	ShardStates     []shardState `json:"shard_states"`
 }
@@ -500,6 +503,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "/statsz requires GET")
 		return
 	}
+	stats := s.b.Stats()
 	resp := statszResp{
 		Points:          s.b.Len(),
 		Shards:          s.b.NumShards(),
@@ -511,7 +515,10 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Queued:          s.gate.queued.Load(),
 		CoalescedPasses: s.co.batches.Load(),
 		CoalescedReads:  s.co.reads.Load(),
-		IndexStats:      s.b.Stats(),
+		CacheHits:       stats.CacheHits,
+		CacheMisses:     stats.CacheMisses,
+		CacheEvictions:  stats.CacheEvictions,
+		IndexStats:      stats,
 	}
 	for i, info := range s.b.Shards() {
 		resp.ShardStates = append(resp.ShardStates, shardState{

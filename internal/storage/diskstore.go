@@ -1,0 +1,854 @@
+package storage
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"github.com/wazi-index/wazi/internal/geom"
+)
+
+// DiskStore is the disk-resident PageStore: a fixed-slot page file plus an
+// in-memory block cache whose eviction is workload-aware. Pages are chains
+// of fixed-size slots (one slot fits SlotCap points; oversized pages —
+// coincident-point leaves that cannot split — chain continuation slots), and
+// freed slots are recycled through an on-file free list, so the file never
+// needs compaction to stay bounded.
+//
+// The file carries a versioned header in the same discipline as the Sharded
+// snapshot format: OpenPageFile refuses foreign magic or unknown versions
+// with a clear error and fully validates the slot graph (free list, chain
+// structure) before serving from it, which is what makes the warm-start path
+// safe to point at a file written by an earlier process.
+//
+// Crash consistency is explicitly not a goal: writes are buffered until
+// Sync, matching the snapshot-oriented durability model of the rest of the
+// repository (persist on graceful shutdown, rebuild on hard crash).
+type DiskStore struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	slotCap int
+	slots   int32 // slots physically present in the file
+	free    int32 // head of the free-slot chain, -1 when empty
+	nfree   int
+	npages  int
+	closed  bool
+
+	cache blockCache
+	// loading single-flights concurrent faults of the same page: the
+	// winner reads from disk outside the mutex, everyone else waits on
+	// its channel. Readers of other pages (hits or faults) proceed.
+	loading map[PageID]chan struct{}
+	hist    queryHist
+	sink    atomic.Pointer[Stats]
+
+	hits, misses, evictions, hotRetained int64 // guarded by mu
+}
+
+// DiskOptions tune a disk-resident store.
+type DiskOptions struct {
+	// SlotCap is the number of points one file slot holds. It should match
+	// the index's leaf capacity so that in the common case a page is one
+	// slot. Default 256.
+	SlotCap int
+	// CachePages bounds the block cache, in pages. Default 1024.
+	CachePages int
+	// HistWindow is the sliding window of the workload histogram feeding
+	// eviction decisions. Default 1024 queries.
+	HistWindow int
+}
+
+func (o *DiskOptions) fill() {
+	if o.SlotCap <= 0 {
+		o.SlotCap = 256
+	}
+	if o.CachePages <= 0 {
+		o.CachePages = 1024
+	}
+	if o.HistWindow <= 0 {
+		o.HistWindow = 1024
+	}
+}
+
+// Page-file format constants. The header is fixed-size; slots follow
+// back to back.
+const (
+	pageFileMagic   = "waziPageFile"
+	pageFileVersion = 1
+	fileHeaderSize  = 64
+	slotHeaderSize  = 48 // used u32, count u32, next i32, pad u32, bounds 4xf64
+	pointSize       = 16
+
+	slotFree = 0 // slot is on the free list
+	slotHead = 1 // first slot of a page chain; bounds are meaningful
+	slotCont = 2 // continuation slot of an oversized page
+
+	// maxSlotCap bounds the slot capacity a header may declare, keeping
+	// adversarial files from driving huge allocations during validation.
+	maxSlotCap = 1 << 20
+)
+
+func (d *DiskStore) slotSize() int64 {
+	return int64(slotHeaderSize + d.slotCap*pointSize)
+}
+
+func (d *DiskStore) slotOff(i int32) int64 {
+	return fileHeaderSize + int64(i)*d.slotSize()
+}
+
+// CreatePageFile creates (truncating any previous content) a page file at
+// path and returns an empty store over it.
+func CreatePageFile(path string, o DiskOptions) (*DiskStore, error) {
+	o.fill()
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: creating page file: %w", err)
+	}
+	d := newDiskStore(f, path, o)
+	if err := d.writeHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// OpenPageFile adopts an existing page file written by CreatePageFile — the
+// warm-start path. The header is version-checked and the entire slot graph
+// (free list, page chains) is validated before any page is served; a
+// corrupt, truncated, or foreign file is refused with an error, never a
+// panic.
+func OpenPageFile(path string, o DiskOptions) (*DiskStore, error) {
+	o.fill()
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: opening page file: %w", err)
+	}
+	d, err := adoptPageFile(f, path, o)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: page file %s: %w", path, err)
+	}
+	return d, nil
+}
+
+func newDiskStore(f *os.File, path string, o DiskOptions) *DiskStore {
+	d := &DiskStore{f: f, path: path, slotCap: o.SlotCap, free: -1,
+		loading: make(map[PageID]chan struct{})}
+	d.cache.init(o.CachePages)
+	d.hist.init(o.HistWindow)
+	return d
+}
+
+func (d *DiskStore) writeHeader() error {
+	var h [fileHeaderSize]byte
+	copy(h[:12], pageFileMagic)
+	binary.LittleEndian.PutUint32(h[12:], pageFileVersion)
+	binary.LittleEndian.PutUint32(h[16:], uint32(d.slotCap))
+	binary.LittleEndian.PutUint32(h[20:], uint32(d.slots))
+	binary.LittleEndian.PutUint32(h[24:], uint32(d.free))
+	binary.LittleEndian.PutUint32(h[28:], uint32(d.npages))
+	if _, err := d.f.WriteAt(h[:], 0); err != nil {
+		return fmt.Errorf("storage: writing page-file header: %w", err)
+	}
+	return nil
+}
+
+// adoptPageFile validates the header and the full slot graph of an existing
+// file and reconstructs the in-memory free-list state.
+func adoptPageFile(f *os.File, path string, o DiskOptions) (*DiskStore, error) {
+	var h [fileHeaderSize]byte
+	if _, err := f.ReadAt(h[:], 0); err != nil {
+		return nil, fmt.Errorf("reading header: %w", err)
+	}
+	if string(h[:12]) != pageFileMagic {
+		return nil, fmt.Errorf("not a wazi page file (magic %q)", h[:12])
+	}
+	if v := binary.LittleEndian.Uint32(h[12:]); v != pageFileVersion {
+		return nil, fmt.Errorf("unsupported page-file version %d (this build reads version %d)", v, pageFileVersion)
+	}
+	slotCap := int(binary.LittleEndian.Uint32(h[16:]))
+	if slotCap <= 0 || slotCap > maxSlotCap {
+		return nil, fmt.Errorf("implausible slot capacity %d", slotCap)
+	}
+	slots := int32(binary.LittleEndian.Uint32(h[20:]))
+	freeHead := int32(binary.LittleEndian.Uint32(h[24:]))
+	npages := int(binary.LittleEndian.Uint32(h[28:]))
+	if slots < 0 {
+		return nil, fmt.Errorf("implausible slot count %d", slots)
+	}
+
+	o.SlotCap = slotCap
+	d := newDiskStore(f, path, o)
+	d.slots = slots
+	d.free = freeHead
+
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if want := fileHeaderSize + int64(slots)*d.slotSize(); st.Size() != want {
+		return nil, fmt.Errorf("file size %d does not match %d slots (want %d)", st.Size(), slots, want)
+	}
+
+	// One pass over the slot headers, then structural validation: the free
+	// chain must cover exactly the free slots, and page chains must cover
+	// exactly the continuation slots, with no sharing or cycles.
+	used := make([]uint32, slots)
+	next := make([]int32, slots)
+	counts := make([]uint32, slots)
+	var sh [slotHeaderSize]byte
+	for i := int32(0); i < slots; i++ {
+		if _, err := f.ReadAt(sh[:16], d.slotOff(i)); err != nil {
+			return nil, fmt.Errorf("reading slot %d header: %w", i, err)
+		}
+		used[i] = binary.LittleEndian.Uint32(sh[0:])
+		counts[i] = binary.LittleEndian.Uint32(sh[4:])
+		next[i] = int32(binary.LittleEndian.Uint32(sh[8:]))
+		if used[i] > slotCont {
+			return nil, fmt.Errorf("slot %d: invalid state %d", i, used[i])
+		}
+		if counts[i] > uint32(slotCap) {
+			return nil, fmt.Errorf("slot %d: count %d exceeds slot capacity %d", i, counts[i], slotCap)
+		}
+		if next[i] != -1 && (next[i] < 0 || next[i] >= slots) {
+			return nil, fmt.Errorf("slot %d: next %d out of range", i, next[i])
+		}
+	}
+	seen := make([]bool, slots)
+	nfree := 0
+	for i := freeHead; i != -1; i = next[i] {
+		if i < 0 || i >= slots {
+			return nil, fmt.Errorf("free list escapes the file at slot %d", i)
+		}
+		if seen[i] {
+			return nil, fmt.Errorf("free list cycles at slot %d", i)
+		}
+		if used[i] != slotFree {
+			return nil, fmt.Errorf("free list visits live slot %d", i)
+		}
+		seen[i] = true
+		nfree++
+	}
+	heads := 0
+	for i := int32(0); i < slots; i++ {
+		switch used[i] {
+		case slotFree:
+			if !seen[i] {
+				return nil, fmt.Errorf("free slot %d not on the free list", i)
+			}
+		case slotHead:
+			heads++
+			for j := next[i]; j != -1; j = next[j] {
+				if seen[j] {
+					return nil, fmt.Errorf("slot %d appears in two chains", j)
+				}
+				if used[j] != slotCont {
+					return nil, fmt.Errorf("chain from head %d visits non-continuation slot %d", i, j)
+				}
+				seen[j] = true
+			}
+		}
+	}
+	for i := int32(0); i < slots; i++ {
+		if used[i] == slotCont && !seen[i] {
+			return nil, fmt.Errorf("continuation slot %d belongs to no chain", i)
+		}
+	}
+	if heads != npages {
+		return nil, fmt.Errorf("header claims %d pages, file holds %d", npages, heads)
+	}
+	d.nfree = nfree
+	d.npages = npages
+	return d, nil
+}
+
+// ioPanic reports an unrecoverable I/O failure on a validated file. See the
+// PageStore contract.
+func (d *DiskStore) ioPanic(op string, err error) {
+	panic(fmt.Sprintf("storage: page file %s: %s: %v", d.path, op, err))
+}
+
+// readSlotHeader returns (used, count, next, bounds) of slot i.
+func (d *DiskStore) readSlotHeader(i int32) (uint32, int, int32, geom.Rect) {
+	var sh [slotHeaderSize]byte
+	if _, err := d.f.ReadAt(sh[:], d.slotOff(i)); err != nil {
+		d.ioPanic(fmt.Sprintf("reading slot %d", i), err)
+	}
+	var b geom.Rect
+	b.MinX = math.Float64frombits(binary.LittleEndian.Uint64(sh[16:]))
+	b.MinY = math.Float64frombits(binary.LittleEndian.Uint64(sh[24:]))
+	b.MaxX = math.Float64frombits(binary.LittleEndian.Uint64(sh[32:]))
+	b.MaxY = math.Float64frombits(binary.LittleEndian.Uint64(sh[40:]))
+	return binary.LittleEndian.Uint32(sh[0:]), int(binary.LittleEndian.Uint32(sh[4:])), int32(binary.LittleEndian.Uint32(sh[8:])), b
+}
+
+// writeSlot writes one slot: header plus its share of the points.
+func (d *DiskStore) writeSlot(i int32, state uint32, pts []geom.Point, next int32, bounds geom.Rect) {
+	buf := make([]byte, slotHeaderSize+len(pts)*pointSize)
+	binary.LittleEndian.PutUint32(buf[0:], state)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(pts)))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(next))
+	binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(bounds.MinX))
+	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(bounds.MinY))
+	binary.LittleEndian.PutUint64(buf[32:], math.Float64bits(bounds.MaxX))
+	binary.LittleEndian.PutUint64(buf[40:], math.Float64bits(bounds.MaxY))
+	for j, p := range pts {
+		binary.LittleEndian.PutUint64(buf[slotHeaderSize+j*pointSize:], math.Float64bits(p.X))
+		binary.LittleEndian.PutUint64(buf[slotHeaderSize+j*pointSize+8:], math.Float64bits(p.Y))
+	}
+	if _, err := d.f.WriteAt(buf, d.slotOff(i)); err != nil {
+		d.ioPanic(fmt.Sprintf("writing slot %d", i), err)
+	}
+}
+
+// popSlot takes a slot from the free list, extending the file when none is
+// available. Callers hold d.mu.
+func (d *DiskStore) popSlot() int32 {
+	if d.free != -1 {
+		i := d.free
+		_, _, next, _ := d.readSlotHeader(i)
+		d.free = next
+		d.nfree--
+		return i
+	}
+	i := d.slots
+	d.slots++
+	if err := d.f.Truncate(fileHeaderSize + int64(d.slots)*d.slotSize()); err != nil {
+		d.ioPanic("extending file", err)
+	}
+	return i
+}
+
+// pushSlot returns a slot to the free list. Callers hold d.mu.
+func (d *DiskStore) pushSlot(i int32) {
+	d.writeSlot(i, slotFree, nil, d.free, geom.Rect{})
+	d.free = i
+	d.nfree++
+}
+
+// chainSlots returns the slot chain of page id, head first.
+func (d *DiskStore) chainSlots(id PageID) []int32 {
+	var chain []int32
+	for i := int32(id); i != -1; {
+		chain = append(chain, i)
+		_, _, next, _ := d.readSlotHeader(i)
+		i = next
+		if len(chain) > int(d.slots) {
+			d.ioPanic("walking page chain", fmt.Errorf("cycle at page %d", id))
+		}
+	}
+	return chain
+}
+
+// writeChain lays pts out over a slot chain for page id, reusing the given
+// existing chain, growing or shrinking it as needed. Callers hold d.mu.
+func (d *DiskStore) writeChain(chain []int32, pts []geom.Point, bounds geom.Rect) {
+	need := (len(pts) + d.slotCap - 1) / d.slotCap
+	if need == 0 {
+		need = 1
+	}
+	for len(chain) < need {
+		chain = append(chain, d.popSlot())
+	}
+	for _, extra := range chain[need:] {
+		d.pushSlot(extra)
+	}
+	chain = chain[:need]
+	for j, i := range chain {
+		lo := j * d.slotCap
+		hi := lo + d.slotCap
+		if hi > len(pts) {
+			hi = len(pts)
+		}
+		state := uint32(slotCont)
+		if j == 0 {
+			state = slotHead
+		}
+		next := int32(-1)
+		if j+1 < need {
+			next = chain[j+1]
+		}
+		d.writeSlot(i, state, pts[lo:hi], next, bounds)
+	}
+}
+
+// readPage assembles the page from its slot chain. Callers hold d.mu.
+func (d *DiskStore) readPage(id PageID) (*Page, geom.Rect) {
+	state, count, next, bounds := d.readSlotHeader(int32(id))
+	if state != slotHead {
+		d.ioPanic("resolving page", fmt.Errorf("page %d is not a chain head (state %d)", id, state))
+	}
+	pts := make([]geom.Point, 0, count)
+	i := int32(id)
+	for {
+		pts = append(pts, d.readSlotPoints(i, count)...)
+		if next == -1 {
+			break
+		}
+		i = next
+		if len(pts) > int(d.slots)*d.slotCap {
+			d.ioPanic("walking page chain", fmt.Errorf("cycle at page %d", id))
+		}
+		_, count, next, _ = d.readSlotHeader(i)
+	}
+	return &Page{Pts: pts}, bounds
+}
+
+func (d *DiskStore) readSlotPoints(i int32, count int) []geom.Point {
+	if count == 0 {
+		return nil
+	}
+	buf := make([]byte, count*pointSize)
+	if _, err := d.f.ReadAt(buf, d.slotOff(i)+slotHeaderSize); err != nil {
+		d.ioPanic(fmt.Sprintf("reading slot %d points", i), err)
+	}
+	pts := make([]geom.Point, count)
+	for j := range pts {
+		pts[j].X = math.Float64frombits(binary.LittleEndian.Uint64(buf[j*pointSize:]))
+		pts[j].Y = math.Float64frombits(binary.LittleEndian.Uint64(buf[j*pointSize+8:]))
+	}
+	return pts
+}
+
+// ----------------------------------------------------------- PageStore API
+
+// Alloc implements PageStore.
+func (d *DiskStore) Alloc(pts []geom.Point, bounds geom.Rect) PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	head := d.popSlot()
+	chain := []int32{head}
+	d.writeChain(chain, pts, bounds)
+	d.npages++
+	id := PageID(head)
+	pg := &Page{Pts: append([]geom.Point(nil), pts...)}
+	d.cacheInsert(id, pg, bounds)
+	d.hist.extendSpace(bounds)
+	return id
+}
+
+// Page implements PageStore. A cache miss reads from disk OUTSIDE the
+// store mutex (file reads are positional and the structural fields a fault
+// touches are immutable while reads are running — mutation requires the
+// same exclusive access as any index update), so one cold fault never
+// blocks hits or faults of other pages; concurrent faults of the same page
+// are single-flighted through d.loading.
+func (d *DiskStore) Page(id PageID) *Page {
+	d.mu.Lock()
+	for {
+		if e := d.cache.get(id); e != nil {
+			d.hits++
+			if s := d.sink.Load(); s != nil {
+				atomic.AddInt64(&s.CacheHits, 1)
+			}
+			pg := e.pg
+			d.mu.Unlock()
+			return pg
+		}
+		ch, inflight := d.loading[id]
+		if !inflight {
+			break
+		}
+		d.mu.Unlock()
+		<-ch
+		d.mu.Lock()
+	}
+	d.misses++
+	if s := d.sink.Load(); s != nil {
+		atomic.AddInt64(&s.CacheMisses, 1)
+	}
+	ch := make(chan struct{})
+	d.loading[id] = ch
+	d.mu.Unlock()
+	// Deregister via defer so the latch is released even if readPage
+	// panics (I/O failure): in a process that survives the panic (e.g.
+	// behind net/http's handler recovery), waiters must refault rather
+	// than block forever on a channel nobody will close.
+	defer func() {
+		d.mu.Lock()
+		delete(d.loading, id)
+		close(ch)
+		d.mu.Unlock()
+	}()
+
+	pg, bounds := d.readPage(id)
+
+	d.mu.Lock()
+	d.cacheInsert(id, pg, bounds)
+	d.mu.Unlock()
+	return pg
+}
+
+// Update implements PageStore.
+func (d *DiskStore) Update(id PageID, pts []geom.Point, bounds geom.Rect) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.writeChain(d.chainSlots(id), pts, bounds)
+	if e := d.cache.get(id); e != nil {
+		d.cache.resize(e, pts, bounds)
+	} else {
+		d.cacheInsert(id, &Page{Pts: append([]geom.Point(nil), pts...)}, bounds)
+	}
+	d.hist.extendSpace(bounds)
+}
+
+// Free implements PageStore.
+func (d *DiskStore) Free(id PageID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, i := range d.chainSlots(id) {
+		d.pushSlot(i)
+	}
+	d.npages--
+	d.cache.drop(id)
+}
+
+// Has reports whether id names a live page.
+func (d *DiskStore) Has(id PageID) bool {
+	_, ok := d.PageLen(id)
+	return ok
+}
+
+// PageLen implements PageStore by walking the chain's slot headers only —
+// no page data is faulted into the cache.
+func (d *DiskStore) PageLen(id PageID) (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id < 0 || int32(id) >= d.slots {
+		return 0, false
+	}
+	state, count, next, _ := d.readSlotHeader(int32(id))
+	if state != slotHead {
+		return 0, false
+	}
+	total := count
+	for hops := 0; next != -1; hops++ {
+		if hops > int(d.slots) {
+			return 0, false
+		}
+		state, count, next, _ = d.readSlotHeader(next)
+		if state != slotCont {
+			return 0, false
+		}
+		total += count
+	}
+	return total, true
+}
+
+// ObserveQuery implements PageStore: the query center lands in the workload
+// histogram that eviction consults.
+func (d *DiskStore) ObserveQuery(r geom.Rect) {
+	d.mu.Lock()
+	d.hist.observe(r)
+	d.mu.Unlock()
+}
+
+// PageCount implements PageStore.
+func (d *DiskStore) PageCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.npages
+}
+
+// Bytes implements PageStore: the resident footprint is the block cache.
+func (d *DiskStore) Bytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cache.bytesResident()
+}
+
+// FileBytes returns the size of the backing page file.
+func (d *DiskStore) FileBytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return fileHeaderSize + int64(d.slots)*d.slotSize()
+}
+
+// CacheStats implements PageStore.
+func (d *DiskStore) CacheStats() CacheStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return CacheStats{
+		Hits:        d.hits,
+		Misses:      d.misses,
+		Evictions:   d.evictions,
+		HotRetained: d.hotRetained,
+		Resident:    d.cache.len(),
+		Capacity:    d.cache.capPages,
+	}
+}
+
+// SetStatsSink implements PageStore.
+func (d *DiskStore) SetStatsSink(s *Stats) { d.sink.Store(s) }
+
+// DropCaches empties the block cache (counters are retained), putting the
+// store in the state a cold start would see. Benchmarks use it to measure
+// disk-cold latency without reopening the file.
+func (d *DiskStore) DropCaches() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.cache.init(d.cache.capPages)
+}
+
+// Path returns the page file's path.
+func (d *DiskStore) Path() string { return d.path }
+
+// Sync implements PageStore: the header is brought up to date and the file
+// flushed to stable storage.
+func (d *DiskStore) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	if err := d.writeHeader(); err != nil {
+		return err
+	}
+	return d.f.Sync()
+}
+
+// Close implements PageStore.
+func (d *DiskStore) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	err := d.writeHeader()
+	if cerr := d.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Kind implements PageStore.
+func (d *DiskStore) Kind() string { return "disk" }
+
+// cacheInsert adds a page to the cache and evicts if over capacity, calling
+// back into the store's counters. Callers hold d.mu.
+func (d *DiskStore) cacheInsert(id PageID, pg *Page, bounds geom.Rect) {
+	d.cache.insert(id, pg, bounds)
+	for d.cache.len() > d.cache.capPages {
+		hotSkips := d.cache.evictOne(&d.hist)
+		d.evictions++
+		d.hotRetained += int64(hotSkips)
+		if s := d.sink.Load(); s != nil {
+			atomic.AddInt64(&s.CacheEvictions, 1)
+		}
+	}
+}
+
+// --------------------------------------------------------------- the cache
+
+// blockCache is an LRU page cache with workload-aware eviction: before
+// evicting the least-recently-used page, a short scan skips pages whose
+// bounds fall in hot cells of the query histogram, so the hot working set
+// survives scans over cold regions (plain LRU would let a single sequential
+// sweep flush it).
+type blockCache struct {
+	capPages int
+	entries  map[PageID]*list.Element
+	lru      *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	id     PageID
+	pg     *Page
+	bounds geom.Rect
+}
+
+// evictScan bounds how many LRU-end entries an eviction inspects while
+// looking for a cold victim; beyond it the policy degrades to plain LRU.
+const evictScan = 8
+
+func (c *blockCache) init(capPages int) {
+	c.capPages = capPages
+	c.entries = make(map[PageID]*list.Element)
+	c.lru = list.New()
+}
+
+func (c *blockCache) len() int { return c.lru.Len() }
+
+// bytesResident sums the cached pages' footprint on demand; incremental
+// accounting cannot work because update paths mutate the cached *Page in
+// place before Update is called.
+func (c *blockCache) bytesResident() int64 {
+	var b int64
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		b += el.Value.(*cacheEntry).pg.Bytes()
+	}
+	return b
+}
+
+func (c *blockCache) get(id PageID) *cacheEntry {
+	el, ok := c.entries[id]
+	if !ok {
+		return nil
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry)
+}
+
+func (c *blockCache) insert(id PageID, pg *Page, bounds geom.Rect) {
+	if el, ok := c.entries[id]; ok {
+		e := el.Value.(*cacheEntry)
+		e.pg, e.bounds = pg, bounds
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[id] = c.lru.PushFront(&cacheEntry{id: id, pg: pg, bounds: bounds})
+}
+
+func (c *blockCache) resize(e *cacheEntry, pts []geom.Point, bounds geom.Rect) {
+	e.pg.Pts = pts
+	e.bounds = bounds
+}
+
+func (c *blockCache) drop(id PageID) {
+	if el, ok := c.entries[id]; ok {
+		c.lru.Remove(el)
+		delete(c.entries, id)
+	}
+}
+
+// evictOne removes one entry, preferring the least-recently-used page that
+// is NOT pinned by a hot histogram cell. Returns how many hot pages were
+// genuinely retained in favor of a colder victim; when every scanned
+// candidate is hot the policy degrades to plain LRU and nothing was
+// retained, so zero is reported.
+func (c *blockCache) evictOne(h *queryHist) (hotSkips int) {
+	victim := c.lru.Back()
+	if victim == nil {
+		return 0
+	}
+	el := victim
+	foundCold := false
+	for i := 0; el != nil && i < evictScan; i++ {
+		e := el.Value.(*cacheEntry)
+		if !h.hot(e.bounds) {
+			victim = el
+			foundCold = true
+			break
+		}
+		hotSkips++
+		el = el.Prev()
+	}
+	if !foundCold {
+		hotSkips = 0
+	}
+	e := victim.Value.(*cacheEntry)
+	c.lru.Remove(victim)
+	delete(c.entries, e.id)
+	return hotSkips
+}
+
+// ----------------------------------------------------------- the histogram
+
+// queryHist is the RebuildAdvisor-style spatial histogram of recent query
+// centers that makes eviction workload-aware. It keeps a sliding window of
+// the last HistWindow queries over a side x side grid; a cell is hot when
+// its share of the window is well above the uniform share.
+type queryHist struct {
+	side   int
+	space  geom.Rect
+	haveSp bool
+	counts []int
+	window []int32
+	next   int
+	filled int
+}
+
+const histSide = 16
+
+func (h *queryHist) init(window int) {
+	h.side = histSide
+	h.counts = make([]int, h.side*h.side)
+	h.window = make([]int32, window)
+	for i := range h.window {
+		h.window[i] = -1
+	}
+	h.next = 0
+	h.filled = 0
+	// space survives re-init deliberately: the data domain does not change
+	// when the cache is dropped.
+}
+
+// extendSpace grows the histogram's domain to cover r. Cell assignments of
+// previously windowed queries are not remapped; the window turns over
+// quickly enough that transient misclassification is harmless.
+func (h *queryHist) extendSpace(r geom.Rect) {
+	if !h.haveSp {
+		h.space, h.haveSp = r, true
+		return
+	}
+	h.space = h.space.Union(r)
+}
+
+func (h *queryHist) cellOf(p geom.Point) int32 {
+	w, ht := h.space.Width(), h.space.Height()
+	if w <= 0 {
+		w = 1
+	}
+	if ht <= 0 {
+		ht = 1
+	}
+	cx := int((p.X - h.space.MinX) / w * float64(h.side))
+	cy := int((p.Y - h.space.MinY) / ht * float64(h.side))
+	cx = clampInt(cx, 0, h.side-1)
+	cy = clampInt(cy, 0, h.side-1)
+	return int32(cy*h.side + cx)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func (h *queryHist) observe(r geom.Rect) {
+	h.extendSpace(r)
+	c := h.cellOf(r.Center())
+	if old := h.window[h.next]; old >= 0 {
+		h.counts[old]--
+	} else {
+		h.filled++
+	}
+	h.window[h.next] = c
+	h.counts[c]++
+	h.next = (h.next + 1) % len(h.window)
+}
+
+// hot reports whether bounds overlap a histogram cell whose recent-query
+// share is at least twice the uniform share (with a small absolute floor so
+// a near-empty window pins nothing).
+func (h *queryHist) hot(bounds geom.Rect) bool {
+	if !h.haveSp || h.filled < len(h.window)/4 {
+		return false
+	}
+	threshold := 2 * h.filled / (h.side * h.side)
+	if threshold < 4 {
+		threshold = 4
+	}
+	lo := h.cellOf(geom.Point{X: bounds.MinX, Y: bounds.MinY})
+	hi := h.cellOf(geom.Point{X: bounds.MaxX, Y: bounds.MaxY})
+	x0, y0 := int(lo)%h.side, int(lo)/h.side
+	x1, y1 := int(hi)%h.side, int(hi)/h.side
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			if h.counts[y*h.side+x] > threshold {
+				return true
+			}
+		}
+	}
+	return false
+}

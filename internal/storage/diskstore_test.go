@@ -1,0 +1,322 @@
+package storage
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/wazi-index/wazi/internal/geom"
+)
+
+func tmpStore(t *testing.T, o DiskOptions) *DiskStore {
+	t.Helper()
+	d, err := CreatePageFile(filepath.Join(t.TempDir(), "pages"), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func somePoints(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	return pts
+}
+
+func samePts(t *testing.T, got, want []geom.Point, ctx string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d points, want %d", ctx, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: point %d = %v, want %v", ctx, i, got[i], want[i])
+		}
+	}
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	d := tmpStore(t, DiskOptions{SlotCap: 8, CachePages: 4})
+	b := geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+
+	// Single-slot, multi-slot (chained), and empty pages all round-trip.
+	cases := [][]geom.Point{
+		somePoints(5, 1),
+		somePoints(8, 2),
+		somePoints(9, 3),  // needs 2 slots
+		somePoints(40, 4), // needs 5 slots
+		nil,
+	}
+	ids := make([]PageID, len(cases))
+	for i, pts := range cases {
+		ids[i] = d.Alloc(pts, b)
+	}
+	for i, pts := range cases {
+		samePts(t, d.Page(ids[i]).Pts, pts, "cached read")
+	}
+	d.DropCaches()
+	for i, pts := range cases {
+		samePts(t, d.Page(ids[i]).Pts, pts, "disk read")
+	}
+	if got := d.PageCount(); got != len(cases) {
+		t.Fatalf("PageCount = %d, want %d", got, len(cases))
+	}
+}
+
+func TestDiskStoreUpdateGrowShrink(t *testing.T) {
+	d := tmpStore(t, DiskOptions{SlotCap: 4, CachePages: 2})
+	b := geom.Rect{MaxX: 1, MaxY: 1}
+	id := d.Alloc(somePoints(3, 1), b)
+
+	grown := somePoints(11, 2) // 1 slot -> 3 slots
+	d.Update(id, grown, b)
+	d.DropCaches()
+	samePts(t, d.Page(id).Pts, grown, "after grow")
+
+	shrunk := somePoints(2, 3) // 3 slots -> 1 slot, extras to the free list
+	d.Update(id, shrunk, b)
+	d.DropCaches()
+	samePts(t, d.Page(id).Pts, shrunk, "after shrink")
+
+	// The freed slots are recycled before the file grows again.
+	before := d.FileBytes()
+	d.Alloc(somePoints(7, 4), b) // 2 slots, both from the free list
+	if d.FileBytes() != before {
+		t.Fatalf("file grew from %d to %d despite free slots", before, d.FileBytes())
+	}
+}
+
+func TestDiskStoreFreeRecycles(t *testing.T) {
+	d := tmpStore(t, DiskOptions{SlotCap: 8, CachePages: 8})
+	b := geom.Rect{MaxX: 1, MaxY: 1}
+	var ids []PageID
+	for i := 0; i < 10; i++ {
+		ids = append(ids, d.Alloc(somePoints(8, int64(i)), b))
+	}
+	size := d.FileBytes()
+	for _, id := range ids {
+		d.Free(id)
+	}
+	if got := d.PageCount(); got != 0 {
+		t.Fatalf("PageCount after freeing all = %d", got)
+	}
+	for i := 0; i < 10; i++ {
+		d.Alloc(somePoints(8, int64(100+i)), b)
+	}
+	if d.FileBytes() != size {
+		t.Fatalf("file grew from %d to %d despite a full free list", size, d.FileBytes())
+	}
+}
+
+func TestDiskStoreHas(t *testing.T) {
+	d := tmpStore(t, DiskOptions{SlotCap: 4, CachePages: 4})
+	b := geom.Rect{MaxX: 1, MaxY: 1}
+	id := d.Alloc(somePoints(9, 1), b) // head + 2 continuation slots
+	if !d.Has(id) {
+		t.Fatal("Has(live) = false")
+	}
+	if d.Has(id + 1) {
+		t.Fatal("Has(continuation slot) = true; continuation slots are not pages")
+	}
+	if d.Has(-1) || d.Has(10_000) {
+		t.Fatal("Has out of range = true")
+	}
+	d.Free(id)
+	if d.Has(id) {
+		t.Fatal("Has(freed) = true")
+	}
+}
+
+func TestOpenPageFileAdoptsState(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pages")
+	d, err := CreatePageFile(path, DiskOptions{SlotCap: 8, CachePages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := geom.Rect{MaxX: 1, MaxY: 1}
+	keep := d.Alloc(somePoints(20, 1), b)
+	gone := d.Alloc(somePoints(8, 2), b)
+	d.Free(gone)
+	want := d.Page(keep).Pts
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenPageFile(path, DiskOptions{CachePages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.slotCap != 8 {
+		t.Fatalf("adopted slotCap = %d, want 8", re.slotCap)
+	}
+	if got := re.PageCount(); got != 1 {
+		t.Fatalf("adopted PageCount = %d, want 1", got)
+	}
+	samePts(t, re.Page(keep).Pts, want, "adopted page")
+	// The adopted free list is live: re-allocating must not grow the file.
+	size := re.FileBytes()
+	re.Alloc(somePoints(8, 3), b)
+	if re.FileBytes() != size {
+		t.Fatalf("file grew from %d to %d despite adopted free slots", size, re.FileBytes())
+	}
+}
+
+func TestOpenPageFileRefusesCorruption(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(name string, mutate func(path string)) string {
+		path := filepath.Join(dir, name)
+		d, err := CreatePageFile(path, DiskOptions{SlotCap: 4, CachePages: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := geom.Rect{MaxX: 1, MaxY: 1}
+		d.Alloc(somePoints(10, 1), b)
+		id := d.Alloc(somePoints(4, 2), b)
+		d.Free(id)
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+		mutate(path)
+		return path
+	}
+	patch := func(off int64, val uint32) func(string) {
+		return func(path string) {
+			f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			var buf [4]byte
+			binary.LittleEndian.PutUint32(buf[:], val)
+			if _, err := f.WriteAt(buf[:], off); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(string)
+		msg    string
+	}{
+		{"magic", patch(0, 0xdeadbeef), "not a wazi page file"},
+		{"version", patch(12, 99), "unsupported page-file version"},
+		{"slotcap", patch(16, 0), "implausible slot capacity"},
+		{"truncated", func(path string) {
+			if err := os.Truncate(path, 80); err != nil {
+				t.Fatal(err)
+			}
+		}, "does not match"},
+		{"slot-state", patch(fileHeaderSize, 7), "invalid state"},
+		{"slot-count", patch(fileHeaderSize+4, 1000), "exceeds slot capacity"},
+		{"free-cycle", patch(24, 2), "free list"}, // free head -> slot 2, whose next is itself... validated either way
+		{"page-claim", patch(28, 9), "header claims"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := mk(tc.name, tc.mutate)
+			_, err := OpenPageFile(path, DiskOptions{})
+			if err == nil {
+				t.Fatal("OpenPageFile accepted a corrupt file")
+			}
+			if !strings.Contains(err.Error(), tc.msg) {
+				t.Fatalf("error %q does not mention %q", err, tc.msg)
+			}
+		})
+	}
+	if _, err := OpenPageFile(filepath.Join(dir, "missing"), DiskOptions{}); err == nil {
+		t.Fatal("OpenPageFile accepted a missing file")
+	}
+}
+
+func TestCacheCountersAndSink(t *testing.T) {
+	d := tmpStore(t, DiskOptions{SlotCap: 8, CachePages: 2})
+	var sink Stats
+	d.SetStatsSink(&sink)
+	b := geom.Rect{MaxX: 1, MaxY: 1}
+	var ids []PageID
+	for i := 0; i < 4; i++ {
+		ids = append(ids, d.Alloc(somePoints(8, int64(i)), b))
+	}
+	// Capacity 2: the four alloc-inserts already evicted two pages.
+	cs := d.CacheStats()
+	if cs.Resident != 2 || cs.Capacity != 2 {
+		t.Fatalf("Resident/Capacity = %d/%d, want 2/2", cs.Resident, cs.Capacity)
+	}
+	if cs.Evictions != 2 {
+		t.Fatalf("Evictions = %d, want 2", cs.Evictions)
+	}
+	d.Page(ids[3]) // resident: hit
+	d.Page(ids[0]) // evicted long ago: miss
+	cs = d.CacheStats()
+	if cs.Hits < 1 || cs.Misses < 1 {
+		t.Fatalf("Hits/Misses = %d/%d, want >=1 each", cs.Hits, cs.Misses)
+	}
+	if sink.CacheHits != cs.Hits || sink.CacheMisses != cs.Misses || sink.CacheEvictions != cs.Evictions {
+		t.Fatalf("sink %+v does not mirror cache stats %+v", sink, cs)
+	}
+}
+
+// TestWorkloadAwareEviction drives a hotspot workload into the histogram and
+// checks that pages serving the hotspot survive a cold sequential sweep that
+// would flush a plain LRU.
+func TestWorkloadAwareEviction(t *testing.T) {
+	d := tmpStore(t, DiskOptions{SlotCap: 4, CachePages: 8, HistWindow: 64})
+	// 32 pages tiling [0,1) on x: page i covers [i/32, (i+1)/32).
+	var ids []PageID
+	for i := 0; i < 32; i++ {
+		lo := float64(i) / 32
+		hi := float64(i+1) / 32
+		pts := []geom.Point{{X: lo, Y: 0.5}, {X: (lo + hi) / 2, Y: 0.5}}
+		ids = append(ids, d.Alloc(pts, geom.Rect{MinX: lo, MinY: 0, MaxX: hi, MaxY: 1}))
+	}
+	// Declare a hotspot around x ~ 0.05 (pages 0 and 1).
+	hot := geom.Rect{MinX: 0.03, MinY: 0.4, MaxX: 0.07, MaxY: 0.6}
+	for i := 0; i < 64; i++ {
+		d.ObserveQuery(hot)
+	}
+	// Touch the hot pages so they are resident, then sweep everything else.
+	d.DropCaches()
+	d.Page(ids[0])
+	d.Page(ids[1])
+	for i := 2; i < 32; i++ {
+		d.Page(ids[i])
+	}
+	cs := d.CacheStats()
+	before := cs.Misses
+	d.Page(ids[0])
+	d.Page(ids[1])
+	cs = d.CacheStats()
+	if cs.Misses != before {
+		t.Fatalf("hot pages were evicted by the cold sweep (%d new misses); HotRetained=%d",
+			cs.Misses-before, cs.HotRetained)
+	}
+	if cs.HotRetained == 0 {
+		t.Fatal("expected eviction scans to report hot retentions")
+	}
+}
+
+func TestStatsCacheFieldsRoundTrip(t *testing.T) {
+	s := Stats{CacheHits: 5, CacheMisses: 3, CacheEvictions: 2}
+	d := s.Diff(Stats{CacheHits: 1, CacheMisses: 1, CacheEvictions: 1})
+	if d.CacheHits != 4 || d.CacheMisses != 2 || d.CacheEvictions != 1 {
+		t.Fatalf("Diff cache fields = %+v", d)
+	}
+	sum := s.Add(Stats{CacheHits: 1})
+	if sum.CacheHits != 6 {
+		t.Fatalf("Add cache fields = %+v", sum)
+	}
+	var a Stats
+	a.AtomicAdd(s)
+	if got := a.AtomicSnapshot(); got != s {
+		t.Fatalf("AtomicAdd/Snapshot = %+v, want %+v", got, s)
+	}
+}

@@ -1,0 +1,71 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/wazi-index/wazi/internal/geom"
+)
+
+// FuzzOpenPageFile fuzzes the warm-start adoption path: OpenPageFile over
+// arbitrary bytes must refuse corrupt files with an error — never panic —
+// and any file it does accept must be fully traversable (every live page
+// readable) without panicking either, since post-open I/O panics are the
+// documented contract for validated files only.
+func FuzzOpenPageFile(f *testing.F) {
+	dir, err := os.MkdirTemp("", "wazi-fuzz-pages")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { os.RemoveAll(dir) })
+	seedPath := filepath.Join(dir, "seed.pages")
+	d, err := CreatePageFile(seedPath, DiskOptions{SlotCap: 4, CachePages: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	b := geom.Rect{MaxX: 1, MaxY: 1}
+	d.Alloc([]geom.Point{{X: 0.1, Y: 0.2}, {X: 0.3, Y: 0.4}}, b)
+	chained := d.Alloc(make([]geom.Point, 11), b) // 3-slot chain
+	d.Alloc(nil, b)                               // empty page
+	d.Free(chained)
+	if err := d.Close(); err != nil {
+		f.Fatal(err)
+	}
+	seed, err := os.ReadFile(seedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	flipped := append([]byte(nil), seed...)
+	flipped[20] ^= 0x01 // slot-count field
+	f.Add(flipped)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.pages")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		st, err := OpenPageFile(path, DiskOptions{CachePages: 8})
+		if err != nil {
+			return
+		}
+		defer st.Close()
+		live := 0
+		for i := int32(0); i < st.slots; i++ {
+			id := PageID(i)
+			if n, ok := st.PageLen(id); ok {
+				live++
+				pg := st.Page(id)
+				if pg.Len() != n {
+					t.Fatalf("PageLen(%d) = %d but Page holds %d points", id, n, pg.Len())
+				}
+			}
+		}
+		if live != st.PageCount() {
+			t.Fatalf("PageCount = %d but %d live heads found", st.PageCount(), live)
+		}
+	})
+}

@@ -1,0 +1,179 @@
+package storage
+
+import (
+	"github.com/wazi-index/wazi/internal/geom"
+)
+
+// PageID identifies one clustered page inside a PageStore. IDs are stable
+// for the lifetime of the page: queries hold them inside leaf structures and
+// resolve them on every access, so a store must never move a live page to a
+// different id.
+type PageID int32
+
+// NoPage is the nil PageID.
+const NoPage PageID = -1
+
+// PageStore abstracts where clustered leaf pages live. The Z-index core
+// stores only PageIDs in its leaves and resolves them through the store on
+// every access, which is what lets the same tree run RAM-resident (MemStore)
+// or disk-resident behind a block cache (DiskStore).
+//
+// Contract:
+//
+//   - Alloc, Update, and Free require the same exclusive access as any other
+//     structural index mutation; Page and ObserveQuery may be called from
+//     many goroutines at once.
+//   - The *Page returned by Page is owned by the store. Readers must not
+//     mutate it; writers may mutate it only as staging for an immediate
+//     Update of the same id (the pattern update paths use for Remove).
+//   - A disk-backed store reports unrecoverable I/O failures on an already
+//     validated file by panicking — query paths deliberately have no error
+//     channel, mirroring how mmap-based stores surface torn files. All
+//     decode-time validation (corrupt or foreign files) happens in
+//     OpenPageFile and returns errors instead.
+type PageStore interface {
+	// Alloc creates a page holding a copy of pts and returns its id.
+	// bounds is the leaf cell the page serves, used by workload-aware
+	// cache eviction.
+	Alloc(pts []geom.Point, bounds geom.Rect) PageID
+	// Page resolves id to its page, faulting it into the block cache if
+	// the backend is disk-resident.
+	Page(id PageID) *Page
+	// Update rewrites the page contents in place (same id).
+	Update(id PageID, pts []geom.Point, bounds geom.Rect)
+	// Free releases the page and recycles its storage.
+	Free(id PageID)
+	// PageLen returns the point count of page id without necessarily
+	// faulting its data into memory, and whether id names a live page.
+	// Warm starts use it both to validate decoded page references and to
+	// restore leaf counts without reading the whole page file.
+	PageLen(id PageID) (int, bool)
+	// ObserveQuery feeds one executed range query into the store's
+	// workload histogram (workload-aware eviction); a no-op for
+	// RAM-resident backends.
+	ObserveQuery(r geom.Rect)
+	// PageCount returns the number of live pages.
+	PageCount() int
+	// Bytes returns the resident in-memory footprint of the pages (for a
+	// disk backend: the block cache, not the file).
+	Bytes() int64
+	// CacheStats returns the block-cache counters; zero-valued for
+	// RAM-resident backends except Resident/Capacity.
+	CacheStats() CacheStats
+	// SetStatsSink routes cache hit/miss/eviction counters into a shared
+	// Stats (atomically), so index-level Stats surface them.
+	SetStatsSink(*Stats)
+	// Sync flushes buffered writes to stable storage.
+	Sync() error
+	// Close releases the backing resources. The store must not be used
+	// afterwards.
+	Close() error
+	// Kind names the backend ("memory" or "disk").
+	Kind() string
+}
+
+// CacheStats are the block-cache counters of a disk-resident store.
+type CacheStats struct {
+	// Hits and Misses count page resolutions served from / faulted into
+	// the cache.
+	Hits, Misses int64
+	// Evictions counts pages dropped to make room.
+	Evictions int64
+	// HotRetained counts eviction-scan skips of pages pinned by hot cells
+	// of the query histogram — the workload-aware part of the policy.
+	HotRetained int64
+	// Resident is the number of cached pages; Capacity the cache bound.
+	Resident, Capacity int
+}
+
+// MemStore is the RAM-resident PageStore: a slice of pages plus a free list.
+// It is the default backend and preserves the pre-PageStore behavior of the
+// index exactly — Page is a bounds-checked slice load.
+type MemStore struct {
+	pages []*Page
+	free  []PageID
+	live  int
+}
+
+// NewMemStore returns an empty RAM-resident store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Alloc implements PageStore.
+func (m *MemStore) Alloc(pts []geom.Point, _ geom.Rect) PageID {
+	pg := &Page{Pts: make([]geom.Point, len(pts))}
+	copy(pg.Pts, pts)
+	m.live++
+	if n := len(m.free); n > 0 {
+		id := m.free[n-1]
+		m.free = m.free[:n-1]
+		m.pages[id] = pg
+		return id
+	}
+	m.pages = append(m.pages, pg)
+	return PageID(len(m.pages) - 1)
+}
+
+// Page implements PageStore.
+func (m *MemStore) Page(id PageID) *Page { return m.pages[id] }
+
+// Update implements PageStore.
+func (m *MemStore) Update(id PageID, pts []geom.Point, _ geom.Rect) {
+	m.pages[id].Pts = pts
+}
+
+// Free implements PageStore.
+func (m *MemStore) Free(id PageID) {
+	m.pages[id] = nil
+	m.free = append(m.free, id)
+	m.live--
+}
+
+// Has reports whether id names a live page.
+func (m *MemStore) Has(id PageID) bool {
+	return id >= 0 && int(id) < len(m.pages) && m.pages[id] != nil
+}
+
+// PageLen implements PageStore.
+func (m *MemStore) PageLen(id PageID) (int, bool) {
+	if !m.Has(id) {
+		return 0, false
+	}
+	return m.pages[id].Len(), true
+}
+
+// ObserveQuery implements PageStore; RAM residency needs no eviction policy.
+func (m *MemStore) ObserveQuery(geom.Rect) {}
+
+// PageCount implements PageStore.
+func (m *MemStore) PageCount() int { return m.live }
+
+// Bytes implements PageStore. Computed by summation on demand: update
+// paths stage mutations in the returned *Page before calling Update, so
+// incremental accounting would see the post-mutation size on both sides of
+// the delta and drift. Bytes is a reporting call (Table 5), not a hot path.
+func (m *MemStore) Bytes() int64 {
+	var b int64
+	for _, pg := range m.pages {
+		if pg != nil {
+			b += pg.Bytes()
+		}
+	}
+	return b
+}
+
+// CacheStats implements PageStore: everything is always resident.
+func (m *MemStore) CacheStats() CacheStats {
+	return CacheStats{Resident: m.live, Capacity: m.live}
+}
+
+// SetStatsSink implements PageStore; no cache events exist to route.
+func (m *MemStore) SetStatsSink(*Stats) {}
+
+// Sync implements PageStore.
+func (m *MemStore) Sync() error { return nil }
+
+// Close implements PageStore.
+func (m *MemStore) Close() error { return nil }
+
+// Kind implements PageStore.
+func (m *MemStore) Kind() string { return "memory" }

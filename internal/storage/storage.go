@@ -96,6 +96,13 @@ type Stats struct {
 	// overflowing/underflowing pages.
 	PageSplits int64
 	PageMerges int64
+	// CacheHits, CacheMisses, and CacheEvictions are the block-cache
+	// counters of a disk-resident PageStore (always zero for the
+	// RAM-resident backend). The store routes them here through
+	// SetStatsSink so index- and shard-level Stats surface them.
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
 }
 
 // ExcessPoints returns the number of points scanned but not returned —
@@ -111,11 +118,12 @@ func (s *Stats) Reset() {
 
 // fields lists the counters in declaration order, so the atomic helpers
 // below stay in sync with the struct definition.
-func (s *Stats) fields() [12]*int64 {
-	return [12]*int64{
+func (s *Stats) fields() [15]*int64 {
+	return [15]*int64{
 		&s.RangeQueries, &s.PointQueries, &s.NodesVisited, &s.BBChecked,
 		&s.PagesScanned, &s.PointsScanned, &s.ResultPoints, &s.LookaheadJumps,
 		&s.Inserts, &s.Deletes, &s.PageSplits, &s.PageMerges,
+		&s.CacheHits, &s.CacheMisses, &s.CacheEvictions,
 	}
 }
 
@@ -156,18 +164,9 @@ func (s Stats) Add(o Stats) Stats {
 
 // Diff returns the counter deltas accumulated since an earlier snapshot.
 func (s Stats) Diff(since Stats) Stats {
-	return Stats{
-		RangeQueries:   s.RangeQueries - since.RangeQueries,
-		PointQueries:   s.PointQueries - since.PointQueries,
-		NodesVisited:   s.NodesVisited - since.NodesVisited,
-		BBChecked:      s.BBChecked - since.BBChecked,
-		PagesScanned:   s.PagesScanned - since.PagesScanned,
-		PointsScanned:  s.PointsScanned - since.PointsScanned,
-		ResultPoints:   s.ResultPoints - since.ResultPoints,
-		LookaheadJumps: s.LookaheadJumps - since.LookaheadJumps,
-		Inserts:        s.Inserts - since.Inserts,
-		Deletes:        s.Deletes - since.Deletes,
-		PageSplits:     s.PageSplits - since.PageSplits,
-		PageMerges:     s.PageMerges - since.PageMerges,
+	dst := s.fields()
+	for i, f := range since.fields() {
+		*dst[i] -= *f
 	}
+	return s
 }

@@ -3,6 +3,9 @@ package wazi
 import (
 	"container/heap"
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -10,6 +13,7 @@ import (
 
 	"github.com/wazi-index/wazi/internal/geom"
 	"github.com/wazi-index/wazi/internal/shard"
+	"github.com/wazi-index/wazi/internal/storage"
 )
 
 // Sharded is the serving-layer counterpart of Index: it partitions the data
@@ -52,6 +56,15 @@ type Sharded struct {
 	// compaction or rebuild, so aggregate Stats never move backwards.
 	// Guarded by mu.
 	retired Stats
+
+	// retiredStores are page stores of disk-backed shard indexes replaced
+	// by rebuilds. They stay open (with dropped caches) so that readers
+	// still holding the old snapshot can finish, and their files stay on
+	// disk so that a snapshot Saved concurrently with the rebuild remains
+	// warm-startable; Close (or, past maxRetiredStores, garbage
+	// collection) releases the descriptors and the next start's
+	// stale-file sweep reclaims the files. Guarded by mu.
+	retiredStores []io.Closer
 
 	loop   chan struct{} // closed to stop the rebuild loop; nil when disabled
 	kicked chan struct{} // nudges the loop when a backlog crosses the threshold
@@ -98,6 +111,10 @@ type shardCtl struct {
 	rebuilding bool
 	log        []shardOp // writes arriving while a rebuild is in flight
 	rebuilds   int
+	// gen numbers the shard's page-file generation under disk storage;
+	// every rebuild writes a fresh file so readers of the old snapshot are
+	// never invalidated.
+	gen int
 }
 
 // shardOp is one logged write, replayed onto a freshly rebuilt shard index
@@ -172,6 +189,8 @@ type shardedConfig struct {
 	compactThreshold int
 	rebuildInterval  time.Duration
 	autoRebuild      bool
+	storageDir       string
+	cachePages       int
 }
 
 // ShardedOption customizes NewSharded.
@@ -217,6 +236,22 @@ func WithRebuildInterval(d time.Duration) ShardedOption {
 // when CheckRebuilds is called.
 func WithoutAutoRebuild() ShardedOption { return func(c *shardedConfig) { c.autoRebuild = false } }
 
+// WithShardedStorage puts every shard's leaf pages in a disk-resident page
+// file under dir (one file per shard per rebuild generation), each fronted
+// by a workload-aware block cache of cachePages pages (0 selects the
+// default, 1024). Save then writes attached snapshots whose warm start
+// adopts the existing page files instead of rewriting them, and stale
+// generations are swept on the next cold or warm start. A disk-backed
+// Sharded must not be queried after Close (which releases the page files),
+// and a directory must not be shared by two live instances. See
+// docs/STORAGE.md.
+func WithShardedStorage(dir string, cachePages int) ShardedOption {
+	return func(c *shardedConfig) {
+		c.storageDir = dir
+		c.cachePages = cachePages
+	}
+}
+
 func (c *shardedConfig) fill() {
 	procs := runtime.GOMAXPROCS(0)
 	if c.shards <= 0 {
@@ -257,6 +292,14 @@ func NewSharded(points []Point, workload []Rect, opts ...ShardedOption) (*Sharde
 	}
 	cfg.fill()
 
+	if cfg.storageDir != "" {
+		if err := os.MkdirAll(cfg.storageDir, 0o755); err != nil {
+			return nil, fmt.Errorf("wazi: creating storage dir: %w", err)
+		}
+		// A cold build replaces every page file; files from a previous
+		// process (including retired generations) are stale.
+		sweepStalePageFiles(cfg.storageDir, nil)
+	}
 	plan := shard.Partition(points, workload, cfg.shards)
 	s := &Sharded{plan: plan, opts: cfg}
 	snap := &shardedSnapshot{shards: make([]*shardSnap, plan.NumShards())}
@@ -270,8 +313,15 @@ func NewSharded(points []Point, workload []Rect, opts ...ShardedOption) (*Sharde
 		}
 		bounds := geom.RectFromPoints(group)
 		shardQs := intersectingQueries(workload, bounds)
-		idx, err := buildShardIndex(group, shardQs, cfg.indexOpts)
+		idx, err := buildShardIndex(group, shardQs, s.shardIndexOptions(i, 0))
 		if err != nil {
+			// Unwind the shards already built so an aborted cold start
+			// leaks no page-file descriptors.
+			for _, built := range snap.shards {
+				if built != nil && built.idx != nil {
+					built.idx.Close()
+				}
+			}
 			return nil, fmt.Errorf("wazi: building shard %d: %w", i, err)
 		}
 		snap.shards[i] = &shardSnap{idx: idx, bounds: idx.Bounds()}
@@ -297,6 +347,72 @@ func buildShardIndex(pts []Point, queries []Rect, opts []Option) (*Index, error)
 	return New(pts, opts...)
 }
 
+// shardPageFile names shard i's generation-gen page file.
+func shardPageFile(i, gen int) string {
+	return fmt.Sprintf("shard-%04d-g%06d.pages", i, gen)
+}
+
+// shardIndexOptions returns the per-shard build options: the configured
+// index options plus, under disk storage, the shard's page-file placement.
+func (s *Sharded) shardIndexOptions(i, gen int) []Option {
+	if s.opts.storageDir == "" {
+		return s.opts.indexOpts
+	}
+	opts := append([]Option(nil), s.opts.indexOpts...)
+	return append(opts, WithStorage(Storage{
+		Path:       filepath.Join(s.opts.storageDir, shardPageFile(i, gen)),
+		CachePages: s.opts.cachePages,
+	}))
+}
+
+// sweepStalePageFiles removes the page files in dir whose base name is not
+// in keep — retired generations a previous process left behind.
+func sweepStalePageFiles(dir string, keep map[string]bool) {
+	matches, err := filepath.Glob(filepath.Join(dir, "shard-*.pages"))
+	if err != nil {
+		return
+	}
+	for _, m := range matches {
+		if !keep[filepath.Base(m)] {
+			os.Remove(m)
+		}
+	}
+}
+
+// maxRetiredStores bounds how many replaced page stores the Sharded itself
+// keeps referenced (and therefore closes deterministically at Close). A
+// store evicted from this FIFO is NOT closed — a long-lived View may still
+// fault pages through it — it is merely unreferenced, so once the last
+// snapshot using it becomes unreachable, the os.File finalizer releases
+// the descriptor. Descriptor usage is thus bounded by live readers plus
+// this cap, never by total rebuild count.
+const maxRetiredStores = 8
+
+// retireIndexStore parks a replaced disk-backed shard index's page store:
+// caches dropped (releasing memory), file descriptor kept open for readers
+// still on the old snapshot, file left on disk for concurrently-saved
+// snapshots. Close, the FIFO cap (via GC), and the next start's sweep
+// reclaim them. Callers hold s.mu.
+func (s *Sharded) retireIndexStore(idx *Index) {
+	if ds, ok := idx.z.Store().(*storage.DiskStore); ok {
+		ds.DropCaches()
+		s.retiredStores = append(s.retiredStores, ds)
+		if len(s.retiredStores) > maxRetiredStores {
+			s.retiredStores = append([]io.Closer(nil), s.retiredStores[len(s.retiredStores)-maxRetiredStores:]...)
+		}
+	}
+}
+
+// discardIndexStorage releases a freshly built index that lost its reason
+// to exist (the shard emptied during the rebuild), removing its page file.
+func discardIndexStorage(idx *Index) {
+	if ds, ok := idx.z.Store().(*storage.DiskStore); ok {
+		path := ds.Path()
+		ds.Close()
+		os.Remove(path)
+	}
+}
+
 func intersectingQueries(workload []Rect, bounds Rect) []Rect {
 	var out []Rect
 	for _, q := range workload {
@@ -307,11 +423,13 @@ func intersectingQueries(workload []Rect, bounds Rect) []Rect {
 	return out
 }
 
-// Close stops the background control loop and the worker pool. Queries
-// issued after Close still work (fan-out degrades to inline execution);
-// writes remain valid, with compaction running synchronously on the
-// writing goroutine once a shard's backlog overflows — as under
-// WithoutAutoRebuild.
+// Close stops the background control loop and the worker pool. For the
+// RAM-resident default, queries issued after Close still work (fan-out
+// degrades to inline execution) and writes remain valid, with compaction
+// running synchronously on the writing goroutine once a shard's backlog
+// overflows — as under WithoutAutoRebuild. Under WithShardedStorage, Close
+// additionally releases every shard's page file (current and retired), so
+// a disk-backed Sharded must not be used after Close.
 func (s *Sharded) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -325,6 +443,19 @@ func (s *Sharded) Close() {
 		s.wg.Wait()
 	}
 	s.pool.Close()
+	if s.opts.storageDir != "" {
+		s.mu.Lock()
+		for _, ss := range s.snap.Load().shards {
+			if ss.idx != nil {
+				ss.idx.Close()
+			}
+		}
+		for _, c := range s.retiredStores {
+			c.Close()
+		}
+		s.retiredStores = nil
+		s.mu.Unlock()
+	}
 }
 
 // ---------------------------------------------------------------- queries
@@ -808,18 +939,30 @@ func (s *Sharded) rebuildShard(i int) bool {
 		return false
 	}
 	ss := s.snap.Load().shards[i]
-	pts := materialize(ss)
 	recent := ctl.recent.snapshot()
+	gen := ctl.gen
 	ctl.rebuilding = true
 	ctl.log = nil
 	s.mu.Unlock()
 
+	// Materialize outside the mutex: every captured structure is immutable
+	// copy-on-write, and for a disk-backed shard this reads all of its
+	// pages — holding s.mu across that scan would stall every writer for
+	// the duration. Writes landing from here on are logged (rebuilding is
+	// set) and replayed onto the new index before the swap.
+	pts := materialize(ss)
+
 	var idx *Index
 	if len(pts) > 0 {
 		var err error
-		idx, err = buildShardIndex(pts, recent, s.opts.indexOpts)
+		idx, err = buildShardIndex(pts, recent, s.shardIndexOptions(i, gen+1))
 		if err != nil {
-			// Unreachable for non-empty pts; fail safe by aborting the swap.
+			// Unreachable for non-empty pts on the RAM backend; under disk
+			// storage a failed page-file creation lands here. Fail safe by
+			// aborting the swap (and dropping any partial file).
+			if s.opts.storageDir != "" {
+				os.Remove(filepath.Join(s.opts.storageDir, shardPageFile(i, gen+1)))
+			}
 			s.mu.Lock()
 			ctl.rebuilding = false
 			ctl.log = nil
@@ -829,6 +972,21 @@ func (s *Sharded) rebuildShard(i int) bool {
 	}
 
 	s.mu.Lock()
+	if idx != nil {
+		// Drain the logged write backlog in batches OUTSIDE the mutex: on
+		// a disk-backed shard every replayed op faults and rewrites a
+		// page, and holding s.mu across that I/O would stall all writers
+		// — the same reasoning as materialize above. Bounded rounds so a
+		// sustained write stream cannot livelock the swap; the (small)
+		// remainder is applied under the lock below.
+		for round := 0; len(ctl.log) > 0 && round < 4; round++ {
+			batch := ctl.log
+			ctl.log = nil
+			s.mu.Unlock()
+			replayOps(idx, batch)
+			s.mu.Lock()
+		}
+	}
 	defer s.mu.Unlock()
 	ctl.rebuilding = false
 	if ss.idx != nil {
@@ -838,16 +996,12 @@ func (s *Sharded) rebuildShard(i int) bool {
 	}
 	var ns *shardSnap
 	if idx != nil {
-		for _, op := range ctl.log {
-			if op.del {
-				idx.Delete(op.p)
-			} else {
-				idx.Insert(op.p)
-			}
-		}
+		replayOps(idx, ctl.log)
 		if idx.Len() > 0 {
 			ns = &shardSnap{idx: idx, bounds: idx.Bounds()}
+			ctl.gen = gen + 1
 		} else {
+			discardIndexStorage(idx)
 			ns = &shardSnap{empty: true}
 		}
 	} else {
@@ -878,10 +1032,24 @@ func (s *Sharded) rebuildShard(i int) bool {
 	} else {
 		ctl.advisor.Store(nil)
 	}
+	if ss.idx != nil {
+		s.retireIndexStore(ss.idx)
+	}
 	s.swapShard(s.snap.Load(), i, ns)
 	ctl.rebuilds++
 	s.rebuilds.Add(1)
 	return true
+}
+
+// replayOps applies logged writes onto a not-yet-published rebuild index.
+func replayOps(idx *Index, ops []shardOp) {
+	for _, op := range ops {
+		if op.del {
+			idx.Delete(op.p)
+		} else {
+			idx.Insert(op.p)
+		}
+	}
 }
 
 // materialize flattens a shard snapshot into its live point set.

@@ -1,0 +1,62 @@
+package wazi
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/index"
+	"github.com/wazi-index/wazi/internal/indextest"
+	"github.com/wazi-index/wazi/internal/storage"
+)
+
+// shardedAsIndex adapts Sharded to the conformance suite's index.Index
+// surface (Stats by value becomes a snapshot pointer).
+type shardedAsIndex struct{ s *Sharded }
+
+func (a shardedAsIndex) RangeQuery(r geom.Rect) []geom.Point { return a.s.RangeQuery(r) }
+func (a shardedAsIndex) PointQuery(p geom.Point) bool        { return a.s.PointQuery(p) }
+func (a shardedAsIndex) Len() int                            { return a.s.Len() }
+func (a shardedAsIndex) Bytes() int64                        { return a.s.Bytes() }
+func (a shardedAsIndex) Insert(p geom.Point)                 { a.s.Insert(p) }
+func (a shardedAsIndex) Delete(p geom.Point) bool            { return a.s.Delete(p) }
+func (a shardedAsIndex) Stats() *storage.Stats {
+	st := a.s.Stats()
+	return &st
+}
+
+// TestShardedDifferentialConformance runs the full differential conformance
+// suite over Sharded on both storage backends: every subtest builds a RAM
+// twin and a disk-backed twin (fresh page-file directory each), which must
+// answer identically to each other and to brute force, with page-access
+// stats parity, including under insert/delete churn.
+func TestShardedDifferentialConformance(t *testing.T) {
+	dir := t.TempDir()
+	n := 0
+	var built []*Sharded
+	t.Cleanup(func() {
+		for _, s := range built {
+			s.Close()
+		}
+	})
+	build := func(disk bool) indextest.Builder {
+		return func(pts []geom.Point, qs []geom.Rect) index.Index {
+			opts := []ShardedOption{
+				WithShards(4), WithoutAutoRebuild(), WithCompactThreshold(400),
+				WithIndexOptions(WithLeafSize(64), WithSeed(7), WithExactCounts()),
+			}
+			if disk {
+				n++
+				opts = append(opts, WithShardedStorage(filepath.Join(dir, fmt.Sprintf("d%03d", n)), 32))
+			}
+			s, err := NewSharded(pts, qs, opts...)
+			if err != nil {
+				panic(err)
+			}
+			built = append(built, s)
+			return shardedAsIndex{s}
+		}
+	}
+	indextest.Differential(t, build(false), build(true))
+}

@@ -5,8 +5,12 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
+	"github.com/wazi-index/wazi/internal/core"
 	"github.com/wazi-index/wazi/internal/shard"
+	"github.com/wazi-index/wazi/internal/storage"
 	"github.com/wazi-index/wazi/internal/zorder"
 )
 
@@ -38,7 +42,10 @@ type shardedHeader struct {
 
 // shardedShardRecord serializes one shard's complete state. The built index
 // is embedded as opaque bytes (the core snapshot format, itself versioned)
-// so the two formats can evolve independently.
+// so the two formats can evolve independently. Under disk storage the index
+// bytes are an attached snapshot — tree structure plus page references —
+// and PageFile names the page file (relative to the storage directory)
+// that the warm start adopts instead of rewriting.
 type shardedShardRecord struct {
 	Empty    bool
 	HasIdx   bool
@@ -48,7 +55,16 @@ type shardedShardRecord struct {
 	Bounds   Rect
 	Recent   []Rect
 	Rebuilds int
+	Attached bool
+	PageFile string
+	Gen      int
 }
+
+// maxSnapshotShards bounds the shard count a snapshot header may declare,
+// keeping corrupt or adversarial input from driving huge allocations (each
+// shard carries a drift ring and control state). Sixteen times the largest
+// default shard count is far beyond any real deployment here.
+const maxSnapshotShards = 1024
 
 // deadRecord is one tombstone multiset entry.
 type deadRecord struct {
@@ -67,9 +83,11 @@ func (s *Sharded) Save(w io.Writer) error {
 	snap := s.snap.Load()
 	rebuilds := make([]int, len(s.ctls))
 	recents := make([][]Rect, len(s.ctls))
+	gens := make([]int, len(s.ctls))
 	for i, ctl := range s.ctls {
 		rebuilds[i] = ctl.rebuilds
 		recents[i] = ctl.recent.snapshot()
+		gens[i] = ctl.gen
 	}
 	s.mu.Unlock()
 
@@ -95,13 +113,23 @@ func (s *Sharded) Save(w io.Writer) error {
 			Bounds:   ss.bounds,
 			Recent:   recents[i],
 			Rebuilds: rebuilds[i],
+			Gen:      gens[i],
 		}
 		for p, n := range ss.dead {
 			rec.Dead = append(rec.Dead, deadRecord{P: p, N: n})
 		}
 		if ss.idx != nil {
 			var buf bytes.Buffer
-			if err := ss.idx.Save(&buf); err != nil {
+			if ds, ok := ss.idx.z.Store().(*storage.DiskStore); ok {
+				// Disk-backed shard: write an attached snapshot (tree +
+				// page references) and adopt the page file on load, rather
+				// than rewriting every page through the stream.
+				if err := ss.idx.z.SaveAttached(&buf); err != nil {
+					return fmt.Errorf("wazi: encoding shard %d index: %w", i, err)
+				}
+				rec.Attached = true
+				rec.PageFile = filepath.Base(ds.Path())
+			} else if err := ss.idx.Save(&buf); err != nil {
 				return fmt.Errorf("wazi: encoding shard %d index: %w", i, err)
 			}
 			rec.HasIdx = true
@@ -138,6 +166,9 @@ func LoadSharded(r io.Reader, opts ...ShardedOption) (*Sharded, error) {
 	if h.Shards != len(h.Cuts)+1 || h.Shards < 1 {
 		return nil, fmt.Errorf("wazi: corrupt sharded snapshot: %d shards with %d cuts", h.Shards, len(h.Cuts))
 	}
+	if h.Shards > maxSnapshotShards {
+		return nil, fmt.Errorf("wazi: implausible shard count %d in snapshot", h.Shards)
+	}
 
 	cfg := shardedConfig{autoRebuild: true}
 	for _, o := range opts {
@@ -150,16 +181,32 @@ func LoadSharded(r io.Reader, opts ...ShardedOption) (*Sharded, error) {
 	for i, c := range h.Cuts {
 		cuts[i] = zorder.Key(c)
 	}
+	if cfg.storageDir != "" {
+		if err := os.MkdirAll(cfg.storageDir, 0o755); err != nil {
+			return nil, fmt.Errorf("wazi: creating storage dir: %w", err)
+		}
+	}
 	s := &Sharded{plan: shard.Restore(h.Bounds, cuts), opts: cfg}
 	snap := &shardedSnapshot{shards: make([]*shardSnap, h.Shards)}
 	s.ctls = make([]*shardCtl, h.Shards)
 	totalRebuilds := 0
+	keepFiles := map[string]bool{}
+	// closeLoaded unwinds already-adopted page stores when a later shard
+	// fails to load, so an aborted warm start leaks no descriptors.
+	closeLoaded := func() {
+		for _, ss := range snap.shards {
+			if ss != nil && ss.idx != nil {
+				ss.idx.Close()
+			}
+		}
+	}
 	for i := 0; i < h.Shards; i++ {
 		var rec shardedShardRecord
 		if err := dec.Decode(&rec); err != nil {
+			closeLoaded()
 			return nil, fmt.Errorf("wazi: decoding shard %d: %w", i, err)
 		}
-		ctl := &shardCtl{recent: newQueryRing(cfg.windowSize), rebuilds: rec.Rebuilds}
+		ctl := &shardCtl{recent: newQueryRing(cfg.windowSize), rebuilds: rec.Rebuilds, gen: rec.Gen}
 		// Re-seed the recent-query window: without it the first post-restart
 		// rebuild would be workload-oblivious, and the next Save would drop
 		// the window the previous process persisted.
@@ -174,15 +221,43 @@ func LoadSharded(r io.Reader, opts ...ShardedOption) (*Sharded, error) {
 				ss.deadN += d.N
 			}
 		}
+		if rec.HasIdx && cfg.storageDir != "" {
+			if rec.Gen < 0 {
+				closeLoaded()
+				return nil, fmt.Errorf("wazi: corrupt sharded snapshot: shard %d has negative generation %d", i, rec.Gen)
+			}
+			// Reject page-file collisions before any file is opened or
+			// created: two stores over one file would each manage their
+			// own free list and silently overwrite each other's pages,
+			// and a later migration target could even truncate a file an
+			// earlier shard already adopted.
+			name := rec.PageFile
+			if !rec.Attached {
+				name = shardPageFile(i, rec.Gen)
+			}
+			if keepFiles[name] {
+				closeLoaded()
+				return nil, fmt.Errorf("wazi: corrupt sharded snapshot: page file %q referenced by two shards", name)
+			}
+		}
 		if rec.HasIdx {
-			idx, err := Load(bytes.NewReader(rec.Index))
+			idx, pageFile, err := loadShardIndex(rec, i, cfg)
 			if err != nil {
+				closeLoaded()
 				return nil, fmt.Errorf("wazi: loading shard %d index: %w", i, err)
+			}
+			if pageFile != "" {
+				keepFiles[pageFile] = true
 			}
 			ss.idx = idx
 			ctl.advisor.Store(NewRebuildAdvisor(idx.Bounds(), rec.Recent, cfg.windowSize, cfg.driftThreshold))
 		}
 		snap.shards[i] = ss
+	}
+	if cfg.storageDir != "" {
+		// Reclaim page files no shard references — retired generations the
+		// previous process kept for its in-flight readers.
+		sweepStalePageFiles(cfg.storageDir, keepFiles)
 	}
 	s.rebuilds.Store(int64(totalRebuilds))
 	s.snap.Store(snap)
@@ -194,4 +269,57 @@ func LoadSharded(r io.Reader, opts ...ShardedOption) (*Sharded, error) {
 		go s.rebuildLoop()
 	}
 	return s, nil
+}
+
+// loadShardIndex restores one shard's index from its record. Attached
+// records (disk-backed shards) adopt their existing page file; inline
+// records load in RAM, or — when the caller configured WithShardedStorage —
+// migrate onto a fresh page file. It returns the page-file base name the
+// shard now references, if any.
+func loadShardIndex(rec shardedShardRecord, i int, cfg shardedConfig) (*Index, string, error) {
+	switch {
+	case rec.Attached:
+		if cfg.storageDir == "" {
+			return nil, "", fmt.Errorf("attached snapshot (page file %q) requires WithShardedStorage", rec.PageFile)
+		}
+		if rec.PageFile == "" || rec.PageFile != filepath.Base(rec.PageFile) || rec.PageFile == "." || rec.PageFile == ".." {
+			return nil, "", fmt.Errorf("corrupt page-file name %q", rec.PageFile)
+		}
+		st, err := storage.OpenPageFile(filepath.Join(cfg.storageDir, rec.PageFile), storage.DiskOptions{CachePages: cfg.cachePages})
+		if err != nil {
+			return nil, "", err
+		}
+		z, err := core.LoadWithStore(bytes.NewReader(rec.Index), st)
+		if err != nil {
+			st.Close()
+			return nil, "", err
+		}
+		return &Index{z: z}, rec.PageFile, nil
+	case cfg.storageDir != "":
+		// Inline snapshot restored onto disk storage: the cold migration
+		// path between backends. Slot capacity follows the configured
+		// WithLeafSize (or its default) so single-leaf pages stay
+		// single-slot after migration.
+		name := shardPageFile(i, rec.Gen)
+		st, err := storage.CreatePageFile(filepath.Join(cfg.storageDir, name), storage.DiskOptions{
+			SlotCap:    buildOptions(cfg.indexOpts).LeafSize,
+			CachePages: cfg.cachePages,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		z, err := core.LoadWithStore(bytes.NewReader(rec.Index), st)
+		if err != nil {
+			st.Close()
+			os.Remove(filepath.Join(cfg.storageDir, name))
+			return nil, "", err
+		}
+		return &Index{z: z}, name, nil
+	default:
+		idx, err := Load(bytes.NewReader(rec.Index))
+		if err != nil {
+			return nil, "", err
+		}
+		return idx, "", nil
+	}
 }

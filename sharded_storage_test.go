@@ -1,0 +1,189 @@
+package wazi
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+func storageTestData(n int, seed int64) ([]Point, []Rect) {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	qs := make([]Rect, 200)
+	for i := range qs {
+		cx, cy := rng.Float64(), rng.Float64()
+		w := 0.02 + rng.Float64()*0.08
+		qs[i] = Rect{MinX: cx - w, MinY: cy - w, MaxX: cx + w, MaxY: cy + w}
+	}
+	return pts, qs
+}
+
+func sortedPts(pts []Point) []Point {
+	out := append([]Point(nil), pts...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].X != out[j].X {
+			return out[i].X < out[j].X
+		}
+		return out[i].Y < out[j].Y
+	})
+	return out
+}
+
+func eqPts(t *testing.T, got, want []Point, ctx string) {
+	t.Helper()
+	g, w := sortedPts(got), sortedPts(want)
+	if len(g) != len(w) {
+		t.Fatalf("%s: got %d points, want %d", ctx, len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("%s: result %d = %v, want %v", ctx, i, g[i], w[i])
+		}
+	}
+}
+
+// TestShardedDiskStorageLifecycle walks the full disk-backed serving story:
+// cold build onto page files, identical answers to a RAM twin, writes and
+// compaction rebuilds that roll page-file generations, an attached snapshot,
+// and a warm start that adopts the page files and sweeps retired ones.
+func TestShardedDiskStorageLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	pts, qs := storageTestData(8000, 1)
+
+	disk, err := NewSharded(pts, qs[:100],
+		WithShards(4), WithoutAutoRebuild(),
+		WithCompactThreshold(256),
+		WithIndexOptions(WithLeafSize(64), WithSeed(2)),
+		WithShardedStorage(dir, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ram, err := NewSharded(pts, qs[:100],
+		WithShards(4), WithoutAutoRebuild(),
+		WithCompactThreshold(256),
+		WithIndexOptions(WithLeafSize(64), WithSeed(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ram.Close()
+
+	files, _ := filepath.Glob(filepath.Join(dir, "shard-*.pages"))
+	if len(files) == 0 {
+		t.Fatal("disk-backed NewSharded created no page files")
+	}
+	for _, q := range qs {
+		eqPts(t, disk.RangeQuery(q), ram.RangeQuery(q), "disk vs ram")
+	}
+
+	// Write churn through both, forcing at least one compaction rebuild.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		p := Point{X: rng.Float64(), Y: rng.Float64()}
+		disk.Insert(p)
+		ram.Insert(p)
+	}
+	for i := 0; i < 1000; i += 2 {
+		disk.Delete(pts[i])
+		ram.Delete(pts[i])
+	}
+	disk.CheckRebuilds()
+	ram.CheckRebuilds()
+	if disk.Rebuilds() == 0 {
+		t.Fatal("expected compaction rebuilds after churn")
+	}
+	for _, q := range qs {
+		eqPts(t, disk.RangeQuery(q), ram.RangeQuery(q), "post-churn disk vs ram")
+	}
+	if disk.Len() != ram.Len() {
+		t.Fatalf("Len diverged: disk %d, ram %d", disk.Len(), ram.Len())
+	}
+
+	var snap bytes.Buffer
+	if err := disk.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot is attached: restoring without the storage dir must be
+	// refused rather than guessed at.
+	if _, err := LoadSharded(bytes.NewReader(snap.Bytes())); err == nil {
+		t.Fatal("LoadSharded accepted an attached snapshot without WithShardedStorage")
+	}
+	wantLen := disk.Len()
+	disk.Close()
+
+	warm, err := LoadSharded(bytes.NewReader(snap.Bytes()), WithShardedStorage(dir, 128), WithoutAutoRebuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	if warm.Len() != wantLen {
+		t.Fatalf("warm-started Len = %d, want %d", warm.Len(), wantLen)
+	}
+	for _, q := range qs {
+		eqPts(t, warm.RangeQuery(q), ram.RangeQuery(q), "warm vs ram")
+	}
+	var cache CacheStats
+	agg := warm.Stats()
+	cache.Hits, cache.Misses = agg.CacheHits, agg.CacheMisses
+	if cache.Misses == 0 {
+		t.Fatal("warm start answered queries without touching the adopted page files")
+	}
+
+	// Retired generations were swept on warm start: every remaining file is
+	// referenced by a live shard.
+	after, _ := filepath.Glob(filepath.Join(dir, "shard-*.pages"))
+	live := 0
+	for _, info := range warm.Shards() {
+		if info.Points > 0 {
+			live++
+		}
+	}
+	if len(after) != live {
+		t.Fatalf("%d page files on disk after warm start, want %d (one per live shard)", len(after), live)
+	}
+
+	// The restored instance keeps rolling generations on further churn.
+	for i := 0; i < 2000; i++ {
+		p := Point{X: rng.Float64(), Y: rng.Float64()}
+		warm.Insert(p)
+		ram.Insert(p)
+	}
+	warm.CheckRebuilds()
+	ram.CheckRebuilds()
+	for _, q := range qs[:50] {
+		eqPts(t, warm.RangeQuery(q), ram.RangeQuery(q), "post-warm churn")
+	}
+}
+
+// TestLoadShardedMigratesToDisk restores a RAM-built snapshot under
+// WithShardedStorage: the backend migration path.
+func TestLoadShardedMigratesToDisk(t *testing.T) {
+	pts, qs := storageTestData(3000, 9)
+	ram, err := NewSharded(pts, qs[:50], WithShards(3), WithoutAutoRebuild(),
+		WithIndexOptions(WithLeafSize(64), WithSeed(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ram.Close()
+	var snap bytes.Buffer
+	if err := ram.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	disk, err := LoadSharded(bytes.NewReader(snap.Bytes()), WithShardedStorage(dir, 64), WithoutAutoRebuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	files, _ := filepath.Glob(filepath.Join(dir, "shard-*.pages"))
+	if len(files) == 0 {
+		t.Fatal("migration created no page files")
+	}
+	for _, q := range qs {
+		eqPts(t, disk.RangeQuery(q), ram.RangeQuery(q), "migrated vs ram")
+	}
+}

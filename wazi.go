@@ -26,6 +26,7 @@ package wazi
 
 import (
 	"io"
+	"os"
 
 	"github.com/wazi-index/wazi/internal/core"
 	"github.com/wazi-index/wazi/internal/geom"
@@ -39,8 +40,12 @@ type Point = geom.Point
 type Rect = geom.Rect
 
 // Stats holds cumulative access counters (pages scanned, bounding boxes
-// checked, points filtered, look-ahead jumps, ...).
+// checked, points filtered, look-ahead jumps, block-cache hits/misses/
+// evictions, ...).
 type Stats = storage.Stats
+
+// CacheStats holds the block-cache counters of a disk-resident index.
+type CacheStats = storage.CacheStats
 
 // ErrNoPoints is returned when an index is built over an empty dataset.
 var ErrNoPoints = core.ErrNoPoints
@@ -65,6 +70,21 @@ type config struct {
 	noSkipping  bool
 	seed        int64
 	exactCounts bool
+	storage     Storage
+}
+
+// Storage selects the page-store backend holding an index's clustered leaf
+// pages. The zero value is the RAM-resident default (the pre-existing
+// behavior). Setting Path selects the disk-resident backend: leaf pages
+// live in a page file at Path (created by builds, truncating previous
+// content) behind a workload-aware block cache, so the index's memory
+// footprint is the tree plus the cache rather than the full dataset. See
+// docs/STORAGE.md.
+type Storage struct {
+	// Path of the page file. Empty selects the RAM-resident backend.
+	Path string
+	// CachePages bounds the block cache in pages (default 1024).
+	CachePages int
 }
 
 // Option customizes index construction.
@@ -93,18 +113,29 @@ func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
 // counting during construction: slower builds, noise-free cost evaluation.
 func WithExactCounts() Option { return func(c *config) { c.exactCounts = true } }
 
+// WithStorage selects the page-store backend (see Storage). Pass a Storage
+// with a non-empty Path for the disk-resident backend:
+//
+//	idx, err := wazi.NewWorkloadAware(pts, qs,
+//	    wazi.WithStorage(wazi.Storage{Path: "idx.pages", CachePages: 4096}))
+//
+// Indexes with disk storage should be Closed when done.
+func WithStorage(s Storage) Option { return func(c *config) { c.storage = s } }
+
 func buildOptions(opts []Option) core.Options {
 	var c config
 	for _, o := range opts {
 		o(&c)
 	}
 	return core.Options{
-		LeafSize:        c.leafSize,
-		Kappa:           c.kappa,
-		Alpha:           c.alpha,
-		DisableSkipping: c.noSkipping,
-		Seed:            c.seed,
-		ExactCounts:     c.exactCounts,
+		LeafSize:          c.leafSize,
+		Kappa:             c.kappa,
+		Alpha:             c.alpha,
+		DisableSkipping:   c.noSkipping,
+		Seed:              c.seed,
+		ExactCounts:       c.exactCounts,
+		StoragePath:       c.storage.Path,
+		StorageCachePages: c.storage.CachePages,
 	}
 }
 
@@ -131,18 +162,44 @@ func NewWorkloadAware(points []Point, workload []Rect, opts ...Option) (*Index, 
 	return &Index{z: z}, nil
 }
 
-// Load restores an index previously written with Save.
-func Load(r io.Reader) (*Index, error) {
-	z, err := core.Load(r)
+// Load restores an index previously written with Save. Options may select
+// a storage backend for the restored pages (WithStorage with a Path loads
+// the snapshot into a fresh page file — the cold migration path between
+// backends; pass the snapshot's WithLeafSize too so disk slots are sized
+// to its leaves). Other options are ignored, since the snapshot fixes the
+// build-time configuration.
+func Load(r io.Reader, opts ...Option) (*Index, error) {
+	o := buildOptions(opts)
+	st, err := o.OpenStore()
 	if err != nil {
+		return nil, err
+	}
+	z, err := core.LoadWithStore(r, st)
+	if err != nil {
+		st.Close()
+		if ds, ok := st.(*storage.DiskStore); ok {
+			// Don't leave the freshly truncated page file behind a failed
+			// load at the user's path.
+			os.Remove(ds.Path())
+		}
 		return nil, err
 	}
 	return &Index{z: z}, nil
 }
 
 // Save serializes the index so it can be rebuilt offline once and deployed
-// with Load — the deployment model §6.5 recommends for WaZI.
+// with Load — the deployment model §6.5 recommends for WaZI. The snapshot
+// embeds the leaf pages and is portable across storage backends.
 func (x *Index) Save(w io.Writer) error { return x.z.Save(w) }
+
+// Close releases the index's storage backend (the page file of a
+// disk-resident index). It is a no-op for the default RAM-resident backend.
+// The index must not be used after Close.
+func (x *Index) Close() error { return x.z.Close() }
+
+// CacheStats returns the block-cache counters of a disk-resident index
+// (zero-valued except Resident/Capacity for the RAM backend).
+func (x *Index) CacheStats() CacheStats { return x.z.CacheStats() }
 
 // RangeQuery returns all indexed points inside the closed rectangle r.
 func (x *Index) RangeQuery(r Rect) []Point { return x.z.RangeQuery(r) }

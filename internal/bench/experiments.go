@@ -42,6 +42,7 @@ func Experiments() []Experiment {
 		{"scenarios", "Sharded under the named workload suites", ScenarioSuite},
 		{"serving-http", "HTTP serving: per-request vs batched replay over the wire", ServingHTTP},
 		{"storage-backends", "range latency: in-memory vs disk-cold vs disk-warm page stores", StorageBackends},
+		{"repartition", "online repartitioning vs static plan under hotspot-shift", RepartitionExperiment},
 	}
 }
 

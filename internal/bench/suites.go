@@ -40,13 +40,13 @@ func Suites() []Suite {
 		},
 		{
 			Name:        "serving",
-			Description: "the serving-layer experiments: Concurrent vs Sharded throughput, the workload scenario suite, HTTP serving, and storage backends",
-			Experiments: []string{"sharded", "scenarios", "serving-http", "storage-backends"},
+			Description: "the serving-layer experiments: Concurrent vs Sharded throughput, the workload scenario suite, HTTP serving, storage backends, and online repartitioning",
+			Experiments: []string{"sharded", "scenarios", "serving-http", "storage-backends", "repartition"},
 		},
 		{
 			Name:        "full",
 			Description: "everything: the paper evaluation plus the serving-layer experiments",
-			Experiments: append(append([]string{}, paper...), "sharded", "scenarios", "serving-http", "storage-backends"),
+			Experiments: append(append([]string{}, paper...), "sharded", "scenarios", "serving-http", "storage-backends", "repartition"),
 		},
 	}
 }

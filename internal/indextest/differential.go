@@ -24,6 +24,15 @@ type updatable interface {
 	Delete(p geom.Point) bool
 }
 
+// Repartitioner is the optional surface of targets whose global partition
+// plan can be re-learned from the observed workload and migrated to live
+// (wazi.Sharded). When both builds implement it, Differential drives a
+// mid-stream repartition and requires the backends to stay byte-identical
+// through it.
+type Repartitioner interface {
+	Repartition() bool
+}
+
 // Differential runs the differential conformance suite over two
 // constructions of the same index — conventionally buildMem on the
 // RAM-resident page store and buildDisk on a disk-resident one. Each
@@ -35,6 +44,7 @@ func Differential(t *testing.T, buildMem, buildDisk Builder) {
 	t.Run("Queries", func(t *testing.T) { diffQueries(t, buildMem, buildDisk) })
 	t.Run("Duplicates", func(t *testing.T) { diffDuplicates(t, buildMem, buildDisk) })
 	t.Run("Churn", func(t *testing.T) { diffChurn(t, buildMem, buildDisk) })
+	t.Run("Repartition", func(t *testing.T) { diffRepartition(t, buildMem, buildDisk) })
 	t.Run("DiskConformance", func(t *testing.T) { Conformance(t, buildDisk) })
 }
 
@@ -167,4 +177,108 @@ func diffChurn(t *testing.T, buildMem, buildDisk Builder) {
 	// checks above when the target applies writes in place; layered targets
 	// (e.g. Sharded) buffer writes, so a nonzero-splits assertion is left
 	// to backend-specific tests.
+}
+
+// diffRepartition drives both backends through a mid-stream partition-plan
+// migration: identical drifted traffic, identical churn, a repartition in
+// the middle, then more churn and a second repartition. At every stage the
+// backends must return byte-identical results (to brute force and to each
+// other) with page-access stats parity — a live migration must be
+// invisible to correctness and deterministic across page stores.
+func diffRepartition(t *testing.T, buildMem, buildDisk Builder) {
+	t.Helper()
+	pts := ClusteredPoints(4000, 71)
+	head := SkewedQueries(150, 72)
+	memIdx := buildMem(pts, head)
+	diskIdx := buildDisk(pts, head)
+	mem, okM := memIdx.(Repartitioner)
+	disk, okD := diskIdx.(Repartitioner)
+	if !okM || !okD {
+		t.Skip("index does not support online repartitioning")
+	}
+	memUp, okM := memIdx.(updatable)
+	diskUp, okD := diskIdx.(updatable)
+	if !okM || !okD {
+		t.Skip("index does not support insert/delete churn")
+	}
+
+	live := append([]geom.Point{}, pts...)
+	rng := rand.New(rand.NewSource(73))
+	check := func(ctx string) {
+		t.Helper()
+		ref := index.NewBrute(live)
+		for i := 0; i < 50; i++ {
+			r := randRect(rng)
+			got := diskIdx.RangeQuery(r)
+			same(t, got, ref.RangeQuery(r), ctx+" disk vs brute")
+			same(t, got, memIdx.RangeQuery(r), ctx+" disk vs mem")
+		}
+		if memIdx.Len() != diskIdx.Len() || diskIdx.Len() != len(live) {
+			t.Fatalf("%s: Len diverged: mem %d, disk %d, want %d", ctx, memIdx.Len(), diskIdx.Len(), len(live))
+		}
+		StatsParity(t, snapshotStats(memIdx), snapshotStats(diskIdx), ctx)
+	}
+	churn := func(seed int64) {
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 400; i++ {
+			p := geom.Point{X: r.Float64(), Y: r.Float64()}
+			memUp.Insert(p)
+			diskUp.Insert(p)
+			live = append(live, p)
+		}
+		for i := 0; i < 250; i++ {
+			j := r.Intn(len(live))
+			p := live[j]
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			dm, dd := memUp.Delete(p), diskUp.Delete(p)
+			if dm != dd || !dm {
+				t.Fatalf("Delete(%v) diverged mid-stream: mem %v, disk %v", p, dm, dd)
+			}
+		}
+	}
+	// drift steers both backends' observed-query windows to a new hotspot so
+	// the re-learned plan genuinely differs from the build-time one.
+	drift := func(seed int64) {
+		for _, q := range driftedQueries(600, seed) {
+			memIdx.RangeQuery(q)
+			diskIdx.RangeQuery(q)
+		}
+	}
+
+	check("before migration")
+	drift(74)
+	churn(75)
+	check("pre-migration churn")
+
+	rm, rd := mem.Repartition(), disk.Repartition()
+	if rm != rd {
+		t.Fatalf("mid-stream repartition diverged: mem migrated=%v, disk migrated=%v", rm, rd)
+	}
+	if !rm {
+		t.Fatal("mid-stream repartition declined on both backends; drift traffic did not move the plan")
+	}
+	check("after first migration")
+
+	churn(76)
+	drift(77)
+	check("post-migration churn")
+	rm, rd = mem.Repartition(), disk.Repartition()
+	if rm != rd {
+		t.Fatalf("second repartition diverged: mem migrated=%v, disk migrated=%v", rm, rd)
+	}
+	check("after second migration")
+}
+
+// driftedQueries is a hotspot workload far from SkewedQueries' hotspots, so
+// windows trained on it force a different learned plan.
+func driftedQueries(n int, seed int64) []geom.Rect {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]geom.Rect, n)
+	for i := range qs {
+		cx := clamp01(0.12 + rng.NormFloat64()*0.04)
+		cy := clamp01(0.12 + rng.NormFloat64()*0.04)
+		qs[i] = geom.Rect{MinX: cx - 0.02, MinY: cy - 0.02, MaxX: cx + 0.02, MaxY: cy + 0.02}
+	}
+	return qs
 }

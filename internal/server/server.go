@@ -60,6 +60,9 @@ type Backend interface {
 	Len() int
 	NumShards() int
 	Rebuilds() int64
+	Repartitions() int64
+	PlanEpoch() int
+	Migrating() bool
 	Stats() wazi.Stats
 	Shards() []wazi.ShardInfo
 	Save(w io.Writer) error
@@ -465,7 +468,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// shardState is one shard's drift/backlog state in /statsz.
+// shardState is one shard's drift/backlog/load state in /statsz.
 type shardState struct {
 	Shard         int     `json:"shard"`
 	Points        int     `json:"points"`
@@ -473,6 +476,13 @@ type shardState struct {
 	Drift         float64 `json:"drift"`
 	Rebuilds      int     `json:"rebuilds"`
 	WorkloadAware bool    `json:"workload_aware"`
+	// Load is the query count this shard served under the current plan —
+	// the per-shard counter the online repartitioner balances on.
+	Load int64 `json:"load"`
+	// PagesScanned/PointsScanned are the shard's cumulative scan work — the
+	// imbalance, in work units, that repartitioning redistributes.
+	PagesScanned  int64 `json:"pages_scanned"`
+	PointsScanned int64 `json:"points_scanned"`
 }
 
 // statszResp surfaces the serving counters, the aggregated storage.Stats of
@@ -483,6 +493,9 @@ type statszResp struct {
 	Points          int          `json:"points"`
 	Shards          int          `json:"shards"`
 	Rebuilds        int64        `json:"rebuilds"`
+	Repartitions    int64        `json:"repartitions"`
+	PlanEpoch       int          `json:"plan_epoch"`
+	Migrating       bool         `json:"migrating"`
 	OpsServed       int64        `json:"ops_served"`
 	Admitted        int64        `json:"admitted_requests"`
 	Shed            int64        `json:"shed_requests"`
@@ -508,6 +521,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Points:          s.b.Len(),
 		Shards:          s.b.NumShards(),
 		Rebuilds:        s.b.Rebuilds(),
+		Repartitions:    s.b.Repartitions(),
+		PlanEpoch:       s.b.PlanEpoch(),
+		Migrating:       s.b.Migrating(),
 		OpsServed:       s.ops.Load(),
 		Admitted:        s.gate.admitted.Load(),
 		Shed:            s.gate.shed.Load(),
@@ -528,6 +544,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			Drift:         info.Drift,
 			Rebuilds:      info.Rebuilds,
 			WorkloadAware: info.WorkloadAware,
+			Load:          info.Load,
+			PagesScanned:  info.PagesScanned,
+			PointsScanned: info.PointsScanned,
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)

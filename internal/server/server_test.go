@@ -286,6 +286,20 @@ func TestHealthzAndStatsz(t *testing.T) {
 	if stats.CoalescedPasses < 1 || stats.CoalescedReads < stats.CoalescedPasses {
 		t.Errorf("coalescer counters look wrong: passes=%d reads=%d", stats.CoalescedPasses, stats.CoalescedReads)
 	}
+	// Migration state of a fresh index: epoch 0, nothing in flight, and the
+	// per-shard load counters must have seen the warm-up traffic (the whole-
+	// bounds count targets every non-empty shard).
+	if stats.PlanEpoch != 0 || stats.Migrating || stats.Repartitions != 0 {
+		t.Errorf("fresh index migration state = epoch %d migrating %v repartitions %d, want 0/false/0",
+			stats.PlanEpoch, stats.Migrating, stats.Repartitions)
+	}
+	var totalLoad int64
+	for _, ss := range stats.ShardStates {
+		totalLoad += ss.Load
+	}
+	if totalLoad < 3 {
+		t.Errorf("statsz per-shard load sums to %d, want >= 3 after 3 fan-out counts", totalLoad)
+	}
 }
 
 // blockingBackend wraps a Backend so reads block until released — the

@@ -1,0 +1,279 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/zorder"
+)
+
+// Property and metamorphic tests for the partitioner: the invariants the
+// online repartitioner leans on. A learned plan must cover the key space
+// exactly (disjoint, exhaustive), must not depend on the order points were
+// presented in, and re-learning from an unchanged point set and workload
+// must be a no-op (Equal plan).
+
+// planConfigs is the grid of (points, queries, shards) shapes the property
+// tests sweep. Mixed sizes, empty workloads, duplicate-heavy data.
+func planConfigs(t *testing.T) []struct {
+	name string
+	pts  []geom.Point
+	qs   []geom.Rect
+	n    int
+} {
+	t.Helper()
+	dup := make([]geom.Point, 600)
+	for i := range dup {
+		dup[i] = geom.Point{X: 0.2 * float64(i%4), Y: 0.3 * float64(i%3)}
+	}
+	return []struct {
+		name string
+		pts  []geom.Point
+		qs   []geom.Rect
+		n    int
+	}{
+		{"uniform/no-workload", clusteredPoints(4000, 11), nil, 8},
+		{"uniform/hotspot", clusteredPoints(4000, 12), hotspotQueries(300, 0.7, 0.3, 13), 8},
+		{"uniform/two-hotspots", clusteredPoints(2500, 14),
+			append(hotspotQueries(200, 0.2, 0.8, 15), hotspotQueries(100, 0.9, 0.1, 16)...), 5},
+		{"duplicates/no-workload", dup, nil, 6},
+		{"duplicates/hotspot", dup, hotspotQueries(150, 0.1, 0.1, 17), 4},
+		{"tiny", clusteredPoints(7, 18), hotspotQueries(20, 0.5, 0.5, 19), 16},
+		{"single-shard", clusteredPoints(500, 20), hotspotQueries(50, 0.4, 0.6, 21), 1},
+	}
+}
+
+// TestPlanCoversKeySpaceExactly: the cut keys must be strictly increasing,
+// so the shard key intervals are pairwise disjoint, and between them they
+// must exhaust the key space — every representable key (probed at and
+// around every boundary plus random keys) belongs to exactly one interval,
+// and Locate agrees with interval membership.
+func TestPlanCoversKeySpaceExactly(t *testing.T) {
+	for _, cfg := range planConfigs(t) {
+		t.Run(cfg.name, func(t *testing.T) {
+			p := Partition(cfg.pts, cfg.qs, cfg.n)
+			cuts := p.Cuts()
+			for i := 1; i < len(cuts); i++ {
+				if cuts[i] <= cuts[i-1] {
+					t.Fatalf("cuts not strictly increasing: cuts[%d]=%d, cuts[%d]=%d", i-1, cuts[i-1], i, cuts[i])
+				}
+			}
+			// Probe keys at, just below, and just above every boundary, the
+			// extremes of the key space, and a random sample.
+			probe := []zorder.Key{0, ^zorder.Key(0)}
+			for _, c := range cuts {
+				probe = append(probe, c-1, c, c+1)
+			}
+			rng := rand.New(rand.NewSource(99))
+			for i := 0; i < 500; i++ {
+				probe = append(probe, zorder.Key(rng.Uint64()))
+			}
+			for _, k := range probe {
+				owners := 0
+				owner := -1
+				for i := 0; i < p.NumShards(); i++ {
+					iv := shardInterval(p, i)
+					if k >= iv.lo && (iv.hiOpen || k < iv.hi) {
+						owners++
+						owner = i
+					}
+				}
+				if owners != 1 {
+					t.Fatalf("key %d owned by %d shards, want exactly 1", k, owners)
+				}
+				if got := p.locateKey(k); got != owner {
+					t.Fatalf("Locate(key %d) = %d, interval membership says %d", k, got, owner)
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionPermutationStable: partitioning any permutation of the same
+// point set with the same workload must produce an identical plan (Equal)
+// that routes every point to the same shard, with identical group sizes.
+func TestPartitionPermutationStable(t *testing.T) {
+	for _, cfg := range planConfigs(t) {
+		t.Run(cfg.name, func(t *testing.T) {
+			base := Partition(cfg.pts, cfg.qs, cfg.n)
+			rng := rand.New(rand.NewSource(7))
+			for trial := 0; trial < 3; trial++ {
+				perm := append([]geom.Point(nil), cfg.pts...)
+				rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+				got := Partition(perm, cfg.qs, cfg.n)
+				if !Equal(base, got) {
+					t.Fatalf("trial %d: permuted input produced a different plan:\n base cuts %v\n got  cuts %v",
+						trial, base.Cuts(), got.Cuts())
+				}
+				for _, pt := range cfg.pts {
+					if base.Locate(pt) != got.Locate(pt) {
+						t.Fatalf("trial %d: point %v routed to %d by base, %d by permuted plan",
+							trial, pt, base.Locate(pt), got.Locate(pt))
+					}
+				}
+				for g := range base.Groups {
+					if len(base.Groups[g]) != len(got.Groups[g]) {
+						t.Fatalf("trial %d: group %d has %d points in base, %d in permuted plan",
+							trial, g, len(base.Groups[g]), len(got.Groups[g]))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRepartitionIsNoOpWhenUnchanged is the repartitioner's fixed-point
+// property: re-learning a plan from the points as the previous plan grouped
+// them (the order a live migration streams them in) under the same workload
+// yields an Equal plan — and a third round stays there.
+func TestRepartitionIsNoOpWhenUnchanged(t *testing.T) {
+	for _, cfg := range planConfigs(t) {
+		t.Run(cfg.name, func(t *testing.T) {
+			p1 := Partition(cfg.pts, cfg.qs, cfg.n)
+			stream := make([]geom.Point, 0, len(cfg.pts))
+			for _, g := range p1.Groups {
+				stream = append(stream, g...)
+			}
+			p2 := Partition(stream, cfg.qs, cfg.n)
+			if !Equal(p1, p2) {
+				t.Fatalf("repartition over unchanged data is not a no-op:\n p1 cuts %v\n p2 cuts %v", p1.Cuts(), p2.Cuts())
+			}
+			stream2 := make([]geom.Point, 0, len(stream))
+			for _, g := range p2.Groups {
+				stream2 = append(stream2, g...)
+			}
+			p3 := Partition(stream2, cfg.qs, cfg.n)
+			if !Equal(p2, p3) {
+				t.Fatal("repartition(repartition(plan)) drifted on the third round")
+			}
+		})
+	}
+}
+
+// TestEqual covers the comparator's edges: nil handling, bounds mismatch,
+// cut mismatch, and restored-plan equality.
+func TestEqual(t *testing.T) {
+	pts := clusteredPoints(1000, 31)
+	qs := hotspotQueries(100, 0.3, 0.7, 32)
+	p := Partition(pts, qs, 6)
+	if !Equal(p, p) {
+		t.Fatal("plan not Equal to itself")
+	}
+	if !Equal(nil, nil) || Equal(p, nil) || Equal(nil, p) {
+		t.Fatal("nil handling wrong")
+	}
+	r := Restore(p.Bounds(), p.Cuts())
+	if !Equal(p, r) {
+		t.Fatal("Restore(bounds, cuts) not Equal to the original plan")
+	}
+	other := Partition(pts, nil, 6)
+	if Equal(p, other) && len(p.Cuts()) > 0 {
+		// Workload-aware vs count-only cuts over hotspot data should differ;
+		// if they coincide the data was degenerate and the check is vacuous.
+		t.Log("workload-aware and count-only plans coincided; Equal mismatch not exercised")
+	}
+	shifted := Restore(geom.Rect{MinX: -1, MinY: -1, MaxX: 2, MaxY: 2}, p.Cuts())
+	if Equal(p, shifted) {
+		t.Fatal("plans with different bounds reported Equal")
+	}
+}
+
+// TestFeedsIdentity: diffing a plan against itself is the identity mapping —
+// every shard feeds exactly itself.
+func TestFeedsIdentity(t *testing.T) {
+	pts := clusteredPoints(3000, 41)
+	qs := hotspotQueries(200, 0.6, 0.4, 42)
+	p := Partition(pts, qs, 8)
+	feeds := Feeds(p, p)
+	if len(feeds) != p.NumShards() {
+		t.Fatalf("feeds covers %d shards, want %d", len(feeds), p.NumShards())
+	}
+	for i, f := range feeds {
+		if len(f) != 1 || f[0] != i {
+			t.Fatalf("shard %d feeds %v, want [%d]", i, f, i)
+		}
+	}
+}
+
+// TestFeedsRoutesAllPoints: the diff must be sound — every point of an old
+// shard lands, under the new plan, in one of the new shards the diff names.
+// Checked both for same-bounds plans (exact interval overlap) and
+// different-bounds plans (conservative all-shards fallback).
+func TestFeedsRoutesAllPoints(t *testing.T) {
+	pts := clusteredPoints(4000, 51)
+	head := hotspotQueries(300, 0.2, 0.2, 52)
+	tail := hotspotQueries(300, 0.8, 0.8, 53)
+	old := Partition(pts, head, 8)
+	for _, tc := range []struct {
+		name string
+		new  *Plan
+	}{
+		{"same-bounds", Partition(pts, tail, 8)},
+		{"different-bounds", Partition(append([]geom.Point{{X: -0.5, Y: -0.5}}, pts...), tail, 8)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			feeds := Feeds(old, tc.new)
+			for i, group := range old.Groups {
+				allowed := map[int]bool{}
+				for _, j := range feeds[i] {
+					allowed[j] = true
+				}
+				for _, pt := range group {
+					if j := tc.new.Locate(pt); !allowed[j] {
+						t.Fatalf("old shard %d point %v landed in new shard %d, not in feeds %v", i, pt, j, feeds[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFeedsTightensOnSameBounds: with shared bounds the diff must be
+// strictly more informative than the conservative fallback whenever the
+// plans have more than one shard each — at least one old shard must NOT
+// feed every new shard.
+func TestFeedsTightensOnSameBounds(t *testing.T) {
+	pts := clusteredPoints(4000, 61)
+	old := Partition(pts, hotspotQueries(300, 0.15, 0.15, 62), 8)
+	new := Partition(pts, hotspotQueries(300, 0.85, 0.85, 63), 8)
+	if old.NumShards() < 2 || new.NumShards() < 2 {
+		t.Skip("degenerate plans")
+	}
+	feeds := Feeds(old, new)
+	tight := false
+	for _, f := range feeds {
+		if len(f) < new.NumShards() {
+			tight = true
+		}
+		if len(f) == 0 {
+			t.Fatal("an old shard feeds no new shard — the diff lost a key range")
+		}
+	}
+	if !tight {
+		t.Fatal("same-bounds diff is as loose as the different-bounds fallback")
+	}
+}
+
+// TestImbalance pins the advisor metric's shape: balanced -> 1, one hot
+// shard among k idle ones -> k (idleness IS the skew being measured),
+// empty -> 0.
+func TestImbalance(t *testing.T) {
+	cases := []struct {
+		name  string
+		loads []float64
+		want  float64
+	}{
+		{"empty", nil, 0},
+		{"all-zero", []float64{0, 0, 0}, 0},
+		{"balanced", []float64{5, 5, 5, 5}, 1},
+		{"one-hot-of-4", []float64{12, 0, 0, 0}, 4},
+		{"hot-among-live", []float64{9, 1, 1, 1}, 3},
+		{"idle-counted", []float64{6, 2, 0, 0}, 3},
+	}
+	for _, c := range cases {
+		if got := Imbalance(c.loads); got != c.want {
+			t.Errorf("%s: Imbalance(%v) = %v, want %v", c.name, c.loads, got, c.want)
+		}
+	}
+}

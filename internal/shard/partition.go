@@ -57,7 +57,22 @@ func Partition(pts []geom.Point, queries []geom.Rect, n int) *Plan {
 		keys[i] = p.Key(pt)
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	// Canonical order: key, then coordinates. Ties broken by position (not
+	// input index) make the cut walk — including its floating-point weight
+	// accumulation — a pure function of the point multiset, so any
+	// permutation of pts yields an identical plan. The online repartitioner
+	// relies on this: re-learning from unchanged data must be a no-op.
+	sort.Slice(order, func(a, b int) bool {
+		ka, kb := keys[order[a]], keys[order[b]]
+		if ka != kb {
+			return ka < kb
+		}
+		pa, pb := pts[order[a]], pts[order[b]]
+		if pa.X != pb.X {
+			return pa.X < pb.X
+		}
+		return pa.Y < pb.Y
+	})
 
 	weights := pointWeights(pts, queries, bounds)
 	var total float64
@@ -111,7 +126,11 @@ func (p *Plan) NumShards() int { return len(p.cuts) + 1 }
 // Locate returns the shard owning pt's Z-key. Points outside the plan's
 // bounds clamp to the boundary, so routing is total and deterministic.
 func (p *Plan) Locate(pt geom.Point) int {
-	k := p.Key(pt)
+	return p.locateKey(p.Key(pt))
+}
+
+// locateKey returns the shard whose key interval owns k.
+func (p *Plan) locateKey(k zorder.Key) int {
 	return sort.Search(len(p.cuts), func(i int) bool { return k < p.cuts[i] })
 }
 

@@ -1,0 +1,111 @@
+package shard
+
+import "github.com/wazi-index/wazi/internal/zorder"
+
+// This file holds the plan-level algebra the online repartitioner builds on:
+// comparing plans (is a freshly learned plan actually different?), diffing
+// them (which old shards feed which new ones during a live migration), and
+// quantifying cross-shard load imbalance (when is a migration worth its
+// cost?). Plan learning itself stays in Partition — repartitioning is just
+// Partition run again over the live point set and the observed workload.
+
+// Equal reports whether two plans route every possible point identically:
+// same data bounds (hence the same key grid) and the same cut keys. An
+// online repartitioner uses this as its no-op test — re-learning a plan
+// from an unchanged point set and workload yields an Equal plan, and an
+// Equal plan is never worth migrating to.
+func Equal(a, b *Plan) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.bounds != b.bounds || len(a.cuts) != len(b.cuts) {
+		return false
+	}
+	for i := range a.cuts {
+		if a.cuts[i] != b.cuts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Feeds returns, for each shard of the old plan, the new-plan shards its
+// points can land in — the migration dependency graph. Soundness (pinned by
+// the property tests): rerouting old shard i's points under the new plan
+// can only produce shards in Feeds(old, new)[i]. The in-process migrator
+// happens not to need the graph — it regroups the full point set in one
+// pass — but the diff is the contract an incremental or distributed
+// migrator (moving one old shard at a time) schedules and verifies by.
+// When the two plans share bounds (the common case: repartitioning over the
+// same data region) the answer is exact interval overlap on the shared key
+// grid; when bounds differ the key spaces are incomparable and every old
+// shard conservatively feeds every new shard.
+func Feeds(old, new *Plan) [][]int {
+	out := make([][]int, old.NumShards())
+	if old.bounds != new.bounds {
+		all := make([]int, new.NumShards())
+		for j := range all {
+			all[j] = j
+		}
+		for i := range out {
+			out[i] = all
+		}
+		return out
+	}
+	for i := range out {
+		for j := 0; j < new.NumShards(); j++ {
+			if intervalsOverlap(shardInterval(old, i), shardInterval(new, j)) {
+				out[i] = append(out[i], j)
+			}
+		}
+	}
+	return out
+}
+
+// keyInterval is one shard's key range [lo, hi); hiOpen marks the last
+// shard's unbounded upper end (a key of MaxUint64 is representable, so the
+// top cannot be encoded as a finite hi).
+type keyInterval struct {
+	lo, hi zorder.Key
+	hiOpen bool
+}
+
+func shardInterval(p *Plan, i int) keyInterval {
+	var iv keyInterval
+	if i > 0 {
+		iv.lo = p.cuts[i-1]
+	}
+	if i < len(p.cuts) {
+		iv.hi = p.cuts[i]
+	} else {
+		iv.hiOpen = true
+	}
+	return iv
+}
+
+func intervalsOverlap(a, b keyInterval) bool {
+	aboveA := a.hiOpen || b.lo < a.hi
+	aboveB := b.hiOpen || a.lo < b.hi
+	return aboveA && aboveB
+}
+
+// Imbalance summarizes a per-shard load vector as max/mean over all
+// entries: 1 means perfectly balanced, k means the hottest shard carries k
+// times its fair share. Idle shards count toward the mean — a plan that
+// funnels the whole workload into two shards while six sit idle is the
+// skew this metric exists to expose (callers pass only shards that hold
+// points, so structural emptiness never masquerades as idleness). Returns
+// 0 when no shard served any load (nothing to balance yet).
+func Imbalance(loads []float64) float64 {
+	var sum, max float64
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+		sum += l
+	}
+	if len(loads) == 0 || sum <= 0 {
+		return 0
+	}
+	return max / (sum / float64(len(loads)))
+}

@@ -38,19 +38,44 @@ import (
 type Sharded struct {
 	snap atomic.Pointer[shardedSnapshot]
 	mu   sync.Mutex // serializes writers, compactions, and snapshot swaps
-	plan *shard.Plan
 	pool *shard.Pool
 	opts shardedConfig
-	ctls []*shardCtl
+
+	// Online repartitioning state (all guarded by mu). While a migration is
+	// in flight, every write is applied to the serving (old-plan) snapshot
+	// as usual AND appended to repartLog, which the migration replays onto
+	// the new-plan shards — routed by the new plan — before the atomic plan
+	// swap. repartTarget is the plan being migrated to, exposed for
+	// observability and persisted by Save as the migration record.
+	repartInFlight bool
+	repartLog      []shardOp
+	repartTarget   *shard.Plan
+	// repartSeen holds the per-shard load totals at the last CheckRepartition
+	// pass, so the advisor judges imbalance on load deltas, not lifetime sums.
+	repartSeen []int64
+	// repartFutile counts consecutive advisor-triggered migrations that
+	// learned an Equal plan and no-opped. Each futile attempt costs a full
+	// materialize (every page of every shard on the disk backend), so the
+	// advisor backs off exponentially: a workload that is permanently
+	// skewed but already optimally partitioned (e.g. every query on one
+	// cell — some shard must own it) would otherwise re-learn and discard
+	// the same plan every repartitionMinLoad queries forever.
+	repartFutile int
+	// planRef is the normalized histogram of the workload the serving plan
+	// was learned from — the reference the plan-drift trigger compares the
+	// aggregated live windows against. Nil when the plan was learned without
+	// a workload (drift is then judged by imbalance alone).
+	planRef []float64
 
 	// Logical operation counters, maintained at this layer because shard
 	// counters tally per-shard work, not per-caller operations.
-	rangeQs  atomic.Int64
-	pointQs  atomic.Int64
-	knnQs    atomic.Int64
-	inserts  atomic.Int64
-	deletes  atomic.Int64
-	rebuilds atomic.Int64
+	rangeQs      atomic.Int64
+	pointQs      atomic.Int64
+	knnQs        atomic.Int64
+	inserts      atomic.Int64
+	deletes      atomic.Int64
+	rebuilds     atomic.Int64
+	repartitions atomic.Int64
 
 	// retired accumulates the final counters of shard indexes replaced by
 	// compaction or rebuild, so aggregate Stats never move backwards.
@@ -72,9 +97,22 @@ type Sharded struct {
 	closed bool
 }
 
-// shardedSnapshot is the immutable world a query runs against.
+// shardedSnapshot is the immutable world a query runs against. The
+// partition plan and the per-shard control blocks travel WITH the snapshot:
+// an online repartition replaces plan, shards, and ctls in one atomic swap,
+// so a reader (or a pinned View) always routes with the plan that matches
+// the shard array it sees — old-plan readers keep routing against the old
+// pair mid-migration, new-plan readers against the new. The ctl objects
+// themselves are mutable (advisors, rings, load counters); only the slice
+// and its pairing with the plan are immutable per snapshot.
 type shardedSnapshot struct {
+	plan   *shard.Plan
 	shards []*shardSnap
+	ctls   []*shardCtl
+	// epoch counts completed repartitions; it versions the page-file
+	// namespace so a migration's fresh shard files never collide with the
+	// retiring plan's.
+	epoch int
 }
 
 // shardSnap is one shard's immutable state: a built index (nil while the
@@ -88,6 +126,13 @@ type shardSnap struct {
 	deadN  int           // total tombstone count
 	bounds Rect          // MBR of live contents (never shrinks on delete)
 	empty  bool
+	// occ is idx's occupancy bitmap (see sharded_occupancy.go); nil means
+	// "assume anything" (no pruning). It describes idx only — the insert
+	// buffer is covered by extraBounds, the MBR of extra (meaningful only
+	// while extra is non-empty; it never shrinks on delete, which is
+	// conservative for pruning).
+	occ         *occupancy
+	extraBounds Rect
 }
 
 // live returns the number of points the shard currently serves.
@@ -115,6 +160,10 @@ type shardCtl struct {
 	// every rebuild writes a fresh file so readers of the old snapshot are
 	// never invalidated.
 	gen int
+	// load counts queries this shard served (range/count fan-out targets and
+	// point lookups). The repartition advisor reads the cross-shard load
+	// vector to detect imbalance; a repartition resets it (fresh ctls).
+	load atomic.Int64
 }
 
 // shardOp is one logged write, replayed onto a freshly rebuilt shard index
@@ -181,16 +230,20 @@ func (r *queryRing) snapshot() []Rect {
 
 // shardedConfig collects ShardedOption values.
 type shardedConfig struct {
-	shards           int
-	workers          int
-	indexOpts        []Option
-	driftThreshold   float64
-	windowSize       int
-	compactThreshold int
-	rebuildInterval  time.Duration
-	autoRebuild      bool
-	storageDir       string
-	cachePages       int
+	shards              int
+	workers             int
+	indexOpts           []Option
+	driftThreshold      float64
+	windowSize          int
+	compactThreshold    int
+	rebuildInterval     time.Duration
+	autoRebuild         bool
+	autoRepartition     bool
+	repartitionMaxSkew  float64
+	repartitionMinLoad  int
+	repartitionMaxDrift float64
+	storageDir          string
+	cachePages          int
 }
 
 // ShardedOption customizes NewSharded.
@@ -233,8 +286,44 @@ func WithRebuildInterval(d time.Duration) ShardedOption {
 
 // WithoutAutoRebuild disables the background control loop. Compaction then
 // happens synchronously on the writing goroutine, and drift rebuilds only
-// when CheckRebuilds is called.
+// when CheckRebuilds is called. Repartitioning likewise happens only when
+// CheckRepartition or Repartition is called.
 func WithoutAutoRebuild() ShardedOption { return func(c *shardedConfig) { c.autoRebuild = false } }
+
+// WithoutAutoRepartition keeps the background control loop (drift rebuilds,
+// compaction) but stops it from migrating to a new partition plan on its
+// own; CheckRepartition and Repartition remain available to the caller.
+// This is the "static plan" configuration of the repartition experiment.
+func WithoutAutoRepartition() ShardedOption {
+	return func(c *shardedConfig) { c.autoRepartition = false }
+}
+
+// WithRepartitionMaxSkew sets the cross-shard load imbalance (hottest
+// shard's load as a multiple of the mean over loaded shards, see
+// shard.Imbalance) beyond which the control loop re-learns the partition
+// plan and migrates to it live (default 3.0). Lower values repartition more
+// eagerly.
+func WithRepartitionMaxSkew(s float64) ShardedOption {
+	return func(c *shardedConfig) { c.repartitionMaxSkew = s }
+}
+
+// WithRepartitionMinLoad sets how many queries must have been served since
+// the last repartition check before imbalance is judged (default 4096) —
+// the advisor never migrates on a handful of samples.
+func WithRepartitionMinLoad(n int) ShardedOption {
+	return func(c *shardedConfig) { c.repartitionMinLoad = n }
+}
+
+// WithRepartitionMaxDrift sets the plan-drift level — total-variation
+// distance between the observed global workload histogram and the serving
+// plan's training workload — beyond which the control loop re-learns the
+// plan even without load imbalance (default 0.25: clearly above the ~0.1
+// sampling noise of two windows drawn from one distribution, and at the
+// low edge of real shifts — hotspot-shift's rank reversal measures
+// ~0.3 even through ring sampling).
+func WithRepartitionMaxDrift(d float64) ShardedOption {
+	return func(c *shardedConfig) { c.repartitionMaxDrift = d }
+}
 
 // WithShardedStorage puts every shard's leaf pages in a disk-resident page
 // file under dir (one file per shard per rebuild generation), each fronted
@@ -275,6 +364,15 @@ func (c *shardedConfig) fill() {
 	if c.rebuildInterval <= 0 {
 		c.rebuildInterval = 200 * time.Millisecond
 	}
+	if c.repartitionMaxSkew <= 0 {
+		c.repartitionMaxSkew = 3.0
+	}
+	if c.repartitionMinLoad <= 0 {
+		c.repartitionMinLoad = 4096
+	}
+	if c.repartitionMaxDrift <= 0 {
+		c.repartitionMaxDrift = 0.25
+	}
 }
 
 // NewSharded builds a sharded serving layer over points: the workload-aware
@@ -286,7 +384,7 @@ func NewSharded(points []Point, workload []Rect, opts ...ShardedOption) (*Sharde
 	if len(points) == 0 {
 		return nil, ErrNoPoints
 	}
-	cfg := shardedConfig{autoRebuild: true}
+	cfg := shardedConfig{autoRebuild: true, autoRepartition: true}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -301,19 +399,20 @@ func NewSharded(points []Point, workload []Rect, opts ...ShardedOption) (*Sharde
 		sweepStalePageFiles(cfg.storageDir, nil)
 	}
 	plan := shard.Partition(points, workload, cfg.shards)
-	s := &Sharded{plan: plan, opts: cfg}
-	snap := &shardedSnapshot{shards: make([]*shardSnap, plan.NumShards())}
-	s.ctls = make([]*shardCtl, plan.NumShards())
+	s := &Sharded{opts: cfg}
+	s.planRef = queryHist(plan.Bounds(), workload)
+	snap := &shardedSnapshot{plan: plan, shards: make([]*shardSnap, plan.NumShards()),
+		ctls: make([]*shardCtl, plan.NumShards())}
 	for i, group := range plan.Groups {
 		ctl := &shardCtl{recent: newQueryRing(cfg.windowSize)}
-		s.ctls[i] = ctl
+		snap.ctls[i] = ctl
 		if len(group) == 0 {
 			snap.shards[i] = &shardSnap{empty: true}
 			continue
 		}
 		bounds := geom.RectFromPoints(group)
 		shardQs := intersectingQueries(workload, bounds)
-		idx, err := buildShardIndex(group, shardQs, s.shardIndexOptions(i, 0))
+		idx, err := buildShardIndex(group, shardQs, s.shardIndexOptions(0, i, 0))
 		if err != nil {
 			// Unwind the shards already built so an aborted cold start
 			// leaks no page-file descriptors.
@@ -324,7 +423,8 @@ func NewSharded(points []Point, workload []Rect, opts ...ShardedOption) (*Sharde
 			}
 			return nil, fmt.Errorf("wazi: building shard %d: %w", i, err)
 		}
-		snap.shards[i] = &shardSnap{idx: idx, bounds: idx.Bounds()}
+		snap.shards[i] = &shardSnap{idx: idx, bounds: idx.Bounds(),
+			occ: buildOccupancy(group, idx.Bounds())}
 		ctl.advisor.Store(NewRebuildAdvisor(idx.Bounds(), shardQs, cfg.windowSize, cfg.driftThreshold))
 	}
 	s.snap.Store(snap)
@@ -347,20 +447,22 @@ func buildShardIndex(pts []Point, queries []Rect, opts []Option) (*Index, error)
 	return New(pts, opts...)
 }
 
-// shardPageFile names shard i's generation-gen page file.
-func shardPageFile(i, gen int) string {
-	return fmt.Sprintf("shard-%04d-g%06d.pages", i, gen)
+// shardPageFile names shard i's generation-gen page file under plan epoch
+// e. The epoch namespaces migrations: a repartition's fresh shard files can
+// never collide with the retiring plan's, whatever the shard counts.
+func shardPageFile(epoch, i, gen int) string {
+	return fmt.Sprintf("shard-e%03d-%04d-g%06d.pages", epoch, i, gen)
 }
 
 // shardIndexOptions returns the per-shard build options: the configured
 // index options plus, under disk storage, the shard's page-file placement.
-func (s *Sharded) shardIndexOptions(i, gen int) []Option {
+func (s *Sharded) shardIndexOptions(epoch, i, gen int) []Option {
 	if s.opts.storageDir == "" {
 		return s.opts.indexOpts
 	}
 	opts := append([]Option(nil), s.opts.indexOpts...)
 	return append(opts, WithStorage(Storage{
-		Path:       filepath.Join(s.opts.storageDir, shardPageFile(i, gen)),
+		Path:       filepath.Join(s.opts.storageDir, shardPageFile(epoch, i, gen)),
 		CachePages: s.opts.cachePages,
 	}))
 }
@@ -536,22 +638,41 @@ func (s *Sharded) countFromSnap(snap *shardedSnapshot, r Rect) int {
 	return total
 }
 
-// targets returns the shards whose bounds intersect r, and feeds the query
-// to each target's drift advisor and recent-query window.
+// targets returns the shards that can hold points inside r — MBR
+// intersection refined by the occupancy bitmaps, which prune the many
+// shards whose jagged Z-curve territory merely brushes r — and feeds the
+// query to each target's drift advisor, recent-query window, and load
+// counter.
 func (s *Sharded) targets(snap *shardedSnapshot, r Rect) []int {
 	var out []int
 	for i, ss := range snap.shards {
-		if ss.empty || !ss.bounds.Intersects(r) {
+		if !ss.mayContain(r) {
 			continue
 		}
 		out = append(out, i)
-		ctl := s.ctls[i]
+		ctl := snap.ctls[i]
+		ctl.load.Add(1)
 		if a := ctl.advisor.Load(); a != nil {
 			a.Observe(r)
 		}
 		ctl.recent.add(r)
 	}
 	return out
+}
+
+// mayContain reports whether the shard can possibly hold a point inside r:
+// the index part must overlap an occupied cell, or the insert buffer's MBR
+// must intersect r. False negatives are impossible — occupancy never
+// clears bits and extraBounds never shrinks — so skipping a shard is
+// always sound.
+func (ss *shardSnap) mayContain(r Rect) bool {
+	if ss.empty || !ss.bounds.Intersects(r) {
+		return false
+	}
+	if ss.idx != nil && (ss.occ == nil || ss.occ.overlaps(r)) {
+		return true
+	}
+	return len(ss.extra) > 0 && ss.extraBounds.Intersects(r)
 }
 
 // shardRange runs a range query against one immutable shard snapshot.
@@ -628,9 +749,13 @@ func (s *Sharded) PointQuery(p Point) bool {
 	return s.pointFromSnap(s.snap.Load(), p)
 }
 
-// pointFromSnap runs a point query against one pinned snapshot.
+// pointFromSnap runs a point query against one pinned snapshot, routing
+// with the snapshot's own plan so a View pinned across a repartition stays
+// consistent with the shard array it holds.
 func (s *Sharded) pointFromSnap(snap *shardedSnapshot, p Point) bool {
-	ss := snap.shards[s.plan.Locate(p)]
+	i := snap.plan.Locate(p)
+	snap.ctls[i].load.Add(1)
+	ss := snap.shards[i]
 	if ss.empty {
 		return false
 	}
@@ -774,29 +899,40 @@ func (h *knnHeap) Pop() interface{} {
 
 // Insert adds p. The write lands in the owning shard's copy-on-write delta
 // buffer; readers observe it on their next snapshot load, without blocking.
+// During a live repartition the write additionally joins the migration log,
+// which the migration replays — routed by the new plan — before its swap.
 func (s *Sharded) Insert(p Point) {
 	s.mu.Lock()
-	i := s.plan.Locate(p)
 	snap := s.snap.Load()
+	i := snap.plan.Locate(p)
 	ss := snap.shards[i]
 	ns := &shardSnap{
 		idx:   ss.idx,
 		extra: append(append(make([]Point, 0, len(ss.extra)+1), ss.extra...), p),
 		dead:  ss.dead,
 		deadN: ss.deadN,
+		occ:   ss.occ,
 	}
 	if ss.empty {
 		ns.bounds = pointRect(p)
 	} else {
 		ns.bounds = ss.bounds.ExtendPoint(p)
 	}
+	if len(ss.extra) == 0 {
+		ns.extraBounds = pointRect(p)
+	} else {
+		ns.extraBounds = ss.extraBounds.ExtendPoint(p)
+	}
 	s.swapShard(snap, i, ns)
 	s.inserts.Add(1)
-	ctl := s.ctls[i]
+	ctl := snap.ctls[i]
 	if ctl.rebuilding {
 		ctl.log = append(ctl.log, shardOp{p: p})
 	}
-	overflow := !ctl.rebuilding && ns.backlog() >= s.opts.compactThreshold
+	if s.repartInFlight {
+		s.repartLog = append(s.repartLog, shardOp{p: p})
+	}
+	overflow := !ctl.rebuilding && !s.repartInFlight && ns.backlog() >= s.opts.compactThreshold
 	background := s.loop != nil && !s.closed
 	s.mu.Unlock()
 	if overflow {
@@ -813,10 +949,10 @@ func (s *Sharded) Insert(p Point) {
 // compaction later clears.
 func (s *Sharded) Delete(p Point) bool {
 	s.mu.Lock()
-	i := s.plan.Locate(p)
 	snap := s.snap.Load()
+	i := snap.plan.Locate(p)
 	ss := snap.shards[i]
-	ctl := s.ctls[i]
+	ctl := snap.ctls[i]
 
 	// A buffered insert is the cheapest thing to undo.
 	for j, q := range ss.extra {
@@ -824,11 +960,15 @@ func (s *Sharded) Delete(p Point) bool {
 			extra := append([]Point(nil), ss.extra[:j]...)
 			extra = append(extra, ss.extra[j+1:]...)
 			ns := &shardSnap{idx: ss.idx, extra: extra, dead: ss.dead, deadN: ss.deadN,
-				bounds: ss.bounds, empty: ss.idx == nil && len(extra) == 0 && ss.deadN == 0}
+				bounds: ss.bounds, empty: ss.idx == nil && len(extra) == 0 && ss.deadN == 0,
+				occ: ss.occ, extraBounds: ss.extraBounds}
 			s.swapShard(snap, i, ns)
 			s.deletes.Add(1)
 			if ctl.rebuilding {
 				ctl.log = append(ctl.log, shardOp{p: p, del: true})
+			}
+			if s.repartInFlight {
+				s.repartLog = append(s.repartLog, shardOp{p: p, del: true})
 			}
 			s.mu.Unlock()
 			return true
@@ -848,13 +988,17 @@ func (s *Sharded) Delete(p Point) bool {
 		dead[k] = v
 	}
 	dead[p]++
-	ns := &shardSnap{idx: ss.idx, extra: ss.extra, dead: dead, deadN: ss.deadN + 1, bounds: ss.bounds}
+	ns := &shardSnap{idx: ss.idx, extra: ss.extra, dead: dead, deadN: ss.deadN + 1,
+		bounds: ss.bounds, occ: ss.occ, extraBounds: ss.extraBounds}
 	s.swapShard(snap, i, ns)
 	s.deletes.Add(1)
 	if ctl.rebuilding {
 		ctl.log = append(ctl.log, shardOp{p: p, del: true})
 	}
-	overflow := !ctl.rebuilding && ns.backlog() >= s.opts.compactThreshold
+	if s.repartInFlight {
+		s.repartLog = append(s.repartLog, shardOp{p: p, del: true})
+	}
+	overflow := !ctl.rebuilding && !s.repartInFlight && ns.backlog() >= s.opts.compactThreshold
 	background := s.loop != nil && !s.closed
 	s.mu.Unlock()
 	if overflow {
@@ -867,12 +1011,12 @@ func (s *Sharded) Delete(p Point) bool {
 	return true
 }
 
-// swapShard publishes a snapshot identical to old except for shard i.
-// Callers hold s.mu.
+// swapShard publishes a snapshot identical to old except for shard i,
+// keeping the plan/ctls/epoch pairing intact. Callers hold s.mu.
 func (s *Sharded) swapShard(old *shardedSnapshot, i int, ns *shardSnap) {
 	shards := append([]*shardSnap(nil), old.shards...)
 	shards[i] = ns
-	s.snap.Store(&shardedSnapshot{shards: shards})
+	s.snap.Store(&shardedSnapshot{plan: old.plan, shards: shards, ctls: old.ctls, epoch: old.epoch})
 }
 
 func (s *Sharded) kick() {
@@ -886,7 +1030,8 @@ func (s *Sharded) kick() {
 
 // rebuildLoop is the background control loop: every interval (or sooner,
 // when a writer signals backlog pressure) it scans the shards and rebuilds
-// any that drifted or overflowed.
+// any that drifted or overflowed, then asks the plan advisor whether
+// cross-shard load imbalance warrants re-learning the partition plan.
 func (s *Sharded) rebuildLoop() {
 	defer s.wg.Done()
 	t := time.NewTicker(s.opts.rebuildInterval)
@@ -899,6 +1044,9 @@ func (s *Sharded) rebuildLoop() {
 		case <-s.kicked:
 		}
 		s.CheckRebuilds()
+		if s.opts.autoRepartition {
+			s.CheckRepartition()
+		}
 	}
 }
 
@@ -910,10 +1058,10 @@ func (s *Sharded) rebuildLoop() {
 func (s *Sharded) CheckRebuilds() int {
 	n := 0
 	snap := s.snap.Load()
-	for i := range s.ctls {
+	for i := range snap.ctls {
 		ss := snap.shards[i]
 		drifted := false
-		if a := s.ctls[i].advisor.Load(); a != nil {
+		if a := snap.ctls[i].advisor.Load(); a != nil {
 			drifted = a.RebuildRecommended()
 		}
 		if drifted || ss.backlog() >= s.opts.compactThreshold {
@@ -930,17 +1078,31 @@ func (s *Sharded) CheckRebuilds() int {
 // result in. Readers are never blocked: the build runs without locks, and
 // writes that arrive meanwhile are logged and replayed onto the new index
 // before the swap. Reports whether a swap happened.
+//
+// Rebuilds and repartitions exclude each other: a rebuild never starts
+// while a migration is in flight (checked here), and a migration never
+// starts while any shard is rebuilding (checked in repartition). Both flags
+// are guarded by s.mu, so the snapshot's plan/ctls pairing cannot change
+// between this capture and the final swap.
 func (s *Sharded) rebuildShard(i int) bool {
-	ctl := s.ctls[i]
-
 	s.mu.Lock()
+	snap := s.snap.Load()
+	if s.repartInFlight || s.closed || i >= len(snap.shards) {
+		// i can exceed the shard count when a migration completed between
+		// the caller observing a backlog and this call; the new plan's
+		// control loop pass will pick up whatever pressure remains.
+		s.mu.Unlock()
+		return false
+	}
+	ctl := snap.ctls[i]
 	if ctl.rebuilding {
 		s.mu.Unlock()
 		return false
 	}
-	ss := s.snap.Load().shards[i]
+	ss := snap.shards[i]
 	recent := ctl.recent.snapshot()
 	gen := ctl.gen
+	epoch := snap.epoch
 	ctl.rebuilding = true
 	ctl.log = nil
 	s.mu.Unlock()
@@ -953,15 +1115,19 @@ func (s *Sharded) rebuildShard(i int) bool {
 	pts := materialize(ss)
 
 	var idx *Index
+	var occ *occupancy
 	if len(pts) > 0 {
 		var err error
-		idx, err = buildShardIndex(pts, recent, s.shardIndexOptions(i, gen+1))
+		idx, err = buildShardIndex(pts, recent, s.shardIndexOptions(epoch, i, gen+1))
+		if err == nil {
+			occ = buildOccupancy(pts, idx.Bounds())
+		}
 		if err != nil {
 			// Unreachable for non-empty pts on the RAM backend; under disk
 			// storage a failed page-file creation lands here. Fail safe by
 			// aborting the swap (and dropping any partial file).
 			if s.opts.storageDir != "" {
-				os.Remove(filepath.Join(s.opts.storageDir, shardPageFile(i, gen+1)))
+				os.Remove(filepath.Join(s.opts.storageDir, shardPageFile(epoch, i, gen+1)))
 			}
 			s.mu.Lock()
 			ctl.rebuilding = false
@@ -983,7 +1149,7 @@ func (s *Sharded) rebuildShard(i int) bool {
 			batch := ctl.log
 			ctl.log = nil
 			s.mu.Unlock()
-			replayOps(idx, batch)
+			replayOps(idx, occ, batch)
 			s.mu.Lock()
 		}
 	}
@@ -996,9 +1162,9 @@ func (s *Sharded) rebuildShard(i int) bool {
 	}
 	var ns *shardSnap
 	if idx != nil {
-		replayOps(idx, ctl.log)
+		replayOps(idx, occ, ctl.log)
 		if idx.Len() > 0 {
-			ns = &shardSnap{idx: idx, bounds: idx.Bounds()}
+			ns = &shardSnap{idx: idx, bounds: idx.Bounds(), occ: occ}
 			ctl.gen = gen + 1
 		} else {
 			discardIndexStorage(idx)
@@ -1023,6 +1189,7 @@ func (s *Sharded) rebuildShard(i int) bool {
 		if len(ns.extra) > 0 {
 			ns.empty = false
 			ns.bounds = geom.RectFromPoints(ns.extra)
+			ns.extraBounds = ns.bounds
 		}
 	}
 	ctl.log = nil
@@ -1041,13 +1208,15 @@ func (s *Sharded) rebuildShard(i int) bool {
 	return true
 }
 
-// replayOps applies logged writes onto a not-yet-published rebuild index.
-func replayOps(idx *Index, ops []shardOp) {
+// replayOps applies logged writes onto a not-yet-published rebuild index,
+// keeping its occupancy bitmap a superset of its contents.
+func replayOps(idx *Index, occ *occupancy, ops []shardOp) {
 	for _, op := range ops {
 		if op.del {
 			idx.Delete(op.p)
 		} else {
 			idx.Insert(op.p)
+			occ.add(op.p)
 		}
 	}
 }
@@ -1104,12 +1273,28 @@ func (s *Sharded) Bytes() int64 {
 	return b
 }
 
-// NumShards returns the number of shards (some possibly empty).
-func (s *Sharded) NumShards() int { return s.plan.NumShards() }
+// NumShards returns the number of shards (some possibly empty) of the
+// currently serving partition plan.
+func (s *Sharded) NumShards() int { return s.snap.Load().plan.NumShards() }
 
 // Rebuilds returns how many shard rebuilds (drift or compaction) have
 // completed since construction.
 func (s *Sharded) Rebuilds() int64 { return s.rebuilds.Load() }
+
+// Repartitions returns how many plan migrations have completed since
+// construction (restored instances continue their snapshot's count).
+func (s *Sharded) Repartitions() int64 { return s.repartitions.Load() }
+
+// PlanEpoch returns the serving plan's epoch: how many repartitions this
+// index (across restarts, via snapshots) has migrated through.
+func (s *Sharded) PlanEpoch() int { return s.snap.Load().epoch }
+
+// Migrating reports whether a plan migration is currently in flight.
+func (s *Sharded) Migrating() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.repartInFlight
+}
 
 // Stats returns aggregated access counters. The scan counters (pages,
 // points, bounding boxes, look-ahead jumps) are summed across live shards
@@ -1146,25 +1331,41 @@ type ShardInfo struct {
 	// WorkloadAware reports whether the shard's index was built against an
 	// anticipated workload.
 	WorkloadAware bool
+	// Load counts queries this shard has served under the current plan
+	// (range/count fan-out targets and point lookups) — the signal the
+	// repartition advisor judges cross-shard imbalance on.
+	Load int64
+	// PagesScanned and PointsScanned are the shard index's cumulative scan
+	// counters — the work (and, disk-backed, the IO) each shard performed.
+	// Comparing them across shards shows imbalance in work units: a shard
+	// can serve few queries yet burn most of the pages.
+	PagesScanned  int64
+	PointsScanned int64
 	// Bounds is the shard's minimum bounding rectangle (zero when empty).
 	Bounds Rect
 }
 
-// Shards returns a point-in-time description of every shard.
+// Shards returns a point-in-time description of every shard of the
+// currently serving plan.
 func (s *Sharded) Shards() []ShardInfo {
 	snap := s.snap.Load()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]ShardInfo, len(snap.shards))
 	for i, ss := range snap.shards {
-		info := ShardInfo{Points: ss.live(), Backlog: ss.backlog(), Rebuilds: s.ctls[i].rebuilds}
+		ctl := snap.ctls[i]
+		info := ShardInfo{Points: ss.live(), Backlog: ss.backlog(),
+			Rebuilds: ctl.rebuilds, Load: ctl.load.Load()}
 		if !ss.empty {
 			info.Bounds = ss.bounds
 		}
 		if ss.idx != nil {
 			info.WorkloadAware = ss.idx.WorkloadAware()
+			st := ss.idx.Stats().AtomicSnapshot()
+			info.PagesScanned = st.PagesScanned
+			info.PointsScanned = st.PointsScanned
 		}
-		if a := s.ctls[i].advisor.Load(); a != nil {
+		if a := ctl.advisor.Load(); a != nil {
 			info.Drift = a.Drift()
 		}
 		out[i] = info
@@ -1181,6 +1382,6 @@ func (s *Sharded) Describe() string {
 			nonEmpty++
 		}
 	}
-	return fmt.Sprintf("Sharded WaZI: %d points across %d/%d shards, %d rebuilds",
-		s.Len(), nonEmpty, len(snap.shards), s.rebuilds.Load())
+	return fmt.Sprintf("Sharded WaZI: %d points across %d/%d shards (plan epoch %d), %d rebuilds, %d repartitions",
+		s.Len(), nonEmpty, len(snap.shards), snap.epoch, s.rebuilds.Load(), s.repartitions.Load())
 }

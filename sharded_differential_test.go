@@ -26,6 +26,10 @@ func (a shardedAsIndex) Stats() *storage.Stats {
 	return &st
 }
 
+// Repartition opts the adapter into the differential suite's mid-stream
+// plan-migration battery (indextest.Repartitioner).
+func (a shardedAsIndex) Repartition() bool { return a.s.Repartition() }
+
 // TestShardedDifferentialConformance runs the full differential conformance
 // suite over Sharded on both storage backends: every subtest builds a RAM
 // twin and a disk-backed twin (fresh page-file directory each), which must

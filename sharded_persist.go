@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 
 	"github.com/wazi-index/wazi/internal/core"
+	"github.com/wazi-index/wazi/internal/geom"
 	"github.com/wazi-index/wazi/internal/shard"
 	"github.com/wazi-index/wazi/internal/storage"
 	"github.com/wazi-index/wazi/internal/zorder"
@@ -26,18 +27,40 @@ const (
 	// shardedMagic identifies a Sharded snapshot stream.
 	shardedMagic = "wazi-sharded"
 	// shardedSnapshotVersion is the on-disk format version; Load refuses
-	// any other value so a format change can never be half-read.
-	shardedSnapshotVersion = 1
+	// any other value so a format change can never be half-read. Version 2
+	// added the plan epoch and the migration record (online repartitioning).
+	shardedSnapshotVersion = 2
 )
 
 // shardedHeader is the versioned partition-plan header that precedes the
-// per-shard records.
+// migration record and the per-shard records.
 type shardedHeader struct {
 	Magic   string
 	Version int
 	Bounds  Rect
 	Cuts    []uint64
 	Shards  int
+	// Epoch is the serving plan's epoch (completed repartitions across the
+	// index's whole history); it namespaces the shard page files on disk.
+	Epoch int
+	// Repartitions is the instance's completed-migration count, restored so
+	// monitoring counters survive restarts (equals Epoch today, but the
+	// counter is per-history and the epoch is per-plan, so both persist).
+	Repartitions int64
+}
+
+// migrationRecord describes a plan migration that was in flight when the
+// snapshot was written. The snapshot body always holds the SERVING plan's
+// complete, consistent state — mid-migration writes apply to the serving
+// shards as well as to the migration log — so a warm start simply resumes
+// serving the old plan and lets its control loop re-learn; the record
+// preserves what the interrupted migration was aiming at for observability
+// and for the decoder's validation surface.
+type migrationRecord struct {
+	InFlight     bool
+	TargetBounds Rect
+	TargetCuts   []uint64
+	TargetShards int
 }
 
 // shardedShardRecord serializes one shard's complete state. The built index
@@ -58,6 +81,13 @@ type shardedShardRecord struct {
 	Attached bool
 	PageFile string
 	Gen      int
+	// Occupancy bitmap of the built index (version 2+): persisting it keeps
+	// fan-out pruning effective on warm start without re-reading every page.
+	// HasOcc false (or implausible contents) degrades to no pruning.
+	HasOcc   bool
+	OccFrame Rect
+	OccSat   bool
+	OccBits  [64]uint64
 }
 
 // maxSnapshotShards bounds the shard count a snapshot header may declare,
@@ -81,23 +111,36 @@ type deadRecord struct {
 func (s *Sharded) Save(w io.Writer) error {
 	s.mu.Lock()
 	snap := s.snap.Load()
-	rebuilds := make([]int, len(s.ctls))
-	recents := make([][]Rect, len(s.ctls))
-	gens := make([]int, len(s.ctls))
-	for i, ctl := range s.ctls {
+	rebuilds := make([]int, len(snap.ctls))
+	recents := make([][]Rect, len(snap.ctls))
+	gens := make([]int, len(snap.ctls))
+	for i, ctl := range snap.ctls {
 		rebuilds[i] = ctl.rebuilds
 		recents[i] = ctl.recent.snapshot()
 		gens[i] = ctl.gen
 	}
+	mig := migrationRecord{InFlight: s.repartInFlight}
+	if s.repartInFlight && s.repartTarget != nil {
+		tc := s.repartTarget.Cuts()
+		mig.TargetBounds = s.repartTarget.Bounds()
+		mig.TargetCuts = make([]uint64, len(tc))
+		for i, c := range tc {
+			mig.TargetCuts[i] = uint64(c)
+		}
+		mig.TargetShards = s.repartTarget.NumShards()
+	}
+	repartitions := s.repartitions.Load()
 	s.mu.Unlock()
 
-	cuts := s.plan.Cuts()
+	cuts := snap.plan.Cuts()
 	h := shardedHeader{
-		Magic:   shardedMagic,
-		Version: shardedSnapshotVersion,
-		Bounds:  s.plan.Bounds(),
-		Cuts:    make([]uint64, len(cuts)),
-		Shards:  len(snap.shards),
+		Magic:        shardedMagic,
+		Version:      shardedSnapshotVersion,
+		Bounds:       snap.plan.Bounds(),
+		Cuts:         make([]uint64, len(cuts)),
+		Shards:       len(snap.shards),
+		Epoch:        snap.epoch,
+		Repartitions: repartitions,
 	}
 	for i, c := range cuts {
 		h.Cuts[i] = uint64(c)
@@ -105,6 +148,9 @@ func (s *Sharded) Save(w io.Writer) error {
 	enc := gob.NewEncoder(w)
 	if err := enc.Encode(&h); err != nil {
 		return fmt.Errorf("wazi: encoding sharded header: %w", err)
+	}
+	if err := enc.Encode(&mig); err != nil {
+		return fmt.Errorf("wazi: encoding migration record: %w", err)
 	}
 	for i, ss := range snap.shards {
 		rec := shardedShardRecord{
@@ -114,6 +160,12 @@ func (s *Sharded) Save(w io.Writer) error {
 			Recent:   recents[i],
 			Rebuilds: rebuilds[i],
 			Gen:      gens[i],
+		}
+		if ss.occ != nil {
+			rec.HasOcc = true
+			rec.OccFrame = ss.occ.frame
+			rec.OccSat = ss.occ.sat
+			rec.OccBits = ss.occ.bits
 		}
 		for p, n := range ss.dead {
 			rec.Dead = append(rec.Dead, deadRecord{P: p, N: n})
@@ -169,8 +221,21 @@ func LoadSharded(r io.Reader, opts ...ShardedOption) (*Sharded, error) {
 	if h.Shards > maxSnapshotShards {
 		return nil, fmt.Errorf("wazi: implausible shard count %d in snapshot", h.Shards)
 	}
+	if err := validateCuts(h.Cuts); err != nil {
+		return nil, fmt.Errorf("wazi: corrupt sharded snapshot: %w", err)
+	}
+	if h.Epoch < 0 || h.Repartitions < 0 {
+		return nil, fmt.Errorf("wazi: corrupt sharded snapshot: negative epoch %d / repartitions %d", h.Epoch, h.Repartitions)
+	}
+	var mig migrationRecord
+	if err := dec.Decode(&mig); err != nil {
+		return nil, fmt.Errorf("wazi: decoding migration record: %w", err)
+	}
+	if err := validateMigrationRecord(mig); err != nil {
+		return nil, fmt.Errorf("wazi: corrupt sharded snapshot: %w", err)
+	}
 
-	cfg := shardedConfig{autoRebuild: true}
+	cfg := shardedConfig{autoRebuild: true, autoRepartition: true}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -186,9 +251,9 @@ func LoadSharded(r io.Reader, opts ...ShardedOption) (*Sharded, error) {
 			return nil, fmt.Errorf("wazi: creating storage dir: %w", err)
 		}
 	}
-	s := &Sharded{plan: shard.Restore(h.Bounds, cuts), opts: cfg}
-	snap := &shardedSnapshot{shards: make([]*shardSnap, h.Shards)}
-	s.ctls = make([]*shardCtl, h.Shards)
+	s := &Sharded{opts: cfg}
+	snap := &shardedSnapshot{plan: shard.Restore(h.Bounds, cuts),
+		shards: make([]*shardSnap, h.Shards), ctls: make([]*shardCtl, h.Shards), epoch: h.Epoch}
 	totalRebuilds := 0
 	keepFiles := map[string]bool{}
 	// closeLoaded unwinds already-adopted page stores when a later shard
@@ -211,9 +276,15 @@ func LoadSharded(r io.Reader, opts ...ShardedOption) (*Sharded, error) {
 		// rebuild would be workload-oblivious, and the next Save would drop
 		// the window the previous process persisted.
 		ctl.recent.preload(rec.Recent)
-		s.ctls[i] = ctl
+		snap.ctls[i] = ctl
 		totalRebuilds += rec.Rebuilds
 		ss := &shardSnap{empty: rec.Empty, extra: rec.Extra, bounds: rec.Bounds}
+		if len(rec.Extra) > 0 {
+			ss.extraBounds = geom.RectFromPoints(rec.Extra)
+		}
+		if rec.HasIdx && rec.HasOcc && plausibleOccupancy(rec) {
+			ss.occ = &occupancy{frame: rec.OccFrame, sat: rec.OccSat, bits: rec.OccBits}
+		}
 		if len(rec.Dead) > 0 {
 			ss.dead = make(map[Point]int, len(rec.Dead))
 			for _, d := range rec.Dead {
@@ -233,7 +304,7 @@ func LoadSharded(r io.Reader, opts ...ShardedOption) (*Sharded, error) {
 			// earlier shard already adopted.
 			name := rec.PageFile
 			if !rec.Attached {
-				name = shardPageFile(i, rec.Gen)
+				name = shardPageFile(h.Epoch, i, rec.Gen)
 			}
 			if keepFiles[name] {
 				closeLoaded()
@@ -241,7 +312,7 @@ func LoadSharded(r io.Reader, opts ...ShardedOption) (*Sharded, error) {
 			}
 		}
 		if rec.HasIdx {
-			idx, pageFile, err := loadShardIndex(rec, i, cfg)
+			idx, pageFile, err := loadShardIndex(rec, h.Epoch, i, cfg)
 			if err != nil {
 				closeLoaded()
 				return nil, fmt.Errorf("wazi: loading shard %d index: %w", i, err)
@@ -260,6 +331,15 @@ func LoadSharded(r io.Reader, opts ...ShardedOption) (*Sharded, error) {
 		sweepStalePageFiles(cfg.storageDir, keepFiles)
 	}
 	s.rebuilds.Store(int64(totalRebuilds))
+	s.repartitions.Store(h.Repartitions)
+	// The persisted windows approximate the workload the serving plan was
+	// learned from; they re-seed the plan-drift reference as well as the
+	// per-shard rings above.
+	var allRecent []Rect
+	for _, ctl := range snap.ctls {
+		allRecent = append(allRecent, ctl.recent.snapshot()...)
+	}
+	s.planRef = queryHist(snap.plan.Bounds(), allRecent)
 	s.snap.Store(snap)
 	s.pool = shard.NewPool(cfg.workers)
 	if cfg.autoRebuild {
@@ -276,7 +356,7 @@ func LoadSharded(r io.Reader, opts ...ShardedOption) (*Sharded, error) {
 // records load in RAM, or — when the caller configured WithShardedStorage —
 // migrate onto a fresh page file. It returns the page-file base name the
 // shard now references, if any.
-func loadShardIndex(rec shardedShardRecord, i int, cfg shardedConfig) (*Index, string, error) {
+func loadShardIndex(rec shardedShardRecord, epoch, i int, cfg shardedConfig) (*Index, string, error) {
 	switch {
 	case rec.Attached:
 		if cfg.storageDir == "" {
@@ -300,7 +380,7 @@ func loadShardIndex(rec shardedShardRecord, i int, cfg shardedConfig) (*Index, s
 		// path between backends. Slot capacity follows the configured
 		// WithLeafSize (or its default) so single-leaf pages stay
 		// single-slot after migration.
-		name := shardPageFile(i, rec.Gen)
+		name := shardPageFile(epoch, i, rec.Gen)
 		st, err := storage.CreatePageFile(filepath.Join(cfg.storageDir, name), storage.DiskOptions{
 			SlotCap:    buildOptions(cfg.indexOpts).LeafSize,
 			CachePages: cfg.cachePages,
@@ -322,4 +402,66 @@ func loadShardIndex(rec shardedShardRecord, i int, cfg shardedConfig) (*Index, s
 		}
 		return idx, "", nil
 	}
+}
+
+// plausibleOccupancy decides whether a restored occupancy bitmap can be
+// trusted for pruning. The bitmap is routing-critical — a zeroed bit makes
+// mayContain silently drop results — so anything a legitimate Save cannot
+// produce degrades to nil (no pruning, always correct) instead: the frame
+// must be a valid rectangle inside the shard's bounds (it was the built
+// index's MBR, and bounds only ever grow from there), and an unsaturated
+// bitmap must mark at least one cell (it was built from a non-empty index).
+func plausibleOccupancy(rec shardedShardRecord) bool {
+	f := rec.OccFrame
+	if !f.Valid() || f.MinX < rec.Bounds.MinX || f.MinY < rec.Bounds.MinY ||
+		f.MaxX > rec.Bounds.MaxX || f.MaxY > rec.Bounds.MaxY {
+		return false
+	}
+	if rec.OccSat {
+		return true
+	}
+	for _, w := range rec.OccBits {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// validateCuts enforces the plan invariant the routing code assumes: cut
+// keys strictly increasing (sort.Search over an unsorted cut list would
+// route points to the wrong shard without ever failing loudly).
+func validateCuts(cuts []uint64) error {
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] <= cuts[i-1] {
+			return fmt.Errorf("cut keys not strictly increasing at %d (%d then %d)", i, cuts[i-1], cuts[i])
+		}
+	}
+	return nil
+}
+
+// validateMigrationRecord rejects inconsistent migration targets. An idle
+// record must be empty. An in-flight record may be empty too — a Save can
+// land in the migration's learn phase, after the in-flight flag is raised
+// but before a target plan exists — but a non-empty target must be
+// structurally valid (the serving plan's invariants, applied to the
+// target).
+func validateMigrationRecord(m migrationRecord) error {
+	if m.TargetShards == 0 && len(m.TargetCuts) == 0 {
+		return nil // no target recorded: idle, or in flight mid-learn
+	}
+	if !m.InFlight {
+		return fmt.Errorf("migration record idle but carries a target plan (%d shards, %d cuts)",
+			m.TargetShards, len(m.TargetCuts))
+	}
+	if m.TargetShards != len(m.TargetCuts)+1 || m.TargetShards < 1 {
+		return fmt.Errorf("in-flight migration target has %d shards with %d cuts", m.TargetShards, len(m.TargetCuts))
+	}
+	if m.TargetShards > maxSnapshotShards {
+		return fmt.Errorf("implausible migration target shard count %d", m.TargetShards)
+	}
+	if err := validateCuts(m.TargetCuts); err != nil {
+		return fmt.Errorf("migration target: %w", err)
+	}
+	return nil
 }

@@ -42,6 +42,8 @@ func main() {
 		os.Exit(cmdList())
 	case "compare":
 		os.Exit(cmdCompare(os.Args[2:]))
+	case "promcheck":
+		os.Exit(cmdPromcheck(os.Args[2:]))
 	case "help", "-h", "-help", "--help":
 		usage(os.Stdout)
 	default:
@@ -59,14 +61,16 @@ func usage(w *os.File) {
 	fmt.Fprint(w, `waziexp — benchmark driver for the WaZI reproduction
 
 commands:
-  run      run experiments under the harness (see waziexp run -h)
-  list     list experiment ids and suites
-  compare  diff two BENCH_*.json reports (see waziexp compare -h)
+  run        run experiments under the harness (see waziexp run -h)
+  list       list experiment ids and suites
+  compare    diff two BENCH_*.json reports (see waziexp compare -h)
+  promcheck  validate a Prometheus text-format scrape (e.g. from /metrics)
 
 examples:
   waziexp run -suite smoke -reps 1 -json BENCH_smoke.json
   waziexp run -exp fig6,fig7 -reps 5 -warmup 1
   waziexp compare BENCH_old.json BENCH_new.json -threshold 0.10
+  waziexp promcheck metrics.txt -require wazi_http_request_seconds
 `)
 }
 

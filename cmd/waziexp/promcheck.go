@@ -1,0 +1,87 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/wazi-index/wazi/internal/obs"
+)
+
+// cmdPromcheck validates a Prometheus text-format file (typically a curl of
+// a waziserve /metrics endpoint) and optionally asserts that required
+// metric families are present. CI uses it to fail loudly when the exporter
+// emits something a real Prometheus scraper would reject, or when a core
+// family disappears.
+func cmdPromcheck(args []string) int {
+	fs := flag.NewFlagSet("waziexp promcheck", flag.ExitOnError)
+	require := fs.String("require", "", "comma-separated metric family names that must be present")
+	quiet := fs.Bool("quiet", false, "suppress the family listing")
+	fs.Usage = func() {
+		fmt.Fprint(os.Stderr, `usage: waziexp promcheck <metrics.txt> [-require fam1,fam2] [-quiet]
+
+Parses the file as Prometheus text exposition format (version 0.0.4).
+Exit codes: 0 valid, 1 parse failure or missing required family, 2 usage.
+`)
+		fs.PrintDefaults()
+	}
+	// Accept the file either before or after the flags.
+	var path string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		path, args = args[0], args[1:]
+	}
+	fs.Parse(args)
+	if path == "" && fs.NArg() > 0 {
+		path = fs.Arg(0)
+	}
+	if path == "" || fs.NArg() > 1 {
+		fs.Usage()
+		return 2
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "waziexp promcheck:", err)
+		return 1
+	}
+	defer f.Close()
+	fams, err := obs.ParsePromText(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "waziexp promcheck: %s: %v\n", path, err)
+		return 1
+	}
+
+	names := make([]string, 0, len(fams))
+	samples := 0
+	for name, fam := range fams {
+		names = append(names, name)
+		samples += len(fam.Samples)
+	}
+	sort.Strings(names)
+	if !*quiet {
+		for _, name := range names {
+			fmt.Printf("%s (%s, %d samples)\n", name, fams[name].Type, len(fams[name].Samples))
+		}
+	}
+	fmt.Printf("%s: %d families, %d samples, valid\n", path, len(fams), samples)
+
+	missing := []string{}
+	if *require != "" {
+		for _, want := range strings.Split(*require, ",") {
+			want = strings.TrimSpace(want)
+			if want == "" {
+				continue
+			}
+			if _, ok := fams[want]; !ok {
+				missing = append(missing, want)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "waziexp promcheck: missing required families: %s\n", strings.Join(missing, ", "))
+		return 1
+	}
+	return 0
+}

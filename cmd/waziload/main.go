@@ -60,6 +60,7 @@ func run() int {
 		mode     = fs.String("mode", "both", "single, batch, or both")
 		jsonPath = fs.String("json", "", "write a wazi-bench/v1 report to this path")
 		quiet    = fs.Bool("quiet", false, "suppress the table; print only summary lines")
+		metrics  = fs.String("metrics-url", "", "scrape this /metrics endpoint before and after the run and fold server-side columns into the report (empty = skip; \"auto\" derives it from -addr)")
 	)
 	fs.Parse(os.Args[1:])
 	if fs.NArg() > 0 {
@@ -110,10 +111,23 @@ func run() int {
 	}
 	hrun := harness.NewRun(harness.Options{Suite: "serving-http"}, cfg, reporters...)
 
+	metricsURL := *metrics
+	if metricsURL == "auto" {
+		metricsURL = base + "/metrics"
+	}
+
 	var results []server.LoadResult
 	var loadErr error
 	hrun.Experiment("serving-http", func() []harness.Table {
 		results = results[:0]
+		var before *metricsSnap
+		if metricsURL != "" {
+			var err error
+			if before, err = scrapeMetrics(metricsURL); err != nil {
+				loadErr = err
+				return nil
+			}
+		}
 		if *mode == "single" || *mode == "both" {
 			res, err := server.RunLoad(base, ops, server.LoadOptions{Clients: *clients, Duration: *duration, Batch: 1})
 			if err != nil {
@@ -130,7 +144,16 @@ func run() int {
 			}
 			results = append(results, res)
 		}
-		return []harness.Table{server.LoadTable("serving-http", ws.Name, *clients, results)}
+		tables := []harness.Table{server.LoadTable("serving-http", ws.Name, *clients, results)}
+		if before != nil {
+			after, err := scrapeMetrics(metricsURL)
+			if err != nil {
+				loadErr = err
+				return nil
+			}
+			tables = append(tables, serverMetricsTable(before, after))
+		}
+		return tables
 	})
 	if loadErr != nil {
 		fmt.Fprintln(os.Stderr, "waziload:", loadErr)

@@ -59,6 +59,9 @@ func run() int {
 		drain    = fs.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
 		storeDir = fs.String("storage-dir", "", "disk-resident leaf pages: per-shard page files under this directory (empty = RAM-resident)")
 		cachePgs = fs.Int("cache-pages", 0, "block-cache capacity per shard, in pages (0 = default 1024); needs -storage-dir")
+		logEvery = fs.Duration("log-interval", 0, "log a one-line ops summary (qps, p95, cache hit rate, heap) this often; 0 disables")
+		slowQ    = fs.Duration("slow-query", 0, "slow-query log threshold for /debug/slowlog (0 = default 250ms, negative records everything)")
+		pprofOn  = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the serving port")
 	)
 	fs.Parse(os.Args[1:])
 	if fs.NArg() > 0 {
@@ -76,14 +79,31 @@ func run() int {
 	logger.Printf("%s: %s", how, idx.Describe())
 
 	srv := server.New(server.Sharded(idx), server.Config{
-		MaxInflight:  *inflight,
-		MaxQueue:     *queue,
-		SnapshotPath: *snapshot,
-		DrainTimeout: *drain,
+		MaxInflight:        *inflight,
+		MaxQueue:           *queue,
+		SnapshotPath:       *snapshot,
+		DrainTimeout:       *drain,
+		SlowQueryThreshold: *slowQ,
+		Pprof:              *pprofOn,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
+
+	if *logEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*logEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					logger.Print(srv.StatsLine())
+				}
+			}
+		}()
+	}
 
 	ready := make(chan string, 1)
 	errc := make(chan error, 1)
@@ -117,6 +137,7 @@ func run() int {
 		logger.Printf("shutdown: %v", err)
 		return 1
 	}
+	logger.Printf("final: %s", srv.CountersLine())
 	if *snapshot != "" {
 		logger.Printf("snapshot written to %s", *snapshot)
 	}

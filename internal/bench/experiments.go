@@ -43,6 +43,7 @@ func Experiments() []Experiment {
 		{"serving-http", "HTTP serving: per-request vs batched replay over the wire", ServingHTTP},
 		{"storage-backends", "range latency: in-memory vs disk-cold vs disk-warm page stores", StorageBackends},
 		{"repartition", "online repartitioning vs static plan under hotspot-shift", RepartitionExperiment},
+		{"obs-overhead", "per-op latency with observability instruments on vs off", ObsOverhead},
 	}
 }
 

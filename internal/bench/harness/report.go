@@ -21,6 +21,69 @@ type Report struct {
 	Env       Environment `json:"env"`
 	Results   []Result    `json:"results"`
 	ElapsedNS int64       `json:"elapsed_ns"`
+	// Extra holds top-level fields this version of the reader does not
+	// know about, preserved verbatim through a read→write cycle. It keeps
+	// wazi-bench/v1 forward-compatible within the major version: a newer
+	// writer may add columns (e.g. server-side metrics sections) and an
+	// older `waziexp compare` still round-trips them instead of silently
+	// dropping them.
+	Extra map[string]json.RawMessage `json:"-"`
+}
+
+// reportAlias avoids recursion inside the custom JSON codecs.
+type reportAlias Report
+
+// knownReportFields are the top-level keys owned by the typed struct.
+var knownReportFields = map[string]bool{
+	"schema": true, "suite": true, "config": true,
+	"env": true, "results": true, "elapsed_ns": true,
+}
+
+// UnmarshalJSON decodes the known fields into the struct and captures any
+// unknown top-level fields in Extra.
+func (r *Report) UnmarshalJSON(data []byte) error {
+	var a reportAlias
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	for k := range raw {
+		if knownReportFields[k] {
+			continue
+		}
+		if a.Extra == nil {
+			a.Extra = map[string]json.RawMessage{}
+		}
+		a.Extra[k] = raw[k]
+	}
+	*r = Report(a)
+	return nil
+}
+
+// MarshalJSON writes the known fields and merges Extra back in. An Extra
+// key colliding with a known field is dropped — the typed value wins.
+func (r Report) MarshalJSON() ([]byte, error) {
+	data, err := json.Marshal(reportAlias(r))
+	if err != nil {
+		return nil, err
+	}
+	if len(r.Extra) == 0 {
+		return data, nil
+	}
+	var merged map[string]json.RawMessage
+	if err := json.Unmarshal(data, &merged); err != nil {
+		return nil, err
+	}
+	for k, v := range r.Extra {
+		if knownReportFields[k] {
+			continue
+		}
+		merged[k] = v
+	}
+	return json.Marshal(merged)
 }
 
 // FindResult returns the report's result for an experiment id, or nil.

@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+)
+
+// TestReportPreservesUnknownFields round-trips a report that carries
+// top-level fields this reader does not know about — the forward-compat
+// contract that lets a newer writer add sections (server-side metrics,
+// annotations) without older tooling destroying them on rewrite.
+func TestReportPreservesUnknownFields(t *testing.T) {
+	in := []byte(`{
+		"schema": "wazi-bench/v1",
+		"suite": "serving",
+		"env": {},
+		"results": [],
+		"elapsed_ns": 42,
+		"server_metrics": {"http_p95_ms": 1.25, "goroutines": 12},
+		"annotations": ["scraped from /metrics"]
+	}`)
+	var r Report
+	if err := json.Unmarshal(in, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Suite != "serving" || r.ElapsedNS != 42 {
+		t.Fatalf("known fields mis-read: %+v", r)
+	}
+	if len(r.Extra) != 2 {
+		t.Fatalf("Extra = %v, want the 2 unknown fields", r.Extra)
+	}
+	if _, ok := r.Extra["server_metrics"]; !ok {
+		t.Fatal("server_metrics not captured")
+	}
+
+	// Write and re-read through the file path tooling uses.
+	path := filepath.Join(t.TempDir(), "BENCH_roundtrip.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics map[string]float64
+	if err := json.Unmarshal(back.Extra["server_metrics"], &metrics); err != nil {
+		t.Fatalf("server_metrics did not survive the round trip: %v", err)
+	}
+	if metrics["http_p95_ms"] != 1.25 {
+		t.Fatalf("server_metrics content changed: %v", metrics)
+	}
+	if back.Suite != "serving" || back.ElapsedNS != 42 {
+		t.Fatalf("known fields lost on round trip: %+v", back)
+	}
+
+	// A report without unknown fields marshals with no Extra noise.
+	plain := Report{Schema: SchemaVersion, Suite: "smoke"}
+	data, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["Extra"]; ok {
+		t.Fatal("Extra leaked into the JSON encoding")
+	}
+}
+
+// TestCompareToleratesUnknownFields ensures Compare works on reports whose
+// files carry fields from a newer writer.
+func TestCompareToleratesUnknownFields(t *testing.T) {
+	mk := func(v float64, extra string) *Report {
+		r := &Report{
+			Schema: SchemaVersion,
+			Suite:  "smoke",
+			Results: []Result{{
+				Experiment: "e",
+				Metrics:    []Metric{{Name: "m", Unit: "ns", Samples: []float64{v}, Summary: Summarize([]float64{v})}},
+			}},
+		}
+		if extra != "" {
+			r.Extra = map[string]json.RawMessage{"server_metrics": json.RawMessage(extra)}
+		}
+		return r
+	}
+	oldPath := filepath.Join(t.TempDir(), "old.json")
+	newPath := filepath.Join(t.TempDir(), "new.json")
+	if err := mk(100, "").WriteFile(oldPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk(90, `{"http_p95_ms": 2.5}`).WriteFile(newPath); err != nil {
+		t.Fatal(err)
+	}
+	oldR, err := ReadFile(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newR, err := ReadFile(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := Compare(oldR, newR, 0.10)
+	if len(cmp.Deltas) == 0 {
+		t.Fatal("compare produced no deltas")
+	}
+}

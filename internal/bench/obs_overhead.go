@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	wazi "github.com/wazi-index/wazi"
+	"github.com/wazi-index/wazi/internal/dataset"
+	"github.com/wazi-index/wazi/internal/workload"
+)
+
+// ObsOverhead measures what the always-on observability instruments (fan-out
+// width and scan-latency histograms, pruned-shard counters) cost on the
+// Sharded hot path, by running identical single-client operation streams
+// against a default (instrumented) index and a WithoutObservability twin.
+// The acceptance target is <= 5% on p95; the number lands in the bench
+// report so regressions show up in the BENCH trajectory.
+func ObsOverhead(cfg Config) []Table {
+	cfg.fill()
+	r := cfg.Regions[0]
+	data := dataset.Generate(r, cfg.Scale, cfg.Seed)
+	train := workload.Skewed(r, cfg.Queries, MidSelectivity, cfg.Seed+21)
+	qs := workload.Skewed(r, cfg.Queries, MidSelectivity, cfg.Seed+31)
+	ins := workload.InsertBatch(cfg.Queries/10+1, cfg.Seed+41)
+	ops := workload.MixedOps(qs, ins, 0.1, cfg.Seed+51)
+	clients := runtime.GOMAXPROCS(0)
+
+	build := func(extra ...wazi.ShardedOption) *wazi.Sharded {
+		opts := append([]wazi.ShardedOption{
+			wazi.WithShards(max(8, clients)),
+			wazi.WithIndexOptions(wazi.WithLeafSize(cfg.LeafSize), wazi.WithSeed(cfg.Seed)),
+			wazi.WithoutAutoRebuild(),
+		}, extra...)
+		s, err := wazi.NewSharded(data, train, opts...)
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}
+
+	t := Table{
+		ID: "obs-overhead",
+		Title: fmt.Sprintf("Observability overhead on the Sharded hot path (%s, %d points, %d ops)",
+			r, cfg.Scale, len(ops)),
+		Header: []string{"Variant", "p50 (ns)", "p95 (ns)", "p99 (ns)"},
+		Notes: []string{
+			"single-client per-op latency, 10% writes; acceptance target: instrumented p95 within 5% of off",
+		},
+	}
+
+	// Warm both variants with one untimed pass so neither side pays
+	// first-touch costs inside the measured window, then time.
+	type variant struct {
+		name string
+		idx  *wazi.Sharded
+	}
+	variants := []variant{
+		{"metrics off", build(wazi.WithoutObservability())},
+		{"metrics on", build()},
+	}
+	p95 := map[string]float64{}
+	for _, v := range variants {
+		measureOpLatencies(v.idx, ops)
+		lat := measureOpLatencies(v.idx, ops)
+		v.idx.Close()
+		p95[v.name] = lat.P95
+		t.Rows = append(t.Rows, []string{
+			v.name,
+			fmt.Sprintf("%.0f", lat.P50),
+			fmt.Sprintf("%.0f", lat.P95),
+			fmt.Sprintf("%.0f", lat.P99),
+		})
+	}
+	ratio := 0.0
+	if p95["metrics off"] > 0 {
+		ratio = p95["metrics on"] / p95["metrics off"]
+	}
+	t.Rows = append(t.Rows, []string{"p95 ratio (on/off)", "", fmt.Sprintf("%.3f", ratio), ""})
+	return []Table{t}
+}

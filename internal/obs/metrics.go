@@ -1,0 +1,305 @@
+// Package obs is the repository's dependency-free observability substrate:
+// atomic counters and gauges, fixed-bucket latency histograms with quantile
+// snapshots, a registry that exports everything in Prometheus text format
+// and as a structured JSON snapshot, a per-query trace facility carried via
+// context.Context, a ring-buffer slow-query log, and a runtime/GC sampler.
+//
+// The package deliberately has no dependencies outside the standard library
+// so every layer of the index — storage, sharding, serving — can hold
+// references to its primitives without import-cycle or vendoring concerns.
+// Metrics are plain value objects owned by the layer that updates them; the
+// Registry is only a naming and export layer on top, so tests can construct
+// and exercise instruments without any global state.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be >= 0 for the exported value to stay monotone).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds n (possibly negative).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram safe for concurrent Observe and
+// Snapshot. Bucket bounds are immutable after construction; observations
+// larger than the highest bound land in an implicit +Inf overflow bucket.
+// The zero Histogram is unusable — construct with NewHistogram.
+type Histogram struct {
+	// bounds are the inclusive upper bounds of the finite buckets, ascending.
+	bounds []float64
+	// counts has len(bounds)+1 entries; the last is the +Inf overflow bucket.
+	counts []atomic.Int64
+	count  atomic.Int64
+	// sum holds math.Float64bits of the running sum, updated by CAS.
+	sum atomic.Uint64
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds.
+// The bounds slice is copied. Passing no bounds yields a histogram that is
+// all overflow bucket — still valid for count/sum, useless for quantiles.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// DefBuckets returns the default latency buckets in seconds: exponential
+// from 1µs to ~8s, factor 2. Suitable for everything from cached page reads
+// to cold multi-second scans.
+func DefBuckets() []float64 {
+	b := make([]float64, 0, 24)
+	v := 1e-6
+	for i := 0; i < 24; i++ {
+		b = append(b, v)
+		v *= 2
+	}
+	return b
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bound >= v; sort.SearchFloat64s finds the first bound >= v for
+	// inclusive upper bounds.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since t0, in seconds.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Bucket is one bucket of a histogram snapshot. Count is the number of
+// observations in this bucket alone (not cumulative); the Prometheus
+// exporter accumulates when writing.
+type Bucket struct {
+	// UpperBound is the inclusive upper bound; +Inf for the overflow bucket.
+	UpperBound float64 `json:"le"`
+	Count      int64   `json:"count"`
+}
+
+// MarshalJSON encodes the overflow bucket's +Inf bound as the string "+Inf",
+// which encoding/json would otherwise reject.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.UpperBound, 1) {
+		return json.Marshal(struct {
+			UpperBound float64 `json:"le"`
+			Count      int64   `json:"count"`
+		}{b.UpperBound, b.Count})
+	}
+	return json.Marshal(struct {
+		UpperBound string `json:"le"`
+		Count      int64  `json:"count"`
+	}{le, b.Count})
+}
+
+// UnmarshalJSON accepts both the numeric and the "+Inf" string encodings.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		UpperBound json.RawMessage `json:"le"`
+		Count      int64           `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	var f float64
+	if err := json.Unmarshal(raw.UpperBound, &f); err == nil {
+		b.UpperBound = f
+		return nil
+	}
+	var s string
+	if err := json.Unmarshal(raw.UpperBound, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "+Inf", "Inf", "inf":
+		b.UpperBound = math.Inf(1)
+	default:
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fmt.Errorf("obs: bucket le %q: %w", s, err)
+		}
+		b.UpperBound = v
+	}
+	return nil
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram with interpolated
+// quantiles. A histogram with zero observations snapshots to all zeros.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+	P50     float64  `json:"p50"`
+	P95     float64  `json:"p95"`
+	P99     float64  `json:"p99"`
+}
+
+// Snapshot copies the histogram state. Concurrent Observes may straddle the
+// copy; the result is consistent enough for monitoring (bucket sums may
+// momentarily disagree with Count by in-flight observations).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     h.Sum(),
+		Buckets: make([]Bucket, len(h.counts)),
+	}
+	bounds := make([]float64, len(h.counts))
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
+		ub := math.Inf(1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		c := h.counts[i].Load()
+		s.Buckets[i] = Bucket{UpperBound: ub, Count: c}
+		bounds[i], counts[i] = ub, c
+	}
+	s.P50 = QuantileFromBuckets(bounds, counts, 0.50)
+	s.P95 = QuantileFromBuckets(bounds, counts, 0.95)
+	s.P99 = QuantileFromBuckets(bounds, counts, 0.99)
+	return s
+}
+
+// QuantileFromBuckets estimates the q-quantile (0 < q <= 1) from per-bucket
+// counts with linear interpolation inside the containing bucket. bounds and
+// counts are parallel, ascending, with the final bound possibly +Inf.
+// Observations in the overflow bucket clamp to the highest finite bound
+// (there is nothing better to report without the raw values). Zero total
+// observations yield 0. The helper is exported so callers holding two bucket
+// snapshots can compute windowed quantiles from their difference.
+func QuantileFromBuckets(bounds []float64, counts []int64, q float64) float64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if float64(cum) >= rank && c > 0 {
+			ub := bounds[i]
+			if math.IsInf(ub, 1) {
+				// Overflow bucket: clamp to the highest finite bound.
+				if i > 0 {
+					return bounds[i-1]
+				}
+				return 0
+			}
+			lb := 0.0
+			if i > 0 {
+				lb = bounds[i-1]
+			}
+			// Position of the rank inside this bucket, linearly interpolated.
+			inBucket := rank - float64(cum-c)
+			frac := inBucket / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lb + (ub-lb)*frac
+		}
+	}
+	// Rank beyond all counted observations (racy snapshot): highest finite.
+	for i := len(bounds) - 1; i >= 0; i-- {
+		if !math.IsInf(bounds[i], 1) {
+			return bounds[i]
+		}
+	}
+	return 0
+}

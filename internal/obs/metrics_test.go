@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	// Nil receivers are silent no-ops so un-wired layers cost nothing.
+	var nc *Counter
+	nc.Inc()
+	nc.Add(3)
+	if nc.Value() != 0 {
+		t.Fatal("nil counter should read 0")
+	}
+	var ng *Gauge
+	ng.Set(9)
+	if ng.Value() != 0 {
+		t.Fatal("nil gauge should read 0")
+	}
+}
+
+func TestHistogramZeroObservations(t *testing.T) {
+	h := NewHistogram(DefBuckets())
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.P50 != 0 || s.P95 != 0 || s.P99 != 0 {
+		t.Fatalf("zero-observation snapshot not all zeros: %+v", s)
+	}
+	if len(s.Buckets) != len(DefBuckets())+1 {
+		t.Fatalf("bucket count = %d, want %d", len(s.Buckets), len(DefBuckets())+1)
+	}
+	if last := s.Buckets[len(s.Buckets)-1]; !math.IsInf(last.UpperBound, 1) {
+		t.Fatalf("last bucket bound = %v, want +Inf", last.UpperBound)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1})
+	h.Observe(50)  // overflow
+	h.Observe(100) // overflow
+	h.Observe(0.05)
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3", s.Count)
+	}
+	if got := s.Buckets[2].Count; got != 2 {
+		t.Fatalf("overflow bucket = %d, want 2", got)
+	}
+	if s.Sum != 150.05 {
+		t.Fatalf("sum = %v, want 150.05", s.Sum)
+	}
+	// Quantiles falling in the overflow bucket clamp to the highest finite
+	// bound rather than reporting +Inf.
+	if s.P95 != 1 || s.P99 != 1 {
+		t.Fatalf("overflow quantiles = p95 %v p99 %v, want 1", s.P95, s.P99)
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5) // all in the (1,2] bucket
+	}
+	s := h.Snapshot()
+	// Interpolation positions p50 halfway through the bucket.
+	if s.P50 <= 1 || s.P50 > 2 {
+		t.Fatalf("p50 = %v, want within (1,2]", s.P50)
+	}
+	if math.Abs(s.P50-1.5) > 0.01 {
+		t.Fatalf("p50 = %v, want ~1.5", s.P50)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(DefBuckets())
+	const goroutines, per = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(g+1) * 1e-6)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Fatalf("count = %d, want %d", got, goroutines*per)
+	}
+	var wantSum float64
+	for g := 0; g < goroutines; g++ {
+		wantSum += float64(g+1) * 1e-6 * per
+	}
+	if math.Abs(h.Sum()-wantSum) > wantSum*1e-9 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+	var inBuckets int64
+	for _, b := range h.Snapshot().Buckets {
+		inBuckets += b.Count
+	}
+	if inBuckets != goroutines*per {
+		t.Fatalf("bucket total = %d, want %d", inBuckets, goroutines*per)
+	}
+}
+
+func TestObserveSince(t *testing.T) {
+	h := NewHistogram(DefBuckets())
+	h.ObserveSince(time.Now().Add(-10 * time.Millisecond))
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	if s := h.Sum(); s < 0.009 || s > 1 {
+		t.Fatalf("observed %v, want ~0.01s", s)
+	}
+	var nh *Histogram
+	nh.Observe(1) // nil-safe
+	nh.ObserveSince(time.Now())
+	if nh.Count() != 0 || nh.Sum() != 0 {
+		t.Fatal("nil histogram should read 0")
+	}
+	if s := nh.Snapshot(); s.Count != 0 {
+		t.Fatal("nil histogram snapshot should be zero")
+	}
+}
+
+func TestQuantileFromBucketsWindowed(t *testing.T) {
+	// Two snapshots of the same histogram; the delta of their bucket counts
+	// yields the quantile of the window in between.
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	for i := 0; i < 10; i++ {
+		h.Observe(0.0005)
+	}
+	before := h.Snapshot()
+	for i := 0; i < 100; i++ {
+		h.Observe(0.05)
+	}
+	after := h.Snapshot()
+	bounds := make([]float64, len(after.Buckets))
+	counts := make([]int64, len(after.Buckets))
+	for i := range after.Buckets {
+		bounds[i] = after.Buckets[i].UpperBound
+		counts[i] = after.Buckets[i].Count - before.Buckets[i].Count
+	}
+	p50 := QuantileFromBuckets(bounds, counts, 0.5)
+	if p50 <= 0.01 || p50 > 0.1 {
+		t.Fatalf("windowed p50 = %v, want within (0.01,0.1]", p50)
+	}
+	if QuantileFromBuckets(bounds, []int64{0, 0, 0, 0}, 0.5) != 0 {
+		t.Fatal("all-zero counts should yield 0")
+	}
+}
+
+func TestRegistryReuseAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("wazi_test_total", "help", L("route", "range"))
+	c2 := r.Counter("wazi_test_total", "help", L("route", "range"))
+	if c1 != c2 {
+		t.Fatal("re-registering the same counter series should return the original")
+	}
+	c3 := r.Counter("wazi_test_total", "help", L("route", "knn"))
+	if c1 == c3 {
+		t.Fatal("distinct label sets must be distinct series")
+	}
+	c1.Add(3)
+	c3.Add(9)
+	g := r.Gauge("wazi_test_gauge", "help")
+	g.Set(-5)
+	r.GaugeFunc("wazi_test_fn", "help", func() float64 { return 2.5 })
+	h := r.Histogram("wazi_test_seconds", "help", DefBuckets())
+	h.Observe(0.25)
+
+	snap := r.Snapshot()
+	if len(snap.Metrics) != 5 {
+		t.Fatalf("snapshot has %d series, want 5", len(snap.Metrics))
+	}
+	if m := snap.Get("wazi_test_gauge"); m == nil || m.Value != -5 {
+		t.Fatalf("gauge snapshot = %+v", snap.Get("wazi_test_gauge"))
+	}
+	if m := snap.Get("wazi_test_seconds"); m == nil || m.Histogram == nil || m.Histogram.Count != 1 {
+		t.Fatalf("histogram snapshot = %+v", snap.Get("wazi_test_seconds"))
+	}
+}
+
+func TestWritePrometheusParsesBack(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("wazi_reqs_total", "Requests served.", L("route", "range")).Add(7)
+	r.Counter("wazi_reqs_total", "Requests served.", L("route", `we"ird\pa`+"\n"+`th`)).Add(1)
+	r.Gauge("wazi_inflight", "In-flight requests.").Set(3)
+	h := r.Histogram("wazi_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(10) // overflow
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	fams, err := ParsePromText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("own exposition does not parse: %v\n%s", err, text)
+	}
+	f := fams["wazi_reqs_total"]
+	if f == nil || f.Type != "counter" || len(f.Samples) != 2 {
+		t.Fatalf("wazi_reqs_total family = %+v", f)
+	}
+	found := false
+	for _, s := range f.Samples {
+		if s.Labels["route"] == `we"ird\pa`+"\n"+`th` {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("escaped label value did not round-trip: %+v", f.Samples)
+	}
+	hf := fams["wazi_latency_seconds"]
+	if hf == nil || hf.Type != "histogram" {
+		t.Fatalf("histogram family = %+v", hf)
+	}
+	// Cumulative buckets: le=0.1 → 1, le=1 → 2, le=+Inf → 3, then sum+count.
+	var infBucket, count float64
+	for _, s := range hf.Samples {
+		if strings.HasSuffix(s.Name, "_bucket") && s.Labels["le"] == "+Inf" {
+			infBucket = s.Value
+		}
+		if strings.HasSuffix(s.Name, "_count") {
+			count = s.Value
+		}
+	}
+	if infBucket != 3 || count != 3 {
+		t.Fatalf("+Inf bucket = %v, count = %v, want 3, 3", infBucket, count)
+	}
+}
+
+func TestParsePromTextRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"wazi_x{route=\"a} 1",           // unterminated quote
+		"wazi_x notanumber",             // bad value
+		"wazi_x{route=a} 1",             // unquoted label
+		"2wazi 1",                       // bad metric name
+		"# TYPE wazi_x wat\nwazi_x 1",   // unknown type
+		"wazi_x 1\n# TYPE wazi_x gauge", // TYPE after samples
+	}
+	for _, in := range bad {
+		if _, err := ParsePromText(strings.NewReader(in)); err == nil {
+			t.Errorf("ParsePromText(%q) accepted malformed input", in)
+		}
+	}
+	// Timestamps and untyped samples are legal.
+	ok := "wazi_y{a=\"b\"} 2.5 1712345678\nwazi_z 1"
+	fams, err := ParsePromText(strings.NewReader(ok))
+	if err != nil {
+		t.Fatalf("ParsePromText(%q): %v", ok, err)
+	}
+	if fams["wazi_y"].Samples[0].Value != 2.5 {
+		t.Fatalf("sample value = %v, want 2.5", fams["wazi_y"].Samples[0].Value)
+	}
+}

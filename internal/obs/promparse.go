@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one parsed sample line of a Prometheus text exposition.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromFamily groups the samples of one metric family, as declared by its
+// # TYPE line (histogram families also own their _bucket/_sum/_count
+// samples). Samples with no preceding metadata form an untyped family.
+type PromFamily struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []PromSample
+}
+
+// ParsePromText parses a Prometheus text-format (0.0.4) exposition and
+// returns the families keyed by name. It is strict enough to catch the
+// failure modes a hand-rolled exporter can produce — malformed label
+// quoting, unparsable values, TYPE after samples — which is what the CI
+// scrape check and waziload's -metrics-url consumer need.
+func ParsePromText(r io.Reader) (map[string]*PromFamily, error) {
+	fams := make(map[string]*PromFamily)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parsePromComment(line, fams); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		f := familyFor(fams, s.Name)
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+func parsePromComment(line string, fams map[string]*PromFamily) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 {
+		return nil // plain comment
+	}
+	switch fields[1] {
+	case "HELP":
+		f := getFam(fams, fields[2])
+		if len(fields) == 4 {
+			f.Help = fields[3]
+		}
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("TYPE line missing type: %q", line)
+		}
+		typ := strings.TrimSpace(fields[3])
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", typ)
+		}
+		f := getFam(fams, fields[2])
+		if len(f.Samples) > 0 {
+			return fmt.Errorf("TYPE for %s after its samples", fields[2])
+		}
+		f.Type = typ
+	}
+	return nil
+}
+
+func getFam(fams map[string]*PromFamily, name string) *PromFamily {
+	f := fams[name]
+	if f == nil {
+		f = &PromFamily{Name: name, Type: "untyped"}
+		fams[name] = f
+	}
+	return f
+}
+
+// familyFor attaches a sample to its family: exact name, or — for histogram
+// and summary suffixes — the declaring base family.
+func familyFor(fams map[string]*PromFamily, sample string) *PromFamily {
+	if f, ok := fams[sample]; ok {
+		return f
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(sample, suf)
+		if base == sample {
+			continue
+		}
+		if f, ok := fams[base]; ok && (f.Type == "histogram" || f.Type == "summary") {
+			return f
+		}
+	}
+	return getFam(fams, sample)
+}
+
+func parsePromSample(line string) (PromSample, error) {
+	var s PromSample
+	i := strings.IndexAny(line, "{ ")
+	if i <= 0 {
+		return s, fmt.Errorf("malformed sample line %q", line)
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		var err error
+		s.Labels, rest, err = parsePromLabels(rest)
+		if err != nil {
+			return s, err
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	// An optional timestamp may follow the value.
+	if j := strings.IndexAny(rest, " \t"); j >= 0 {
+		ts := strings.TrimSpace(rest[j:])
+		rest = rest[:j]
+		if _, err := strconv.ParseInt(ts, 10, 64); err != nil {
+			return s, fmt.Errorf("malformed timestamp %q", ts)
+		}
+	}
+	v, err := parsePromValue(rest)
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parsePromValue(tok string) (float64, error) {
+	switch tok {
+	case "+Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	case "NaN":
+		return strconv.ParseFloat("NaN", 64)
+	}
+	v, err := strconv.ParseFloat(tok, 64)
+	if err != nil {
+		return 0, fmt.Errorf("malformed value %q", tok)
+	}
+	return v, nil
+}
+
+// parsePromLabels parses a {k="v",...} block, returning the labels and the
+// unconsumed tail of the line.
+func parsePromLabels(in string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	i := 1 // past '{'
+	for {
+		for i < len(in) && (in[i] == ' ' || in[i] == ',') {
+			i++
+		}
+		if i < len(in) && in[i] == '}' {
+			return labels, in[i+1:], nil
+		}
+		j := i
+		for j < len(in) && in[j] != '=' {
+			j++
+		}
+		if j >= len(in) {
+			return nil, "", fmt.Errorf("unterminated label block %q", in)
+		}
+		key := strings.TrimSpace(in[i:j])
+		if !validLabelName(key) {
+			return nil, "", fmt.Errorf("invalid label name %q", key)
+		}
+		j++ // past '='
+		if j >= len(in) || in[j] != '"' {
+			return nil, "", fmt.Errorf("label value of %s not quoted", key)
+		}
+		j++
+		var b strings.Builder
+		for {
+			if j >= len(in) {
+				return nil, "", fmt.Errorf("unterminated label value for %s", key)
+			}
+			c := in[j]
+			if c == '\\' {
+				if j+1 >= len(in) {
+					return nil, "", fmt.Errorf("dangling escape in label value for %s", key)
+				}
+				switch in[j+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("bad escape \\%c in label value for %s", in[j+1], key)
+				}
+				j += 2
+				continue
+			}
+			if c == '"' {
+				j++
+				break
+			}
+			b.WriteByte(c)
+			j++
+		}
+		labels[key] = b.String()
+		i = j
+	}
+}
+
+func validMetricName(s string) bool {
+	for i, c := range s {
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func validLabelName(s string) bool {
+	for i, c := range s {
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}

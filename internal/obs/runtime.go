@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Runtime samples the Go runtime — heap, GC, goroutines — behind a short
+// TTL cache so scrape handlers and gauge funcs can call Sample freely
+// without turning every scrape into a ReadMemStats stop-the-world. New GC
+// pauses discovered by a sample are fed into a pause-duration histogram.
+type Runtime struct {
+	mu        sync.Mutex
+	ttl       time.Duration
+	last      time.Time
+	ms        runtime.MemStats
+	lastNumGC uint32
+	pause     *Histogram
+}
+
+// NewRuntime returns a sampler with a 100ms cache TTL.
+func NewRuntime() *Runtime {
+	return &Runtime{ttl: 100 * time.Millisecond, pause: NewHistogram(DefBuckets())}
+}
+
+// PauseHistogram returns the GC pause-duration histogram (seconds).
+func (r *Runtime) PauseHistogram() *Histogram { return r.pause }
+
+// Sample refreshes the cached MemStats if stale and returns a copy. Newly
+// completed GC cycles have their pause durations observed exactly once.
+func (r *Runtime) Sample() runtime.MemStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now()
+	if now.Sub(r.last) < r.ttl && !r.last.IsZero() {
+		return r.ms
+	}
+	runtime.ReadMemStats(&r.ms)
+	r.last = now
+	// PauseNs is a circular buffer of the last 256 pauses, indexed by
+	// (NumGC+255)%256 for the most recent. Feed each cycle finished since
+	// the previous sample, at most the buffer's worth.
+	from := r.lastNumGC
+	if r.ms.NumGC > from+256 {
+		from = r.ms.NumGC - 256
+	}
+	for c := from + 1; c <= r.ms.NumGC; c++ {
+		r.pause.Observe(float64(r.ms.PauseNs[(c+255)%256]) / 1e9)
+	}
+	r.lastNumGC = r.ms.NumGC
+	return r.ms
+}
+
+// Register wires the runtime gauges and the GC pause histogram into reg
+// under the wazi_go_* namespace.
+func (r *Runtime) Register(reg *Registry) {
+	reg.GaugeFunc("wazi_go_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
+		return float64(r.Sample().HeapAlloc)
+	})
+	reg.GaugeFunc("wazi_go_heap_sys_bytes", "Bytes of heap memory obtained from the OS.", func() float64 {
+		return float64(r.Sample().HeapSys)
+	})
+	reg.GaugeFunc("wazi_go_heap_objects", "Number of allocated heap objects.", func() float64 {
+		return float64(r.Sample().HeapObjects)
+	})
+	reg.GaugeFunc("wazi_go_next_gc_bytes", "Heap size target of the next GC cycle.", func() float64 {
+		return float64(r.Sample().NextGC)
+	})
+	reg.CounterFunc("wazi_go_gc_cycles_total", "Completed GC cycles.", func() float64 {
+		return float64(r.Sample().NumGC)
+	})
+	reg.GaugeFunc("wazi_go_goroutines", "Number of live goroutines.", func() float64 {
+		r.Sample() // keep the pause histogram fed even if only this gauge is scraped
+		return float64(runtime.NumGoroutine())
+	})
+	reg.RegisterHistogram("wazi_go_gc_pause_seconds", "Stop-the-world GC pause durations.", r.pause)
+}

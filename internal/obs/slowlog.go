@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowLog keeps the most recent slow-query traces in a fixed-size ring.
+// A trace qualifies when its total duration reaches the threshold. The ring
+// overwrites oldest-first, so under a storm of slow queries the log always
+// shows the latest evidence.
+type SlowLog struct {
+	mu        sync.Mutex
+	threshold time.Duration
+	ring      []TraceSnapshot
+	next      int
+	n         int
+	recorded  atomic.Int64
+}
+
+// NewSlowLog returns a slow-query log holding up to size traces of at least
+// threshold total duration. A non-positive size defaults to 128; a zero
+// threshold records every finished trace (useful in tests).
+func NewSlowLog(size int, threshold time.Duration) *SlowLog {
+	if size <= 0 {
+		size = 128
+	}
+	return &SlowLog{threshold: threshold, ring: make([]TraceSnapshot, size)}
+}
+
+// Threshold returns the qualifying duration.
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Recorded returns the number of traces recorded since start (including
+// those since overwritten).
+func (l *SlowLog) Recorded() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.recorded.Load()
+}
+
+// Record stores ts if it qualifies, reporting whether it was kept.
+func (l *SlowLog) Record(ts TraceSnapshot) bool {
+	if l == nil || time.Duration(ts.TotalNS) < l.threshold {
+		return false
+	}
+	l.mu.Lock()
+	l.ring[l.next] = ts
+	l.next = (l.next + 1) % len(l.ring)
+	if l.n < len(l.ring) {
+		l.n++
+	}
+	l.mu.Unlock()
+	l.recorded.Add(1)
+	return true
+}
+
+// Snapshot returns the retained traces, newest first.
+func (l *SlowLog) Snapshot() []TraceSnapshot {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]TraceSnapshot, 0, l.n)
+	for i := 0; i < l.n; i++ {
+		// next-1 is the most recently written slot.
+		idx := (l.next - 1 - i + len(l.ring)*2) % len(l.ring)
+		out = append(out, l.ring[idx])
+	}
+	return out
+}

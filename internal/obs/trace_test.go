@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpansAndContext(t *testing.T) {
+	tr := NewTrace("range")
+	t0 := time.Now()
+	tr.AddSpan("admission", t0, time.Millisecond, nil)
+	tr.AddSpan("shard_scan", t0.Add(time.Millisecond), 2*time.Millisecond,
+		map[string]int64{"shard": 3, "results": 17})
+	tr.Finish()
+	s := tr.Snapshot()
+	if s.Op != "range" || len(s.Spans) != 2 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Spans[1].Attrs["shard"] != 3 {
+		t.Fatalf("span attrs = %+v", s.Spans[1].Attrs)
+	}
+	if s.TotalNS <= 0 {
+		t.Fatalf("total = %d, want > 0", s.TotalNS)
+	}
+
+	ctx := ContextWithTrace(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("FromContext did not return the attached trace")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("FromContext on a bare context should be nil")
+	}
+
+	// Everything is nil-safe.
+	var nt *QueryTrace
+	nt.AddSpan("x", time.Now(), 0, nil)
+	nt.Finish()
+	if nt.Snapshot().Op != "" || nt.Op() != "" || nt.Total() != 0 {
+		t.Fatal("nil trace should be inert")
+	}
+}
+
+func TestTraceConcurrentAddSpan(t *testing.T) {
+	tr := NewTrace("range")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.AddSpan("shard_scan", time.Now(), time.Microsecond, nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := len(tr.Snapshot().Spans); n != 800 {
+		t.Fatalf("spans = %d, want 800", n)
+	}
+}
+
+func TestSlowLogRingAndThreshold(t *testing.T) {
+	l := NewSlowLog(3, 10*time.Millisecond)
+	if l.Record(TraceSnapshot{Op: "fast", TotalNS: int64(time.Millisecond)}) {
+		t.Fatal("fast trace should not qualify")
+	}
+	for i := 0; i < 5; i++ {
+		ts := TraceSnapshot{Op: "slow", TotalNS: int64(time.Second) + int64(i)}
+		if !l.Record(ts) {
+			t.Fatal("slow trace should qualify")
+		}
+	}
+	got := l.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("ring kept %d, want 3", len(got))
+	}
+	// Newest first: totals 4, 3, 2 (by the +i stamp).
+	for i, want := range []int64{4, 3, 2} {
+		if got[i].TotalNS != int64(time.Second)+want {
+			t.Fatalf("ring[%d] = %d, want second+%d", i, got[i].TotalNS, want)
+		}
+	}
+	if l.Recorded() != 5 {
+		t.Fatalf("recorded = %d, want 5", l.Recorded())
+	}
+
+	// Zero threshold records everything; nil log is inert.
+	all := NewSlowLog(0, 0)
+	if !all.Record(TraceSnapshot{}) {
+		t.Fatal("zero-threshold log should record everything")
+	}
+	var nl *SlowLog
+	if nl.Record(TraceSnapshot{TotalNS: 1 << 40}) || nl.Snapshot() != nil || nl.Recorded() != 0 {
+		t.Fatal("nil slow log should be inert")
+	}
+}
+
+func TestRuntimeSampler(t *testing.T) {
+	r := NewRuntime()
+	before := r.Sample()
+	runtime.GC()
+	r.last = time.Time{} // expire the TTL cache deterministically
+	after := r.Sample()
+	if after.NumGC <= before.NumGC {
+		t.Fatalf("NumGC did not advance: %d -> %d", before.NumGC, after.NumGC)
+	}
+	if r.PauseHistogram().Count() == 0 {
+		t.Fatal("GC pause histogram not fed after a forced GC")
+	}
+
+	reg := NewRegistry()
+	r.Register(reg)
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"wazi_go_heap_alloc_bytes", "wazi_go_goroutines",
+		"wazi_go_gc_cycles_total", "wazi_go_gc_pause_seconds",
+	} {
+		if snap.Get(name) == nil {
+			t.Fatalf("runtime metric %s not registered", name)
+		}
+	}
+	if snap.Get("wazi_go_heap_alloc_bytes").Value <= 0 {
+		t.Fatal("heap_alloc gauge should be positive")
+	}
+}

@@ -5,6 +5,9 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"github.com/wazi-index/wazi/internal/obs"
 )
 
 // errCoalescerClosed is returned to reads that were still queued when the
@@ -12,10 +15,14 @@ import (
 var errCoalescerClosed = errors.New("server: shutting down")
 
 // readTask is one pending read: a closure over the decoded request that the
-// executing worker runs against a pinned snapshot view.
+// executing worker runs against a pinned snapshot view. tr/enq carry the
+// request's trace through the queue so the worker can attribute the shared
+// snapshot pass (queue wait + batch size) to every read it coalesced.
 type readTask struct {
 	fn   func(ReadView) any
 	done chan any
+	tr   *obs.QueryTrace
+	enq  time.Time
 }
 
 // coalescer groups concurrent singleton reads into snapshot passes: a fixed
@@ -83,7 +90,11 @@ func (c *coalescer) worker() {
 		c.batches.Add(1)
 		c.reads.Add(int64(len(group)))
 		for _, t := range group {
-			t.done <- t.fn(v)
+			if t.tr != nil {
+				t.tr.AddSpan("batcher", t.enq, time.Since(t.enq),
+					map[string]int64{"batch": int64(len(group))})
+			}
+			t.done <- t.fn(tracedView(v, t.tr))
 		}
 	}
 }
@@ -92,7 +103,7 @@ func (c *coalescer) worker() {
 // queueing and while waiting, so a client that disconnects stops consuming
 // server resources as soon as a worker would pick its task up.
 func (c *coalescer) run(ctx context.Context, fn func(ReadView) any) (any, error) {
-	t := &readTask{fn: fn, done: make(chan any, 1)}
+	t := &readTask{fn: fn, done: make(chan any, 1), tr: obs.FromContext(ctx), enq: time.Now()}
 	select {
 	case c.tasks <- t:
 	case <-c.quit:

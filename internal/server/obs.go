@@ -1,0 +1,264 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	wazi "github.com/wazi-index/wazi"
+	"github.com/wazi-index/wazi/internal/obs"
+)
+
+// This file wires the obs instruments into the serving layer: the metrics
+// registry behind /metrics and /statsz, per-route latency histograms, the
+// slow-query log behind /debug/slowlog, optional pprof, and the periodic
+// one-line ops summary waziserve logs.
+
+// obsBackend is the optional backend surface the registry scrapes shard-
+// level instruments from; *wazi.Sharded (via the Sharded adapter) provides
+// it, test doubles usually don't.
+type obsBackend interface {
+	Obs() *wazi.ShardedObs
+	PoolCounters() (ran, inline int64)
+}
+
+// routes are the op endpoints, by histogram label.
+var routes = []string{"range", "count", "point", "knn", "insert", "delete", "batch"}
+
+// initObs builds the registry and registers every layer's instruments.
+// Called once from New.
+func (s *Server) initObs() {
+	reg := obs.NewRegistry()
+	s.reg = reg
+	s.rt = obs.NewRuntime()
+	s.slow = obs.NewSlowLog(s.cfg.SlowLogSize, s.cfg.SlowQueryThreshold)
+
+	s.routeHist = make(map[string]*obs.Histogram, len(routes))
+	for _, route := range routes {
+		s.routeHist[route] = reg.Histogram("wazi_http_request_seconds",
+			"HTTP request latency by route, admission wait included.",
+			obs.DefBuckets(), obs.L("route", route))
+	}
+	s.reqAll = obs.NewHistogram(obs.DefBuckets())
+
+	// Admission gate and coalescer.
+	reg.GaugeFunc("wazi_http_inflight", "Admitted requests currently executing.",
+		func() float64 { return float64(s.gate.inflight.Load()) })
+	reg.GaugeFunc("wazi_http_queued", "Requests waiting for an admission slot.",
+		func() float64 { return float64(s.gate.queued.Load()) })
+	reg.CounterFunc("wazi_http_admitted_total", "Requests admitted by the gate.",
+		func() float64 { return float64(s.gate.admitted.Load()) })
+	reg.CounterFunc("wazi_http_shed_total", "Requests shed with 429 by the gate.",
+		func() float64 { return float64(s.gate.shed.Load()) })
+	reg.CounterFunc("wazi_ops_served_total", "Logical index operations served (batch ops count individually).",
+		func() float64 { return float64(s.ops.Load()) })
+	reg.CounterFunc("wazi_coalesced_passes_total", "Shared snapshot passes executed by the read coalescer.",
+		func() float64 { return float64(s.co.batches.Load()) })
+	reg.CounterFunc("wazi_coalesced_reads_total", "Reads folded into coalescer passes.",
+		func() float64 { return float64(s.co.reads.Load()) })
+	reg.GaugeFunc("wazi_slowlog_recorded_total", "Slow queries recorded since start.",
+		func() float64 { return float64(s.slow.Recorded()) })
+
+	// Backend shape and progress.
+	reg.GaugeFunc("wazi_index_points", "Points currently indexed.",
+		func() float64 { return float64(s.b.Len()) })
+	reg.GaugeFunc("wazi_index_shards", "Shards of the current partition plan.",
+		func() float64 { return float64(s.b.NumShards()) })
+	reg.CounterFunc("wazi_index_rebuilds_total", "Shard rebuilds completed.",
+		func() float64 { return float64(s.b.Rebuilds()) })
+	reg.CounterFunc("wazi_index_repartitions_total", "Live plan migrations completed.",
+		func() float64 { return float64(s.b.Repartitions()) })
+	reg.GaugeFunc("wazi_index_plan_epoch", "Partition plan epoch.",
+		func() float64 { return float64(s.b.PlanEpoch()) })
+	reg.GaugeFunc("wazi_index_migrating", "1 while a plan migration is in flight.",
+		func() float64 {
+			if s.b.Migrating() {
+				return 1
+			}
+			return 0
+		})
+
+	// Block-cache counters, from the aggregated index stats.
+	reg.CounterFunc("wazi_cache_hits_total", "Block-cache hits across all shards.",
+		func() float64 { return float64(s.b.Stats().CacheHits) })
+	reg.CounterFunc("wazi_cache_misses_total", "Block-cache misses across all shards.",
+		func() float64 { return float64(s.b.Stats().CacheMisses) })
+	reg.CounterFunc("wazi_cache_evictions_total", "Block-cache evictions across all shards.",
+		func() float64 { return float64(s.b.Stats().CacheEvictions) })
+
+	// Shard-layer instruments, when the backend carries them.
+	if ob, ok := s.b.(obsBackend); ok {
+		if so := ob.Obs(); so != nil {
+			reg.RegisterHistogram("wazi_fanout_width_shards",
+				"Shards targeted per fan-out query after pruning.", so.FanoutWidth)
+			reg.CounterFunc("wazi_fanout_pruned_total", "Shards pruned from fan-outs.",
+				func() float64 { return float64(so.FanoutPruned.Value()) })
+			reg.RegisterHistogram("wazi_shard_scan_seconds", "Per-shard scan latency.", so.ShardScan)
+			reg.RegisterHistogram("wazi_page_read_seconds", "Disk page-file read latency (cache misses).", so.PageRead)
+			reg.RegisterHistogram("wazi_shard_rebuild_seconds", "Drift/compaction shard rebuild durations.", so.Rebuild)
+			reg.RegisterHistogram("wazi_migration_seconds", "Live repartition migration durations.", so.Migration)
+		}
+		reg.CounterFunc("wazi_pool_tasks_total", "Fan-out pool tasks executed.",
+			func() float64 { ran, _ := ob.PoolCounters(); return float64(ran) })
+		reg.CounterFunc("wazi_pool_tasks_inline_total", "Fan-out pool tasks run inline on the caller.",
+			func() float64 { _, inline := ob.PoolCounters(); return float64(inline) })
+	}
+
+	s.rt.Register(reg)
+	s.lastLine.at = s.start
+}
+
+// Registry returns the server's metrics registry, for tests and for
+// embedding extra process-level series before serving.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// SlowLog returns the server's slow-query log.
+func (s *Server) SlowLog() *obs.SlowLog { return s.slow }
+
+// status counts one finished request by route and status code.
+func (s *Server) status(route string, code int) {
+	s.reg.Counter("wazi_http_requests_total", "HTTP requests by route and status code.",
+		obs.L("route", route), obs.L("code", strconv.Itoa(code))).Inc()
+}
+
+// statusRecorder captures the status code a handler wrote.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// tracedView hands tr to a view that supports tracing (the production
+// *wazi.View); doubles and other backends pass through untouched.
+func tracedView(v ReadView, tr *obs.QueryTrace) ReadView {
+	if tr == nil || v == nil {
+		return v
+	}
+	if wv, ok := v.(*wazi.View); ok {
+		return wv.WithTrace(tr)
+	}
+	return v
+}
+
+// ---------------------------------------------------------------- endpoints
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "/metrics requires GET")
+		return
+	}
+	s.rt.Sample() // refresh the GC pause histogram before exporting
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+// slowlogResp is the JSON shape of /debug/slowlog.
+type slowlogResp struct {
+	ThresholdNS int64               `json:"threshold_ns"`
+	Recorded    int64               `json:"recorded"`
+	Traces      []obs.TraceSnapshot `json:"traces"`
+}
+
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "/debug/slowlog requires GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, slowlogResp{
+		ThresholdNS: int64(s.slow.Threshold()),
+		Recorded:    s.slow.Recorded(),
+		Traces:      s.slow.Snapshot(),
+	})
+}
+
+// mountPprof exposes net/http/pprof under /debug/pprof/. Gated behind
+// Config.Pprof because profiling endpoints on a serving port are an
+// operational decision, not a default.
+func (s *Server) mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// ---------------------------------------------------------------- summaries
+
+// lineWindow is the state StatsLine differences against: the previous
+// call's aggregate latency snapshot, op count, cache counters, and time.
+type lineWindow struct {
+	mu    sync.Mutex
+	at    time.Time
+	hist  obs.HistogramSnapshot
+	ops   int64
+	stats wazi.Stats
+}
+
+// StatsLine returns a one-line ops summary — qps, windowed p95, cache hit
+// rate, heap, goroutines — where every rate is computed over the window
+// since the previous StatsLine call. waziserve logs it on -log-interval.
+func (s *Server) StatsLine() string {
+	now := time.Now()
+	hist := s.reqAll.Snapshot()
+	ops := s.ops.Load()
+	stats := s.b.Stats()
+
+	s.lastLine.mu.Lock()
+	prev := lineWindow{at: s.lastLine.at, hist: s.lastLine.hist, ops: s.lastLine.ops, stats: s.lastLine.stats}
+	s.lastLine.at, s.lastLine.hist, s.lastLine.ops, s.lastLine.stats = now, hist, ops, stats
+	s.lastLine.mu.Unlock()
+
+	dt := now.Sub(prev.at).Seconds()
+	if dt <= 0 {
+		dt = 1
+	}
+	qps := float64(ops-prev.ops) / dt
+
+	p95 := 0.0
+	if len(hist.Buckets) == len(prev.hist.Buckets) {
+		bounds := make([]float64, len(hist.Buckets))
+		counts := make([]int64, len(hist.Buckets))
+		for i := range hist.Buckets {
+			bounds[i] = hist.Buckets[i].UpperBound
+			counts[i] = hist.Buckets[i].Count - prev.hist.Buckets[i].Count
+		}
+		p95 = obs.QuantileFromBuckets(bounds, counts, 0.95)
+	} else if len(hist.Buckets) > 0 {
+		// First call: no previous window, use lifetime quantile.
+		p95 = hist.P95
+	}
+
+	dh := stats.CacheHits - prev.stats.CacheHits
+	dm := stats.CacheMisses - prev.stats.CacheMisses
+	hitRate := 0.0
+	if dh+dm > 0 {
+		hitRate = 100 * float64(dh) / float64(dh+dm)
+	}
+
+	ms := s.rt.Sample()
+	return fmt.Sprintf("ops=%d qps=%.1f p95=%.2fms cache_hit=%.1f%% heap=%.1fMB goroutines=%d",
+		ops, qps, p95*1e3, hitRate, float64(ms.HeapAlloc)/(1<<20), runtime.NumGoroutine())
+}
+
+// CountersLine returns the final cumulative counters, logged by waziserve
+// after the SIGTERM drain completes.
+func (s *Server) CountersLine() string {
+	stats := s.b.Stats()
+	return fmt.Sprintf("ops=%d admitted=%d shed=%d coalesced_passes=%d coalesced_reads=%d cache_hits=%d cache_misses=%d slow_queries=%d",
+		s.ops.Load(), s.gate.admitted.Load(), s.gate.shed.Load(),
+		s.co.batches.Load(), s.co.reads.Load(),
+		stats.CacheHits, stats.CacheMisses, s.slow.Recorded())
+}
+
+// obsSnapshot is the structured registry snapshot /statsz embeds.
+func (s *Server) obsSnapshot() obs.Snapshot { return s.reg.Snapshot() }

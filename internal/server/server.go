@@ -37,6 +37,7 @@ import (
 	"time"
 
 	wazi "github.com/wazi-index/wazi"
+	"github.com/wazi-index/wazi/internal/obs"
 	"github.com/wazi-index/wazi/internal/workload"
 )
 
@@ -102,6 +103,14 @@ type Config struct {
 	// DrainTimeout bounds graceful shutdown's wait for in-flight requests
 	// (default 10s).
 	DrainTimeout time.Duration
+	// SlowQueryThreshold is the total request duration at which a traced
+	// request enters the slow-query log at /debug/slowlog (default 250ms).
+	// Negative records every request (useful in tests).
+	SlowQueryThreshold time.Duration
+	// SlowLogSize bounds the slow-query ring buffer (default 128).
+	SlowLogSize int
+	// Pprof mounts net/http/pprof under /debug/pprof/ when set.
+	Pprof bool
 }
 
 func (c *Config) fill() {
@@ -124,6 +133,15 @@ func (c *Config) fill() {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 10 * time.Second
 	}
+	switch {
+	case c.SlowQueryThreshold == 0:
+		c.SlowQueryThreshold = 250 * time.Millisecond
+	case c.SlowQueryThreshold < 0:
+		c.SlowQueryThreshold = 0 // record everything
+	}
+	if c.SlowLogSize <= 0 {
+		c.SlowLogSize = 128
+	}
 }
 
 // maxBodyBytes bounds request bodies; a 64k-op batch of ~100 bytes/op fits
@@ -139,6 +157,16 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 	ops   atomic.Int64 // logical index operations served (batch ops count individually)
+
+	// Observability (obs.go): registry behind /metrics and /statsz, runtime
+	// sampler, slow-query log, per-route latency histograms, and the
+	// all-routes aggregate StatsLine windows over.
+	reg       *obs.Registry
+	rt        *obs.Runtime
+	slow      *obs.SlowLog
+	routeHist map[string]*obs.Histogram
+	reqAll    *obs.Histogram
+	lastLine  lineWindow
 }
 
 // New builds a Server. Call Close (or let Serve's shutdown path do it) to
@@ -152,16 +180,22 @@ func New(b Backend, cfg Config) *Server {
 		start: time.Now(),
 	}
 	s.co = newCoalescer(b, cfg.CoalesceWorkers, cfg.CoalesceBatch, cfg.MaxInflight+cfg.MaxQueue+1)
+	s.initObs()
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/range", s.opHandler(s.handleRange))
-	mux.HandleFunc("/v1/count", s.opHandler(s.handleCount))
-	mux.HandleFunc("/v1/point", s.opHandler(s.handlePoint))
-	mux.HandleFunc("/v1/knn", s.opHandler(s.handleKNN))
-	mux.HandleFunc("/v1/insert", s.opHandler(s.handleInsert))
-	mux.HandleFunc("/v1/delete", s.opHandler(s.handleDelete))
-	mux.HandleFunc("/v1/batch", s.opHandler(s.handleBatch))
+	mux.HandleFunc("/v1/range", s.opHandler("range", s.handleRange))
+	mux.HandleFunc("/v1/count", s.opHandler("count", s.handleCount))
+	mux.HandleFunc("/v1/point", s.opHandler("point", s.handlePoint))
+	mux.HandleFunc("/v1/knn", s.opHandler("knn", s.handleKNN))
+	mux.HandleFunc("/v1/insert", s.opHandler("insert", s.handleInsert))
+	mux.HandleFunc("/v1/delete", s.opHandler("delete", s.handleDelete))
+	mux.HandleFunc("/v1/batch", s.opHandler("batch", s.handleBatch))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
+	if cfg.Pprof {
+		s.mountPprof(mux)
+	}
 	s.mux = mux
 	return s
 }
@@ -201,28 +235,53 @@ func decode(r *http.Request, v any) error {
 	return nil
 }
 
-// opHandler wraps an op endpoint with method filtering and admission
-// control: the slot is held for the whole request, so MaxInflight bounds
-// every kind of in-flight work and MaxQueue bounds the line behind it.
-func (s *Server) opHandler(h http.HandlerFunc) http.HandlerFunc {
+// opHandler wraps an op endpoint with method filtering, admission control,
+// and observability: the slot is held for the whole request, so MaxInflight
+// bounds every kind of in-flight work and MaxQueue bounds the line behind
+// it. Every request carries a QueryTrace in its context; the admission wait
+// becomes the trace's first span, the request's total latency lands in the
+// per-route histogram, and slow requests enter the slow-query log.
+func (s *Server) opHandler(route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.routeHist[route]
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
 			writeError(w, http.StatusMethodNotAllowed, "%s requires POST", r.URL.Path)
+			s.status(route, http.StatusMethodNotAllowed)
 			return
 		}
+		tr := obs.NewTrace(route)
+		r = r.WithContext(obs.ContextWithTrace(r.Context(), tr))
+		admit := time.Now()
 		release, err := s.gate.acquire(r.Context())
 		if err != nil {
+			code := http.StatusServiceUnavailable
 			if errors.Is(err, errShed) {
 				w.Header().Set("Retry-After", "1")
-				writeError(w, http.StatusTooManyRequests, "overloaded: admission queue full")
+				code = http.StatusTooManyRequests
+				writeError(w, code, "overloaded: admission queue full")
 			} else {
-				writeError(w, http.StatusServiceUnavailable, "canceled while queued: %v", err)
+				writeError(w, code, "canceled while queued: %v", err)
 			}
+			s.status(route, code)
+			hist.ObserveSince(admit)
+			s.reqAll.ObserveSince(admit)
 			return
 		}
-		defer release()
-		h(w, r)
+		tr.AddSpan("admission", admit, time.Since(admit), nil)
+		sw := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			release()
+			tr.Finish()
+			d := tr.Total()
+			hist.Observe(d.Seconds())
+			s.reqAll.Observe(d.Seconds())
+			s.status(route, sw.code)
+			if sw.code == http.StatusOK && d >= s.slow.Threshold() {
+				s.slow.Record(tr.Snapshot())
+			}
+		}()
+		h(sw, r)
 	}
 }
 
@@ -403,10 +462,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	tr := obs.FromContext(r.Context())
 	res, err := s.co.run(r.Context(), func(view ReadView) any {
 		pin := func() ReadView {
 			if view == nil {
-				view = s.b.View()
+				view = tracedView(s.b.View(), tr)
 			}
 			return view
 		}
@@ -508,6 +568,10 @@ type statszResp struct {
 	CacheEvictions  int64        `json:"cache_evictions"`
 	IndexStats      wazi.Stats   `json:"index_stats"`
 	ShardStates     []shardState `json:"shard_states"`
+	// Obs is the structured snapshot of every registered metric series —
+	// the same data /metrics exports, in JSON, with histogram quantiles
+	// precomputed.
+	Obs obs.Snapshot `json:"obs"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
@@ -535,6 +599,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		CacheMisses:     stats.CacheMisses,
 		CacheEvictions:  stats.CacheEvictions,
 		IndexStats:      stats,
+		Obs:             s.obsSnapshot(),
 	}
 	for i, info := range s.b.Shards() {
 		resp.ShardStates = append(resp.ShardStates, shardState{

@@ -15,6 +15,12 @@ type Pool struct {
 	wg     sync.WaitGroup
 	inline bool
 	closed atomic.Bool
+
+	// ran counts tasks executed; ranInline counts the subset that ran on
+	// the calling goroutine (overflow or inline mode). Their ratio shows
+	// whether the fan-out actually parallelizes or the pool is saturated.
+	ran       atomic.Int64
+	ranInline atomic.Int64
 }
 
 // NewPool starts a pool with n workers. With n <= 1 the pool runs in inline
@@ -48,15 +54,24 @@ func NewPool(n int) *Pool {
 // inline, so in-flight queries drain safely during shutdown.
 func (p *Pool) Do(tasks []func()) {
 	if len(tasks) == 1 {
+		if p != nil {
+			p.ran.Add(1)
+			p.ranInline.Add(1)
+		}
 		tasks[0]()
 		return
 	}
 	if p == nil || p.inline || p.closed.Load() {
+		if p != nil {
+			p.ran.Add(int64(len(tasks)))
+			p.ranInline.Add(int64(len(tasks)))
+		}
 		for _, t := range tasks {
 			t()
 		}
 		return
 	}
+	p.ran.Add(int64(len(tasks)))
 	var wg sync.WaitGroup
 	wg.Add(len(tasks))
 	for _, t := range tasks {
@@ -65,10 +80,20 @@ func (p *Pool) Do(tasks []func()) {
 		select {
 		case p.tasks <- wrapped:
 		default:
+			p.ranInline.Add(1)
 			wrapped()
 		}
 	}
 	wg.Wait()
+}
+
+// Counters returns the cumulative number of tasks executed and how many of
+// them ran inline on the calling goroutine.
+func (p *Pool) Counters() (ran, inline int64) {
+	if p == nil {
+		return 0, 0
+	}
+	return p.ran.Load(), p.ranInline.Load()
 }
 
 // Inline reports whether the pool executes everything on the caller.

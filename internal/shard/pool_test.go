@@ -60,3 +60,40 @@ func TestPoolAfterClose(t *testing.T) {
 		t.Fatal("tasks lost after Close")
 	}
 }
+
+func TestPoolCounters(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var n atomic.Int64
+	tasks := make([]func(), 8)
+	for i := range tasks {
+		tasks[i] = func() { n.Add(1) }
+	}
+	p.Do(tasks)
+	ran, inline := p.Counters()
+	if ran != 8 {
+		t.Fatalf("ran = %d, want 8", ran)
+	}
+	if inline < 0 || inline > 8 {
+		t.Fatalf("inline = %d, want within [0,8]", inline)
+	}
+
+	// Inline mode counts everything as inline.
+	ip := NewPool(1)
+	ip.Do(tasks)
+	ran, inline = ip.Counters()
+	if ran != 8 || inline != 8 {
+		t.Fatalf("inline pool counters = %d/%d, want 8/8", ran, inline)
+	}
+
+	// Single-task fast path still counts.
+	ip.Do(tasks[:1])
+	if ran, _ = ip.Counters(); ran != 9 {
+		t.Fatalf("ran = %d, want 9", ran)
+	}
+
+	var np *Pool
+	if r, i := np.Counters(); r != 0 || i != 0 {
+		t.Fatal("nil pool counters should be zero")
+	}
+}

@@ -8,8 +8,10 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/obs"
 )
 
 // DiskStore is the disk-resident PageStore: a fixed-slot page file plus an
@@ -46,6 +48,13 @@ type DiskStore struct {
 	loading map[PageID]chan struct{}
 	hist    queryHist
 	sink    atomic.Pointer[Stats]
+
+	// reads/readNanos count page-file read operations and their summed
+	// latency. They are atomics (not mu-guarded) so traced query paths can
+	// take before/after deltas without touching the store mutex.
+	reads     atomic.Int64
+	readNanos atomic.Int64
+	readObs   atomic.Pointer[obs.Histogram]
 
 	hits, misses, evictions, hotRetained int64 // guarded by mu
 }
@@ -476,7 +485,14 @@ func (d *DiskStore) Page(id PageID) *Page {
 		d.mu.Unlock()
 	}()
 
+	t0 := time.Now()
 	pg, bounds := d.readPage(id)
+	elapsed := time.Since(t0)
+	d.reads.Add(1)
+	d.readNanos.Add(int64(elapsed))
+	if h := d.readObs.Load(); h != nil {
+		h.Observe(elapsed.Seconds())
+	}
 
 	d.mu.Lock()
 	d.cacheInsert(id, pg, bounds)
@@ -585,6 +601,19 @@ func (d *DiskStore) CacheStats() CacheStats {
 
 // SetStatsSink implements PageStore.
 func (d *DiskStore) SetStatsSink(s *Stats) { d.sink.Store(s) }
+
+// SetReadObs attaches a latency histogram that every page-file read (cache
+// miss) is observed into, in seconds. Pass nil to detach.
+func (d *DiskStore) SetReadObs(h *obs.Histogram) { d.readObs.Store(h) }
+
+// ReadIO returns the cumulative number of page-file reads and their summed
+// latency in nanoseconds. Traced query paths take before/after deltas to
+// attribute page I/O to a single query; under concurrent faulting the delta
+// may fold in a neighbor's read, so it is monitoring-grade attribution, not
+// an exact accounting.
+func (d *DiskStore) ReadIO() (reads, nanos int64) {
+	return d.reads.Load(), d.readNanos.Load()
+}
 
 // DropCaches empties the block cache (counters are retained), putting the
 // store in the state a cold start would see. Benchmarks use it to measure

@@ -1,0 +1,56 @@
+package storage
+
+import (
+	"testing"
+
+	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/obs"
+)
+
+func TestReadIOCountersAndObs(t *testing.T) {
+	d := tmpStore(t, DiskOptions{SlotCap: 8, CachePages: 2})
+	h := obs.NewHistogram(obs.DefBuckets())
+	d.SetReadObs(h)
+
+	var ids []PageID
+	for i := 0; i < 4; i++ {
+		pts := somePoints(8, int64(i))
+		ids = append(ids, d.Alloc(pts, geom.Rect{MaxX: 1, MaxY: 1}))
+	}
+	if r, _ := d.ReadIO(); r != 0 {
+		t.Fatalf("reads after Alloc = %d, want 0 (allocs write through the cache)", r)
+	}
+
+	d.DropCaches()
+	for _, id := range ids {
+		d.Page(id)
+	}
+	reads, nanos := d.ReadIO()
+	if reads != 4 {
+		t.Fatalf("reads = %d, want 4 cold faults", reads)
+	}
+	if nanos <= 0 {
+		t.Fatalf("readNanos = %d, want > 0", nanos)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("histogram count = %d, want 4", h.Count())
+	}
+
+	// Cache hits do not count as reads.
+	before, _ := d.ReadIO()
+	d.Page(ids[len(ids)-1])
+	if after, _ := d.ReadIO(); after != before {
+		t.Fatalf("cache hit advanced reads: %d -> %d", before, after)
+	}
+
+	// Detaching the histogram stops observation but not the counters.
+	d.SetReadObs(nil)
+	d.DropCaches()
+	d.Page(ids[0])
+	if h.Count() != 4 {
+		t.Fatalf("detached histogram advanced to %d", h.Count())
+	}
+	if r, _ := d.ReadIO(); r != reads+1 {
+		t.Fatalf("reads = %d, want %d", r, reads+1)
+	}
+}

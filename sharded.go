@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/obs"
 	"github.com/wazi-index/wazi/internal/shard"
 	"github.com/wazi-index/wazi/internal/storage"
 )
@@ -40,6 +41,10 @@ type Sharded struct {
 	mu   sync.Mutex // serializes writers, compactions, and snapshot swaps
 	pool *shard.Pool
 	opts shardedConfig
+
+	// obs holds the hot-path instruments (fan-out, scan/rebuild/migration
+	// latency, page reads); nil under WithoutObservability.
+	obs *ShardedObs
 
 	// Online repartitioning state (all guarded by mu). While a migration is
 	// in flight, every write is applied to the serving (old-plan) snapshot
@@ -244,6 +249,7 @@ type shardedConfig struct {
 	repartitionMaxDrift float64
 	storageDir          string
 	cachePages          int
+	noObs               bool
 }
 
 // ShardedOption customizes NewSharded.
@@ -400,6 +406,9 @@ func NewSharded(points []Point, workload []Rect, opts ...ShardedOption) (*Sharde
 	}
 	plan := shard.Partition(points, workload, cfg.shards)
 	s := &Sharded{opts: cfg}
+	if !cfg.noObs {
+		s.obs = newShardedObs()
+	}
 	s.planRef = queryHist(plan.Bounds(), workload)
 	snap := &shardedSnapshot{plan: plan, shards: make([]*shardSnap, plan.NumShards()),
 		ctls: make([]*shardCtl, plan.NumShards())}
@@ -423,6 +432,7 @@ func NewSharded(points []Point, workload []Rect, opts ...ShardedOption) (*Sharde
 			}
 			return nil, fmt.Errorf("wazi: building shard %d: %w", i, err)
 		}
+		s.attachStoreObs(idx)
 		snap.shards[i] = &shardSnap{idx: idx, bounds: idx.Bounds(),
 			occ: buildOccupancy(group, idx.Bounds())}
 		ctl.advisor.Store(NewRebuildAdvisor(idx.Bounds(), shardQs, cfg.windowSize, cfg.driftThreshold))
@@ -566,23 +576,37 @@ func (s *Sharded) Close() {
 // fanning out to the shards whose bounds intersect r.
 func (s *Sharded) RangeQuery(r Rect) []Point {
 	s.rangeQs.Add(1)
-	return s.rangeFromSnap(s.snap.Load(), r)
+	return s.rangeFromSnap(s.snap.Load(), r, nil)
 }
 
 // rangeFromSnap runs a range query against one pinned snapshot; View and
-// the public query path share it.
-func (s *Sharded) rangeFromSnap(snap *shardedSnapshot, r Rect) []Point {
+// the public query path share it. tr, when non-nil, receives per-shard
+// scan spans and a page-I/O attribution span.
+func (s *Sharded) rangeFromSnap(snap *shardedSnapshot, r Rect, tr *obs.QueryTrace) []Point {
+	if done := s.traceIO(snap, tr); done != nil {
+		defer done()
+	}
 	targets := s.targets(snap, r)
+	s.obs.observeFanout(len(snap.shards), len(targets))
+	scan := func(si int, dst []Point) []Point {
+		if end := s.scanSpan(tr, si); end != nil {
+			before := len(dst)
+			dst = shardRange(snap.shards[si], r, dst)
+			end(len(dst) - before)
+			return dst
+		}
+		return shardRange(snap.shards[si], r, dst)
+	}
 	switch len(targets) {
 	case 0:
 		return nil
 	case 1:
-		return shardRange(snap.shards[targets[0]], r, nil)
+		return scan(targets[0], nil)
 	}
 	if s.pool.Inline() {
 		var out []Point
 		for _, si := range targets {
-			out = shardRange(snap.shards[si], r, out)
+			out = scan(si, out)
 		}
 		return out
 	}
@@ -590,7 +614,7 @@ func (s *Sharded) rangeFromSnap(snap *shardedSnapshot, r Rect) []Point {
 	tasks := make([]func(), len(targets))
 	for ti, si := range targets {
 		ti, si := ti, si
-		tasks[ti] = func() { results[ti] = shardRange(snap.shards[si], r, nil) }
+		tasks[ti] = func() { results[ti] = scan(si, nil) }
 	}
 	s.pool.Do(tasks)
 	total := 0
@@ -608,19 +632,31 @@ func (s *Sharded) rangeFromSnap(snap *shardedSnapshot, r Rect) []Point {
 // them.
 func (s *Sharded) RangeCount(r Rect) int {
 	s.rangeQs.Add(1)
-	return s.countFromSnap(s.snap.Load(), r)
+	return s.countFromSnap(s.snap.Load(), r, nil)
 }
 
 // countFromSnap runs a range count against one pinned snapshot.
-func (s *Sharded) countFromSnap(snap *shardedSnapshot, r Rect) int {
+func (s *Sharded) countFromSnap(snap *shardedSnapshot, r Rect, tr *obs.QueryTrace) int {
+	if done := s.traceIO(snap, tr); done != nil {
+		defer done()
+	}
 	targets := s.targets(snap, r)
+	s.obs.observeFanout(len(snap.shards), len(targets))
+	scan := func(si int) int {
+		if end := s.scanSpan(tr, si); end != nil {
+			n := shardCount(snap.shards[si], r)
+			end(n)
+			return n
+		}
+		return shardCount(snap.shards[si], r)
+	}
 	if len(targets) == 0 {
 		return 0
 	}
 	if len(targets) == 1 || s.pool.Inline() {
 		total := 0
 		for _, si := range targets {
-			total += shardCount(snap.shards[si], r)
+			total += scan(si)
 		}
 		return total
 	}
@@ -628,7 +664,7 @@ func (s *Sharded) countFromSnap(snap *shardedSnapshot, r Rect) int {
 	tasks := make([]func(), len(targets))
 	for ti, si := range targets {
 		ti, si := ti, si
-		tasks[ti] = func() { counts[ti] = shardCount(snap.shards[si], r) }
+		tasks[ti] = func() { counts[ti] = scan(si) }
 	}
 	s.pool.Do(tasks)
 	total := 0
@@ -746,14 +782,26 @@ func filterDead(pts []Point, from int, dead map[Point]int) []Point {
 // makes this a single-shard lookup.
 func (s *Sharded) PointQuery(p Point) bool {
 	s.pointQs.Add(1)
-	return s.pointFromSnap(s.snap.Load(), p)
+	return s.pointFromSnap(s.snap.Load(), p, nil)
 }
 
 // pointFromSnap runs a point query against one pinned snapshot, routing
 // with the snapshot's own plan so a View pinned across a repartition stays
 // consistent with the shard array it holds.
-func (s *Sharded) pointFromSnap(snap *shardedSnapshot, p Point) bool {
+func (s *Sharded) pointFromSnap(snap *shardedSnapshot, p Point, tr *obs.QueryTrace) (found bool) {
+	if done := s.traceIO(snap, tr); done != nil {
+		defer done()
+	}
 	i := snap.plan.Locate(p)
+	if end := s.scanSpan(tr, i); end != nil {
+		defer func() {
+			n := 0
+			if found {
+				n = 1
+			}
+			end(n)
+		}()
+	}
 	snap.ctls[i].load.Add(1)
 	ss := snap.shards[i]
 	if ss.empty {
@@ -785,13 +833,16 @@ func pointRect(p Point) Rect {
 // bounded max-heap.
 func (s *Sharded) KNN(q Point, k int) []Point {
 	s.knnQs.Add(1)
-	return s.knnFromSnap(s.snap.Load(), q, k)
+	return s.knnFromSnap(s.snap.Load(), q, k, nil)
 }
 
 // knnFromSnap runs a kNN query against one pinned snapshot.
-func (s *Sharded) knnFromSnap(snap *shardedSnapshot, q Point, k int) []Point {
+func (s *Sharded) knnFromSnap(snap *shardedSnapshot, q Point, k int, tr *obs.QueryTrace) []Point {
 	if k <= 0 {
 		return nil
+	}
+	if done := s.traceIO(snap, tr); done != nil {
+		defer done()
 	}
 	var targets []int
 	for i, ss := range snap.shards {
@@ -799,19 +850,28 @@ func (s *Sharded) knnFromSnap(snap *shardedSnapshot, q Point, k int) []Point {
 			targets = append(targets, i)
 		}
 	}
+	s.obs.observeFanout(len(snap.shards), len(targets))
 	if len(targets) == 0 {
 		return nil
+	}
+	scan := func(si int) []Point {
+		if end := s.scanSpan(tr, si); end != nil {
+			cs := shardKNN(snap.shards[si], q, k)
+			end(len(cs))
+			return cs
+		}
+		return shardKNN(snap.shards[si], q, k)
 	}
 	cands := make([][]Point, len(targets))
 	if len(targets) == 1 || s.pool.Inline() {
 		for ti, si := range targets {
-			cands[ti] = shardKNN(snap.shards[si], q, k)
+			cands[ti] = scan(si)
 		}
 	} else {
 		tasks := make([]func(), len(targets))
 		for ti, si := range targets {
 			ti, si := ti, si
-			tasks[ti] = func() { cands[ti] = shardKNN(snap.shards[si], q, k) }
+			tasks[ti] = func() { cands[ti] = scan(si) }
 		}
 		s.pool.Do(tasks)
 	}
@@ -1107,6 +1167,8 @@ func (s *Sharded) rebuildShard(i int) bool {
 	ctl.log = nil
 	s.mu.Unlock()
 
+	rebuildStart := time.Now()
+
 	// Materialize outside the mutex: every captured structure is immutable
 	// copy-on-write, and for a disk-backed shard this reads all of its
 	// pages — holding s.mu across that scan would stall every writer for
@@ -1120,6 +1182,7 @@ func (s *Sharded) rebuildShard(i int) bool {
 		var err error
 		idx, err = buildShardIndex(pts, recent, s.shardIndexOptions(epoch, i, gen+1))
 		if err == nil {
+			s.attachStoreObs(idx)
 			occ = buildOccupancy(pts, idx.Bounds())
 		}
 		if err != nil {
@@ -1205,6 +1268,9 @@ func (s *Sharded) rebuildShard(i int) bool {
 	s.swapShard(s.snap.Load(), i, ns)
 	ctl.rebuilds++
 	s.rebuilds.Add(1)
+	if s.obs != nil {
+		s.obs.Rebuild.ObserveSince(rebuildStart)
+	}
 	return true
 }
 

@@ -252,6 +252,9 @@ func LoadSharded(r io.Reader, opts ...ShardedOption) (*Sharded, error) {
 		}
 	}
 	s := &Sharded{opts: cfg}
+	if !cfg.noObs {
+		s.obs = newShardedObs()
+	}
 	snap := &shardedSnapshot{plan: shard.Restore(h.Bounds, cuts),
 		shards: make([]*shardSnap, h.Shards), ctls: make([]*shardCtl, h.Shards), epoch: h.Epoch}
 	totalRebuilds := 0
@@ -320,6 +323,7 @@ func LoadSharded(r io.Reader, opts ...ShardedOption) (*Sharded, error) {
 			if pageFile != "" {
 				keepFiles[pageFile] = true
 			}
+			s.attachStoreObs(idx)
 			ss.idx = idx
 			ctl.advisor.Store(NewRebuildAdvisor(idx.Bounds(), rec.Recent, cfg.windowSize, cfg.driftThreshold))
 		}

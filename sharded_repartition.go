@@ -3,6 +3,7 @@ package wazi
 import (
 	"os"
 	"path/filepath"
+	"time"
 
 	"github.com/wazi-index/wazi/internal/geom"
 	"github.com/wazi-index/wazi/internal/shard"
@@ -226,6 +227,7 @@ func (s *Sharded) repartition(window []Rect) bool {
 // the captured snapshot. Callers have set repartInFlight; migrate clears it
 // on every path. It returns whether the swap happened.
 func (s *Sharded) migrate(snap *shardedSnapshot, window []Rect) (bool, error) {
+	migrateStart := time.Now()
 	abort := func() {
 		s.mu.Lock()
 		s.repartInFlight = false
@@ -279,6 +281,9 @@ func (s *Sharded) migrate(snap *shardedSnapshot, window []Rect) (bool, error) {
 		bounds := geom.RectFromPoints(group)
 		shardQs := intersectingQueries(window, bounds)
 		idx, err := buildShardIndex(group, shardQs, s.shardIndexOptions(epoch, i, 0))
+		if err == nil {
+			s.attachStoreObs(idx)
+		}
 		if err != nil {
 			// Only reachable on the disk backend (page-file creation). Fail
 			// safe: drop everything built so far and keep serving the old
@@ -343,6 +348,9 @@ func (s *Sharded) migrate(snap *shardedSnapshot, window []Rect) (bool, error) {
 	s.repartSeen = nil // new plan, fresh load baseline
 	s.repartFutile = 0
 	s.repartitions.Add(1)
+	if s.obs != nil {
+		s.obs.Migration.ObserveSince(migrateStart)
+	}
 	return true, nil
 }
 

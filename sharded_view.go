@@ -1,5 +1,7 @@
 package wazi
 
+import "github.com/wazi-index/wazi/internal/obs"
+
 // View is a read-only handle pinned to one immutable snapshot of a Sharded
 // index. Every query on a View observes exactly the state that existed when
 // the View was taken — writes, compactions, and rebuilds that land afterwards
@@ -19,6 +21,9 @@ package wazi
 type View struct {
 	s    *Sharded
 	snap *shardedSnapshot
+	// tr, when set via WithTrace, receives per-shard scan and page-I/O
+	// spans from every query run through this handle.
+	tr *obs.QueryTrace
 }
 
 // View pins the current snapshot and returns a read-only handle to it.
@@ -26,30 +31,43 @@ func (s *Sharded) View() *View {
 	return &View{s: s, snap: s.snap.Load()}
 }
 
+// WithTrace returns a View on the same pinned snapshot whose queries record
+// spans (per-shard scans, page-store reads) into tr. The receiver is not
+// modified, so one snapshot pass can serve traced and un-traced requests
+// side by side — which is how the serving layer's coalescer attributes a
+// shared snapshot pass to every request it batched. A nil tr returns the
+// receiver unchanged.
+func (v *View) WithTrace(tr *obs.QueryTrace) *View {
+	if tr == nil {
+		return v
+	}
+	return &View{s: v.s, snap: v.snap, tr: tr}
+}
+
 // RangeQuery returns all points inside r as of the pinned snapshot.
 func (v *View) RangeQuery(r Rect) []Point {
 	v.s.rangeQs.Add(1)
-	return v.s.rangeFromSnap(v.snap, r)
+	return v.s.rangeFromSnap(v.snap, r, v.tr)
 }
 
 // RangeCount returns the number of points inside r as of the pinned
 // snapshot.
 func (v *View) RangeCount(r Rect) int {
 	v.s.rangeQs.Add(1)
-	return v.s.countFromSnap(v.snap, r)
+	return v.s.countFromSnap(v.snap, r, v.tr)
 }
 
 // PointQuery reports whether p was indexed as of the pinned snapshot.
 func (v *View) PointQuery(p Point) bool {
 	v.s.pointQs.Add(1)
-	return v.s.pointFromSnap(v.snap, p)
+	return v.s.pointFromSnap(v.snap, p, v.tr)
 }
 
 // KNN returns the k points nearest to q, closest first, as of the pinned
 // snapshot.
 func (v *View) KNN(q Point, k int) []Point {
 	v.s.knnQs.Add(1)
-	return v.s.knnFromSnap(v.snap, q, k)
+	return v.s.knnFromSnap(v.snap, q, k, v.tr)
 }
 
 // Len returns the number of points the pinned snapshot serves.

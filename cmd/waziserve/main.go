@@ -14,7 +14,10 @@
 // On start, if -snapshot names an existing file the index is restored from
 // it (no rebuild); otherwise the data comes from -data (CSV "x,y" lines) or
 // the synthetic -region generator, with a skewed training workload sized by
-// -train. See docs/SERVING.md for endpoint shapes and tuning.
+// -train. With -wal-dir every acknowledged write is appended to a
+// write-ahead log before the response, and a restart over the same
+// directory replays the tail — kill -9 loses nothing acknowledged (see
+// docs/DURABILITY.md). See docs/SERVING.md for endpoint shapes and tuning.
 package main
 
 import (
@@ -58,6 +61,8 @@ func run() int {
 		queue    = fs.Int("max-queue", 0, "requests waiting for admission before 429s (0 = 4x max-inflight)")
 		drain    = fs.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
 		storeDir = fs.String("storage-dir", "", "disk-resident leaf pages: per-shard page files under this directory (empty = RAM-resident)")
+		walDir   = fs.String("wal-dir", "", "write-ahead log directory: acknowledged writes are logged and replayed on restart (empty = no WAL)")
+		walSync  = fs.String("wal-sync", "group", "WAL durability policy: group (batched fsync), always (fsync every write), none (page-cache only); needs -wal-dir")
 		cachePgs = fs.Int("cache-pages", 0, "block-cache capacity per shard, in pages (0 = default 1024); needs -storage-dir")
 		logEvery = fs.Duration("log-interval", 0, "log a one-line ops summary (qps, p95, cache hit rate, heap) this often; 0 disables")
 		slowQ    = fs.Duration("slow-query", 0, "slow-query log threshold for /debug/slowlog (0 = default 250ms, negative records everything)")
@@ -70,13 +75,17 @@ func run() int {
 	}
 	logger := log.New(os.Stderr, "waziserve: ", log.LstdFlags)
 
-	idx, how, err := openIndex(*snapshot, *dataPath, *region, *scale, *train, *sel, *seed, *shards, *workers, *storeDir, *cachePgs)
+	idx, how, err := openIndex(*snapshot, *dataPath, *region, *scale, *train, *sel, *seed, *shards, *workers, *storeDir, *cachePgs, *walDir, *walSync)
 	if err != nil {
 		logger.Print(err)
 		return 1
 	}
 	defer idx.Close()
 	logger.Printf("%s: %s", how, idx.Describe())
+	if ws := idx.WALStats(); ws.Enabled {
+		logger.Printf("wal: dir=%s sync=%s recovered_records=%d recovered_seq=%d torn=%v",
+			ws.Dir, ws.Sync, ws.RecoveredRecords, ws.RecoveredSeq, ws.RecoveredTorn)
+	}
 
 	srv := server.New(server.Sharded(idx), server.Config{
 		MaxInflight:        *inflight,
@@ -147,13 +156,16 @@ func run() int {
 
 // openIndex warm-starts from a snapshot when one exists, otherwise builds
 // from CSV data or the synthetic region generator.
-func openIndex(snapshot, dataPath, region string, scale, train int, sel float64, seed int64, shards, workers int, storageDir string, cachePages int) (*wazi.Sharded, string, error) {
+func openIndex(snapshot, dataPath, region string, scale, train int, sel float64, seed int64, shards, workers int, storageDir string, cachePages int, walDir, walSync string) (*wazi.Sharded, string, error) {
 	opts := []wazi.ShardedOption{}
 	if workers > 0 {
 		opts = append(opts, wazi.WithWorkers(workers))
 	}
 	if storageDir != "" {
 		opts = append(opts, wazi.WithShardedStorage(storageDir, cachePages))
+	}
+	if walDir != "" {
+		opts = append(opts, wazi.WithWAL(walDir), wazi.WithWALSync(walSync))
 	}
 	if snapshot != "" {
 		if f, err := os.Open(snapshot); err == nil {

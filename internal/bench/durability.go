@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	wazi "github.com/wazi-index/wazi"
+	"github.com/wazi-index/wazi/internal/bench/harness"
+	"github.com/wazi-index/wazi/internal/dataset"
+	"github.com/wazi-index/wazi/internal/workload"
+)
+
+// Durability prices the write-ahead log's durability policies on the
+// write-heavy mixed-rw50 stream: identical concurrent operation streams run
+// against a WAL-less index, one under group commit (batched fsync before
+// acknowledgement), and one fsyncing every write. The table reports
+// write-op latency percentiles — the read path never touches the log — plus
+// how many fsyncs each policy paid per logged write, which is group
+// commit's whole argument. The acceptance target is group-commit write p95
+// within 1.5x of WAL-off; on real media the floor is the device's fsync
+// latency, so the CI gate (durability_test.go) is deliberately loose and
+// the BENCH trajectory tracks the ratio.
+func Durability(cfg Config) []Table {
+	cfg.fill()
+	r := cfg.Regions[0]
+	data := dataset.Generate(r, cfg.Scale, cfg.Seed)
+	train := workload.Skewed(r, cfg.Queries, MidSelectivity, cfg.Seed+61)
+	qs := workload.Skewed(r, cfg.Queries, MidSelectivity, cfg.Seed+71)
+	ins := workload.InsertBatch(cfg.Queries+1, cfg.Seed+81)
+	ops := workload.MixedOps(qs, ins, 0.5, cfg.Seed+91)
+	// Floor at 8 clients: group commit only batches when writers overlap,
+	// and fsync blocks in a syscall (not on a P), so client goroutines
+	// beyond GOMAXPROCS still overlap usefully on a small machine.
+	clients := max(8, runtime.GOMAXPROCS(0))
+
+	build := func(policy string) (*wazi.Sharded, func()) {
+		opts := []wazi.ShardedOption{
+			wazi.WithShards(max(8, clients)),
+			wazi.WithIndexOptions(wazi.WithLeafSize(cfg.LeafSize), wazi.WithSeed(cfg.Seed)),
+			wazi.WithoutAutoRebuild(),
+		}
+		cleanup := func() {}
+		if policy != "" {
+			dir, err := os.MkdirTemp("", "wazi-durability-")
+			if err != nil {
+				panic(err)
+			}
+			cleanup = func() { os.RemoveAll(dir) }
+			opts = append(opts, wazi.WithWAL(dir), wazi.WithWALSync(policy))
+		}
+		s, err := wazi.NewSharded(data, train, opts...)
+		if err != nil {
+			panic(err)
+		}
+		return s, cleanup
+	}
+
+	t := Table{
+		ID: "durability",
+		Title: fmt.Sprintf("Write latency under WAL durability policies (%s, %d points, %d ops, %d clients, 50%% writes)",
+			r, cfg.Scale, len(ops), clients),
+		Header: []string{"Variant", "write p50 (ns)", "write p95 (ns)", "write p99 (ns)", "fsyncs/write"},
+		Notes: []string{
+			"mixed-rw50 stream, concurrent clients; only write ops are timed (reads bypass the log)",
+			"acceptance target: group-commit write p95 within 1.5x of WAL-off; real fsyncs floor it at device sync latency",
+		},
+	}
+
+	variants := []struct {
+		name   string
+		policy string
+	}{
+		{"wal off", ""},
+		{"wal group-commit", "group"},
+		{"wal fsync-always", "always"},
+	}
+	p95 := map[string]float64{}
+	for _, v := range variants {
+		idx, cleanup := build(v.policy)
+		// One untimed warm-up pass so neither variant pays first-touch
+		// costs (page faults, segment creation) in the measured window.
+		measureWriteLatencies(idx, ops, clients)
+		lat := measureWriteLatencies(idx, ops, clients)
+		fsyncsPerWrite := "-"
+		if st := idx.WALStats(); st.Enabled && st.Appends > 0 {
+			fsyncsPerWrite = fmt.Sprintf("%.3f", float64(st.Fsyncs)/float64(st.Appends))
+		}
+		idx.Close()
+		cleanup()
+		p95[v.name] = lat.P95
+		t.Rows = append(t.Rows, []string{
+			v.name,
+			fmt.Sprintf("%.0f", lat.P50),
+			fmt.Sprintf("%.0f", lat.P95),
+			fmt.Sprintf("%.0f", lat.P99),
+			fsyncsPerWrite,
+		})
+	}
+	for _, v := range variants[1:] {
+		ratio := 0.0
+		if p95["wal off"] > 0 {
+			ratio = p95[v.name] / p95["wal off"]
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("write p95 ratio (%s/off)", v.policy),
+			"", fmt.Sprintf("%.3f", ratio), "", "",
+		})
+	}
+	return []Table{t}
+}
+
+// measureWriteLatencies drives the op stream with the given number of
+// concurrent clients — group commit only batches when writers overlap —
+// timing write ops only and executing reads untimed to keep the interleave
+// honest. Ops are dealt round-robin so every client sees the stream's mix.
+func measureWriteLatencies(layer serving, ops []workload.Op, clients int) harness.Summary {
+	if clients < 1 {
+		clients = 1
+	}
+	chunks := make([][]float64, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var samples []float64
+			for i := c; i < len(ops); i += clients {
+				op := ops[i]
+				if op.IsWrite {
+					start := time.Now()
+					layer.Insert(op.Point)
+					samples = append(samples, float64(time.Since(start).Nanoseconds()))
+				} else {
+					_ = layer.RangeQuery(op.Query)
+				}
+			}
+			chunks[c] = samples
+		}(c)
+	}
+	wg.Wait()
+	var all []float64
+	for _, s := range chunks {
+		all = append(all, s...)
+	}
+	return harness.Summarize(all)
+}

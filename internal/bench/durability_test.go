@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/wazi-index/wazi/internal/dataset"
+)
+
+// TestDurabilityWithinBounds runs the durability experiment at smoke scale
+// and sanity-checks its shape: a row per policy, parsable positive
+// latencies, and write-p95 ratios that are positive and not absurd. The
+// acceptance target is group-commit within 1.5x of WAL-off, but a real
+// fsync costs hundreds of microseconds against a sub-microsecond in-memory
+// insert, so the hard gate here is deliberately loose (CI disks vary by
+// orders of magnitude); the bench report records the actual ratio for the
+// BENCH trajectory.
+func TestDurabilityWithinBounds(t *testing.T) {
+	cfg := Config{Scale: 20_000, Queries: 400, Regions: []dataset.Region{dataset.NewYork}}
+	tables := Durability(cfg)
+	if len(tables) != 1 {
+		t.Fatalf("got %d tables, want 1", len(tables))
+	}
+	ratios := map[string]float64{}
+	variants := 0
+	for _, row := range tables[0].Rows {
+		if strings.HasPrefix(row[0], "write p95 ratio") {
+			v, err := strconv.ParseFloat(row[2], 64)
+			if err != nil {
+				t.Fatalf("unparsable ratio in %v: %v", row, err)
+			}
+			ratios[row[0]] = v
+			continue
+		}
+		variants++
+		p95, err := strconv.ParseFloat(row[2], 64)
+		if err != nil || p95 <= 0 {
+			t.Fatalf("variant row %v has unusable write p95 (%v)", row, err)
+		}
+	}
+	if variants != 3 {
+		t.Fatalf("got %d variant rows, want 3 (off/group/always)", variants)
+	}
+	if len(ratios) != 2 {
+		t.Fatalf("got ratio rows %v, want group/off and always/off", ratios)
+	}
+	for name, v := range ratios {
+		if v <= 0 || v > 20_000 {
+			t.Fatalf("%s = %.3f, want a sane positive ratio", name, v)
+		}
+	}
+}

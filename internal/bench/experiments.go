@@ -44,6 +44,7 @@ func Experiments() []Experiment {
 		{"storage-backends", "range latency: in-memory vs disk-cold vs disk-warm page stores", StorageBackends},
 		{"repartition", "online repartitioning vs static plan under hotspot-shift", RepartitionExperiment},
 		{"obs-overhead", "per-op latency with observability instruments on vs off", ObsOverhead},
+		{"durability", "write latency under WAL durability policies (off / group-commit / fsync-always)", Durability},
 	}
 }
 

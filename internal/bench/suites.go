@@ -41,12 +41,12 @@ func Suites() []Suite {
 		{
 			Name:        "serving",
 			Description: "the serving-layer experiments: Concurrent vs Sharded throughput, the workload scenario suite, HTTP serving, storage backends, and online repartitioning",
-			Experiments: []string{"sharded", "scenarios", "serving-http", "storage-backends", "repartition", "obs-overhead"},
+			Experiments: []string{"sharded", "scenarios", "serving-http", "storage-backends", "repartition", "obs-overhead", "durability"},
 		},
 		{
 			Name:        "full",
 			Description: "everything: the paper evaluation plus the serving-layer experiments",
-			Experiments: append(append([]string{}, paper...), "sharded", "scenarios", "serving-http", "storage-backends", "repartition", "obs-overhead"),
+			Experiments: append(append([]string{}, paper...), "sharded", "scenarios", "serving-http", "storage-backends", "repartition", "obs-overhead", "durability"),
 		},
 	}
 }

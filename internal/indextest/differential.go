@@ -33,6 +33,15 @@ type Repartitioner interface {
 	Repartition() bool
 }
 
+// Recoverable is the optional surface of targets that persist a durability
+// log: Reopen simulates a crash-restart — recover a fresh instance from the
+// target's snapshot plus write-ahead-log tail, without cleanly shutting the
+// live one down — and returns the recovered instance. When both builds
+// implement it, Differential runs the Recovery battery.
+type Recoverable interface {
+	Reopen(t *testing.T) index.Index
+}
+
 // Differential runs the differential conformance suite over two
 // constructions of the same index — conventionally buildMem on the
 // RAM-resident page store and buildDisk on a disk-resident one. Each
@@ -45,6 +54,7 @@ func Differential(t *testing.T, buildMem, buildDisk Builder) {
 	t.Run("Duplicates", func(t *testing.T) { diffDuplicates(t, buildMem, buildDisk) })
 	t.Run("Churn", func(t *testing.T) { diffChurn(t, buildMem, buildDisk) })
 	t.Run("Repartition", func(t *testing.T) { diffRepartition(t, buildMem, buildDisk) })
+	t.Run("Recovery", func(t *testing.T) { diffRecovery(t, buildMem, buildDisk) })
 	t.Run("DiskConformance", func(t *testing.T) { Conformance(t, buildDisk) })
 }
 
@@ -268,6 +278,88 @@ func diffRepartition(t *testing.T, buildMem, buildDisk Builder) {
 		t.Fatalf("second repartition diverged: mem migrated=%v, disk migrated=%v", rm, rd)
 	}
 	check("after second migration")
+}
+
+// diffRecovery is the recover-vs-never-crashed battery: churn both backends
+// through their write-ahead logs — crossing a repartition epoch when the
+// target supports it, so the replayed log spans a live migration — then
+// crash-restart each via Recoverable.Reopen and require the recovered
+// instances to be byte-identical to each other, to the never-crashed live
+// instances, and to a brute-force reference over the expected multiset.
+func diffRecovery(t *testing.T, buildMem, buildDisk Builder) {
+	t.Helper()
+	pts := ClusteredPoints(3000, 81)
+	qs := SkewedQueries(100, 82)
+	memIdx := buildMem(pts, qs)
+	diskIdx := buildDisk(pts, qs)
+	memRec, okM := memIdx.(Recoverable)
+	diskRec, okD := diskIdx.(Recoverable)
+	if !okM || !okD {
+		t.Skip("index does not support crash-restart recovery")
+	}
+	memUp, okM := memIdx.(updatable)
+	diskUp, okD := diskIdx.(updatable)
+	if !okM || !okD {
+		t.Skip("index does not support insert/delete churn")
+	}
+
+	live := append([]geom.Point{}, pts...)
+	churn := func(seed int64) {
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 500; i++ {
+			p := geom.Point{X: r.Float64(), Y: r.Float64()}
+			memUp.Insert(p)
+			diskUp.Insert(p)
+			live = append(live, p)
+		}
+		for i := 0; i < 300; i++ {
+			j := r.Intn(len(live))
+			p := live[j]
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			dm, dd := memUp.Delete(p), diskUp.Delete(p)
+			if dm != dd || !dm {
+				t.Fatalf("Delete(%v) diverged pre-recovery: mem %v, disk %v", p, dm, dd)
+			}
+		}
+	}
+
+	churn(84)
+	// Cross a repartition epoch mid-log when supported: the replayed tail
+	// then spans a live migration, which recovery must be indifferent to
+	// (the log carries logical writes, not placement).
+	if rm, ok := memIdx.(Repartitioner); ok {
+		if rd, ok2 := diskIdx.(Repartitioner); ok2 {
+			for _, q := range driftedQueries(600, 85) {
+				memIdx.RangeQuery(q)
+				diskIdx.RangeQuery(q)
+			}
+			if rm.Repartition() != rd.Repartition() {
+				t.Fatal("pre-recovery repartition diverged between backends")
+			}
+		}
+	}
+	churn(86)
+
+	recMem := memRec.Reopen(t)
+	recDisk := diskRec.Reopen(t)
+	if recMem.Len() != len(live) || recDisk.Len() != len(live) {
+		t.Fatalf("recovered Len diverged: mem %d, disk %d, want %d",
+			recMem.Len(), recDisk.Len(), len(live))
+	}
+	ref := index.NewBrute(live)
+	rng := rand.New(rand.NewSource(87))
+	queries := append([]geom.Rect{}, qs[:50]...)
+	for i := 0; i < 60; i++ {
+		queries = append(queries, randRect(rng))
+	}
+	for _, r := range queries {
+		got := recDisk.RangeQuery(r)
+		same(t, got, ref.RangeQuery(r), "recovered disk vs brute "+r.String())
+		same(t, got, recMem.RangeQuery(r), "recovered disk vs recovered mem "+r.String())
+		same(t, got, diskIdx.RangeQuery(r), "recovered disk vs never-crashed disk "+r.String())
+		same(t, got, memIdx.RangeQuery(r), "recovered disk vs never-crashed mem "+r.String())
+	}
 }
 
 // driftedQueries is a hotspot workload far from SkewedQueries' hotspots, so

@@ -101,12 +101,15 @@ func (s *Server) initObs() {
 			reg.RegisterHistogram("wazi_page_read_seconds", "Disk page-file read latency (cache misses).", so.PageRead)
 			reg.RegisterHistogram("wazi_shard_rebuild_seconds", "Drift/compaction shard rebuild durations.", so.Rebuild)
 			reg.RegisterHistogram("wazi_migration_seconds", "Live repartition migration durations.", so.Migration)
+			reg.RegisterHistogram("wazi_wal_fsync_seconds", "Write-ahead-log fsync latency.", so.WALFsync)
 		}
 		reg.CounterFunc("wazi_pool_tasks_total", "Fan-out pool tasks executed.",
 			func() float64 { ran, _ := ob.PoolCounters(); return float64(ran) })
 		reg.CounterFunc("wazi_pool_tasks_inline_total", "Fan-out pool tasks run inline on the caller.",
 			func() float64 { _, inline := ob.PoolCounters(); return float64(inline) })
 	}
+
+	s.registerWALMetrics()
 
 	s.rt.Register(reg)
 	s.lastLine.at = s.start

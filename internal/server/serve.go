@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"time"
 )
 
@@ -48,8 +49,12 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 }
 
 // WriteSnapshot writes the backend's warm-start snapshot to SnapshotPath
-// atomically (temp file + rename). It is a no-op when no path is
-// configured.
+// atomically and durably (temp file + fsync + rename + directory fsync),
+// then truncates the write-ahead log up to the snapshot's cut. The order
+// is the Save-truncation invariant (docs/DURABILITY.md): the log may only
+// shrink once the snapshot that replaces its prefix cannot be lost, which
+// is after the rename is itself durable — never on Save alone. It is a
+// no-op when no path is configured.
 func (s *Server) WriteSnapshot() error {
 	if s.cfg.SnapshotPath == "" {
 		return nil
@@ -64,6 +69,11 @@ func (s *Server) WriteSnapshot() error {
 		os.Remove(tmp)
 		return fmt.Errorf("server: writing snapshot: %w", err)
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("server: syncing snapshot: %w", err)
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("server: closing snapshot: %w", err)
@@ -72,7 +82,26 @@ func (s *Server) WriteSnapshot() error {
 		os.Remove(tmp)
 		return fmt.Errorf("server: publishing snapshot: %w", err)
 	}
+	syncDir(filepath.Dir(s.cfg.SnapshotPath))
+	if _, err := s.truncateWAL(); err != nil {
+		// The snapshot is published; a failed truncation only leaves extra
+		// log to replay (and a sticky WAL error in /statsz), so don't fail
+		// shutdown over it.
+		return nil
+	}
 	return nil
+}
+
+// syncDir makes a rename in dir durable. Best effort: some filesystems
+// refuse directory fsyncs, and the snapshot is still correct either way —
+// only its crash-durability window widens.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	defer d.Close()
+	_ = d.Sync()
 }
 
 // ListenAndServe listens on addr (pass host:0 for an ephemeral port) and

@@ -20,7 +20,8 @@
 //	/v1/delete  {"point":{...}}            -> {"found":bool}
 //	/v1/batch   {"ops":[{"op":...},...]}   -> {"results":[...]}
 //	/healthz    GET                        -> {"status":"ok",...}
-//	/statsz     GET                        -> counters, shard + drift state
+//	/statsz     GET                        -> counters, shard + drift + WAL state
+//	/debug/checksum GET                    -> full-contents multiset checksum
 //
 // The wire shapes are internal/workload's WireOp encoding, so scenario
 // suites replay over the network byte-for-byte as cmd/waziload sends them.
@@ -193,6 +194,7 @@ func New(b Backend, cfg Config) *Server {
 	mux.HandleFunc("/statsz", s.handleStatsz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
+	mux.HandleFunc("/debug/checksum", s.handleChecksum)
 	if cfg.Pprof {
 		s.mountPprof(mux)
 	}
@@ -568,6 +570,9 @@ type statszResp struct {
 	CacheEvictions  int64        `json:"cache_evictions"`
 	IndexStats      wazi.Stats   `json:"index_stats"`
 	ShardStates     []shardState `json:"shard_states"`
+	// WAL reports the write-ahead log's counters and recovery status;
+	// omitted when the backend runs without one.
+	WAL *wazi.WALStats `json:"wal,omitempty"`
 	// Obs is the structured snapshot of every registered metric series —
 	// the same data /metrics exports, in JSON, with histogram quantiles
 	// precomputed.
@@ -599,6 +604,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		CacheMisses:     stats.CacheMisses,
 		CacheEvictions:  stats.CacheEvictions,
 		IndexStats:      stats,
+		WAL:             s.walStats(),
 		Obs:             s.obsSnapshot(),
 	}
 	for i, info := range s.b.Shards() {

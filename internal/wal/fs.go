@@ -1,0 +1,60 @@
+package wal
+
+import (
+	"io"
+	"os"
+)
+
+// FS abstracts every filesystem operation the log performs so tests can
+// substitute fault-injecting implementations (internal/indextest.CrashFS
+// kills the write path at any chosen IO boundary). Production code uses
+// OSFS.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// ReadFile returns the full contents of name.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists the directory entries of name.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// Remove deletes name.
+	Remove(name string) error
+	// MkdirAll creates name and any missing parents.
+	MkdirAll(name string, perm os.FileMode) error
+	// SyncDir fsyncs the directory itself, making entry creation and
+	// removal durable (required after segment create/remove on POSIX).
+	SyncDir(name string) error
+}
+
+// File is the subset of *os.File the log writes through.
+type File interface {
+	io.Writer
+	io.Closer
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+type osFS struct{}
+
+// OSFS is the real filesystem.
+var OSFS FS = osFS{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) Remove(name string) error                   { return os.Remove(name) }
+
+func (osFS) MkdirAll(name string, perm os.FileMode) error { return os.MkdirAll(name, perm) }
+
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,568 @@
+// Package wal implements the group-commit write-ahead log that makes the
+// serving layer's write path durable: an append-only sequence of
+// length-prefixed, checksummed records spread over size-rotated segment
+// files, with a strict replay reader that stops at the first torn or
+// corrupt record. A record is acknowledged (WaitDurable returns) only once
+// its durability matches the configured sync policy, so recovery restores
+// exactly the acknowledged writes. See docs/DURABILITY.md for the on-disk
+// format and the recovery protocol.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/wazi-index/wazi/internal/obs"
+)
+
+// SyncPolicy selects when an appended record counts as durable.
+type SyncPolicy int
+
+const (
+	// SyncGroup (the default) acknowledges a write only after an fsync
+	// covers it, but batches concurrent waiters behind a single fsync
+	// (leader/follower group commit): the first waiter issues the fsync,
+	// everyone whose record it covers is released together, and waiters
+	// that arrive mid-fsync form the next batch. Survives power loss.
+	SyncGroup SyncPolicy = iota
+	// SyncAlways fsyncs inside every Append before it returns. Survives
+	// power loss; the slowest policy, with no batching.
+	SyncAlways
+	// SyncNone never fsyncs on the write path: a record is acknowledged
+	// once the OS has the bytes. Survives process crashes (kill -9) via
+	// the page cache but not power loss. Segment rotation and Close still
+	// fsync.
+	SyncNone
+)
+
+// String returns the flag spelling of the policy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncGroup:
+		return "group"
+	case SyncAlways:
+		return "always"
+	case SyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSync parses the flag spelling of a sync policy.
+func ParseSync(s string) (SyncPolicy, error) {
+	switch s {
+	case "group", "":
+		return SyncGroup, nil
+	case "always":
+		return SyncAlways, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want group, always, or none)", s)
+}
+
+const (
+	// headerSize is the fixed per-record header: u32 payload length,
+	// u32 CRC32-Castagnoli over seq||payload, u64 sequence number, all
+	// little-endian, followed by the payload bytes.
+	headerSize = 16
+	// MaxRecordBytes bounds a record payload; the strict reader treats a
+	// larger declared length as corruption, so a flipped length bit can
+	// never drive a huge allocation.
+	MaxRecordBytes = 1 << 20
+	// defaultSegmentBytes is the rotation threshold when Options leaves
+	// SegmentBytes unset.
+	defaultSegmentBytes = 16 << 20
+
+	segPrefix = "wal-"
+	segSuffix = ".seg"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures Open.
+type Options struct {
+	// Dir holds the segment files; created if missing.
+	Dir string
+	// Sync is the durability policy (default SyncGroup).
+	Sync SyncPolicy
+	// GroupWindow optionally delays the group-commit leader before its
+	// fsync, widening the batch at the cost of latency. The default 0
+	// relies on natural batching: waiters that arrive while an fsync is
+	// in flight form the next batch.
+	GroupWindow time.Duration
+	// SegmentBytes is the size past which the active segment rotates
+	// (default 16 MiB).
+	SegmentBytes int64
+	// FS substitutes the filesystem; nil means OSFS.
+	FS FS
+}
+
+// WAL is an append-only record log. Appends are serialized; WaitDurable may
+// be called from any number of goroutines. The first filesystem failure
+// poisons the log: every later operation returns that sticky error, so a
+// caller can never acknowledge a write past a lost one.
+type WAL struct {
+	opts Options
+
+	mu       sync.Mutex // serializes appends, rotation, truncation
+	busyCond *sync.Cond // on mu; signalled when a group fsync lets go of f
+	syncBusy bool       // a group-commit fsync holds a reference to f
+	f        File       // active segment
+	segBase  uint64     // first sequence number of the active segment
+	segBytes int64
+	nextSeq  uint64 // sequence number the next Append will take
+	err      error  // sticky first failure; mirrored in errv
+	scratch  []byte
+
+	syncMu     sync.Mutex
+	syncCond   *sync.Cond
+	syncing    bool   // a group-commit leader's fsync is in flight
+	durableSeq uint64 // highest sequence number covered by an fsync
+
+	errv atomic.Value // error; lock-free mirror of err
+
+	appends     atomic.Int64
+	appendBytes atomic.Int64
+	fsyncs      atomic.Int64
+	rotations   atomic.Int64
+	truncations atomic.Int64
+
+	fsyncObs atomic.Pointer[obs.Histogram]
+}
+
+// Stats is a point-in-time snapshot of the log's counters.
+type Stats struct {
+	// Appends counts records appended; AppendedBytes their encoded size.
+	Appends       int64
+	AppendedBytes int64
+	Fsyncs        int64
+	Rotations     int64
+	Truncations   int64
+	// LastSeq is the sequence number of the last appended record (0 when
+	// none); DurableSeq the highest covered by an fsync.
+	LastSeq    uint64
+	DurableSeq uint64
+	// Err is the sticky error, nil while the log is healthy.
+	Err error
+}
+
+// Open opens (or creates) the log in opts.Dir. Existing segments are
+// scanned to find the last decodable record, and appending always starts in
+// a fresh segment just past it — a torn tail from a previous crash is never
+// appended after, so Replay can tell a benign interrupted append from
+// mid-log corruption. Records already on disk are not applied here; call
+// Replay.
+func Open(opts Options) (*WAL, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("wal: Options.Dir is required")
+	}
+	if opts.FS == nil {
+		opts.FS = OSFS
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if err := opts.FS.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating %s: %w", opts.Dir, err)
+	}
+	w := &WAL{opts: opts, nextSeq: 1}
+	w.syncCond = sync.NewCond(&w.syncMu)
+	w.busyCond = sync.NewCond(&w.mu)
+	st, err := w.replayLocked(^uint64(0), nil)
+	if err != nil {
+		return nil, fmt.Errorf("wal: scanning %s: %w", opts.Dir, err)
+	}
+	w.nextSeq = st.LastSeq + 1
+	w.durableSeq = st.LastSeq // what's on disk is as durable as it will get
+	// Segments holding no replayable record (entirely past the strict
+	// scan's stopping point) would otherwise collide with the fresh
+	// segment's name or shadow it; their content is discarded data by the
+	// replay contract, so remove them.
+	segs, err := w.segmentsLocked()
+	if err != nil {
+		return nil, fmt.Errorf("wal: listing %s: %w", opts.Dir, err)
+	}
+	removed := false
+	for _, sg := range segs {
+		if sg.base >= w.nextSeq {
+			if err := opts.FS.Remove(sg.path); err != nil {
+				return nil, fmt.Errorf("wal: removing stale segment: %w", err)
+			}
+			removed = true
+		}
+	}
+	if removed {
+		if err := opts.FS.SyncDir(opts.Dir); err != nil {
+			return nil, fmt.Errorf("wal: syncing %s: %w", opts.Dir, err)
+		}
+	}
+	if err := w.openSegmentLocked(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// segmentName names the segment whose first record has sequence number
+// base. Zero-padded decimal keeps lexical and numeric order identical.
+func segmentName(base uint64) string {
+	return fmt.Sprintf("%s%020d%s", segPrefix, base, segSuffix)
+}
+
+type segment struct {
+	base uint64
+	path string
+}
+
+// segmentsLocked lists the on-disk segments in sequence order.
+func (w *WAL) segmentsLocked() ([]segment, error) {
+	ents, err := w.opts.FS.ReadDir(w.opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segment
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		base, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 10, 64)
+		if err != nil || base == 0 {
+			continue // not a segment we wrote; leave it alone
+		}
+		segs = append(segs, segment{base: base, path: filepath.Join(w.opts.Dir, name)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].base < segs[j].base })
+	return segs, nil
+}
+
+// openSegmentLocked creates the fresh active segment named by nextSeq and
+// makes its directory entry durable.
+func (w *WAL) openSegmentLocked() error {
+	path := filepath.Join(w.opts.Dir, segmentName(w.nextSeq))
+	f, err := w.opts.FS.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	if err := w.opts.FS.SyncDir(w.opts.Dir); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: syncing %s: %w", w.opts.Dir, err)
+	}
+	w.f = f
+	w.segBase = w.nextSeq
+	w.segBytes = 0
+	return nil
+}
+
+// AppendRecord appends the canonical encoding of one record to dst and
+// returns the extended slice. Exported so tests and fuzz targets can build
+// reference encodings; Append uses it internally.
+func AppendRecord(dst []byte, seq uint64, payload []byte) []byte {
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[8:16], seq)
+	crc := crc32.Update(0, castagnoli, hdr[8:16])
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	return append(append(dst, hdr[:]...), payload...)
+}
+
+// Append assigns the next sequence number to payload and writes the record
+// to the active segment, rotating first if the segment is full. Under
+// SyncAlways the record is also fsynced before Append returns; under the
+// other policies durability is WaitDurable's job. The payload is copied
+// into the record encoding; the caller may reuse it.
+func (w *WAL) Append(payload []byte) (uint64, error) {
+	if len(payload) > MaxRecordBytes {
+		return 0, fmt.Errorf("wal: record payload %d bytes exceeds limit %d", len(payload), MaxRecordBytes)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return 0, w.err
+	}
+	if w.segBytes >= w.opts.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	seq := w.nextSeq
+	w.scratch = AppendRecord(w.scratch[:0], seq, payload)
+	if _, err := w.f.Write(w.scratch); err != nil {
+		w.failLocked(err)
+		return 0, w.err
+	}
+	w.nextSeq++
+	w.segBytes += int64(len(w.scratch))
+	w.appends.Add(1)
+	w.appendBytes.Add(int64(len(w.scratch)))
+	if w.opts.Sync == SyncAlways {
+		if err := w.fsyncLocked(seq); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// fsyncLocked syncs the active segment and publishes upTo as durable.
+func (w *WAL) fsyncLocked(upTo uint64) error {
+	t0 := time.Now()
+	if err := w.f.Sync(); err != nil {
+		w.failLocked(err)
+		return w.err
+	}
+	w.fsyncs.Add(1)
+	if h := w.fsyncObs.Load(); h != nil {
+		h.ObserveSince(t0)
+	}
+	w.syncMu.Lock()
+	if upTo > w.durableSeq {
+		w.durableSeq = upTo
+	}
+	w.syncCond.Broadcast()
+	w.syncMu.Unlock()
+	return nil
+}
+
+// fsyncGroup syncs the active segment on behalf of a group-commit leader
+// and publishes the covered cut as durable. Unlike fsyncLocked it does NOT
+// hold w.mu across the Sync syscall: the whole point of group commit is
+// that concurrent Appends land while the disk flushes, so the next leader's
+// fsync covers them all in one batch. Rotation and Close wait out the
+// in-flight sync (waitSyncIdleLocked) before closing the file it holds.
+// Called with no locks held; returns the highest sequence number covered.
+func (w *WAL) fsyncGroup() (uint64, error) {
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return 0, err
+	}
+	if w.f == nil {
+		w.mu.Unlock()
+		return 0, errors.New("wal: closed")
+	}
+	upTo := w.nextSeq - 1
+	f := w.f
+	w.syncBusy = true
+	w.mu.Unlock()
+
+	t0 := time.Now()
+	serr := f.Sync()
+
+	w.mu.Lock()
+	w.syncBusy = false
+	w.busyCond.Broadcast()
+	if serr != nil {
+		w.failLocked(serr)
+		err := w.err
+		w.mu.Unlock()
+		return 0, err
+	}
+	w.fsyncs.Add(1)
+	if h := w.fsyncObs.Load(); h != nil {
+		h.ObserveSince(t0)
+	}
+	w.mu.Unlock()
+
+	w.syncMu.Lock()
+	if upTo > w.durableSeq {
+		w.durableSeq = upTo
+	}
+	w.syncCond.Broadcast()
+	w.syncMu.Unlock()
+	return upTo, nil
+}
+
+// waitSyncIdleLocked blocks (releasing and reacquiring w.mu via the cond)
+// until no group-commit fsync holds a reference to the active segment's
+// file. Anything that closes w.f must call this first.
+func (w *WAL) waitSyncIdleLocked() {
+	for w.syncBusy {
+		w.busyCond.Wait()
+	}
+}
+
+// rotateLocked seals the active segment (fsync, so rotation never reduces
+// durability) and opens the next one.
+func (w *WAL) rotateLocked() error {
+	w.waitSyncIdleLocked()
+	if err := w.fsyncLocked(w.nextSeq - 1); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		w.failLocked(err)
+		return w.err
+	}
+	w.f = nil
+	if err := w.openSegmentLocked(); err != nil {
+		w.failLocked(err)
+		return w.err
+	}
+	w.rotations.Add(1)
+	return nil
+}
+
+// WaitDurable blocks until the record with sequence number seq is durable
+// under the configured policy. This is the acknowledgement gate: a caller
+// must not report a write as accepted until WaitDurable returns nil.
+func (w *WAL) WaitDurable(seq uint64) error {
+	switch w.opts.Sync {
+	case SyncAlways, SyncNone:
+		// always: Append already fsynced. none: the OS has the bytes,
+		// which is all this policy promises.
+		return w.Err()
+	}
+	w.syncMu.Lock()
+	for {
+		if w.durableSeq >= seq {
+			w.syncMu.Unlock()
+			return nil
+		}
+		if err := w.Err(); err != nil {
+			w.syncMu.Unlock()
+			return err
+		}
+		if w.syncing {
+			// A leader's fsync is in flight; it may not cover seq, so
+			// re-check on wakeup and lead the next batch if needed.
+			w.syncCond.Wait()
+			continue
+		}
+		w.syncing = true
+		w.syncMu.Unlock()
+		if w.opts.GroupWindow > 0 {
+			time.Sleep(w.opts.GroupWindow)
+		}
+		_, err := w.fsyncGroup()
+		w.syncMu.Lock()
+		w.syncing = false
+		w.syncCond.Broadcast()
+		if err != nil {
+			w.syncMu.Unlock()
+			return err
+		}
+	}
+}
+
+// TruncateBefore removes every segment whose records all have sequence
+// numbers at or below seq — the checkpoint cut. Call it only once a
+// snapshot covering seq is durably on disk (see the Save-truncation
+// invariant in docs/DURABILITY.md); the active segment is never removed.
+// It returns how many segments were removed.
+func (w *WAL) TruncateBefore(seq uint64) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return 0, w.err
+	}
+	segs, err := w.segmentsLocked()
+	if err != nil {
+		w.failLocked(err)
+		return 0, w.err
+	}
+	removed := 0
+	for i, sg := range segs {
+		if sg.base == w.segBase || i+1 >= len(segs) {
+			break
+		}
+		// Segment i's records run up to (at most) the next base minus one.
+		if segs[i+1].base > seq+1 {
+			break
+		}
+		if err := w.opts.FS.Remove(sg.path); err != nil {
+			w.failLocked(err)
+			return removed, w.err
+		}
+		removed++
+	}
+	if removed > 0 {
+		if err := w.opts.FS.SyncDir(w.opts.Dir); err != nil {
+			w.failLocked(err)
+			return removed, w.err
+		}
+		w.truncations.Add(1)
+	}
+	return removed, nil
+}
+
+// Sync forces an fsync covering every appended record.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	return w.fsyncLocked(w.nextSeq - 1)
+}
+
+// Close seals the log: a final fsync (whatever the policy — a clean
+// shutdown leaves everything durable) and the segment closed. The WAL must
+// not be used after Close.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.waitSyncIdleLocked()
+	if w.f == nil {
+		return w.err
+	}
+	if w.err == nil {
+		w.fsyncLocked(w.nextSeq - 1)
+	}
+	err := w.f.Close()
+	w.f = nil
+	if err != nil && w.err == nil {
+		w.failLocked(err)
+	}
+	return w.err
+}
+
+// Err returns the sticky error, nil while the log is healthy. Lock-free.
+func (w *WAL) Err() error {
+	if v := w.errv.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// failLocked records the first failure; later operations all return it.
+func (w *WAL) failLocked(err error) {
+	if w.err == nil {
+		w.err = fmt.Errorf("wal: %w", err)
+		w.errv.Store(w.err)
+	}
+}
+
+// SetFsyncObs routes fsync latencies into h (nil detaches).
+func (w *WAL) SetFsyncObs(h *obs.Histogram) { w.fsyncObs.Store(h) }
+
+// Stats snapshots the counters.
+func (w *WAL) Stats() Stats {
+	w.mu.Lock()
+	last := w.nextSeq - 1
+	err := w.err
+	w.mu.Unlock()
+	w.syncMu.Lock()
+	durable := w.durableSeq
+	w.syncMu.Unlock()
+	return Stats{
+		Appends:       w.appends.Load(),
+		AppendedBytes: w.appendBytes.Load(),
+		Fsyncs:        w.fsyncs.Load(),
+		Rotations:     w.rotations.Load(),
+		Truncations:   w.truncations.Load(),
+		LastSeq:       last,
+		DurableSeq:    durable,
+		Err:           err,
+	}
+}

@@ -61,6 +61,18 @@ func Suites() []Suite {
 			Queries:     Skewed,
 		},
 		{
+			Name:        "mixed-rw50",
+			Description: "paper's skewed check-in reads with 50% uniform inserts (write-heavy durability mix)",
+			WriteRatio:  0.50,
+			Queries:     Skewed,
+		},
+		{
+			Name:        "mixed-rw70",
+			Description: "paper's skewed check-in reads with 70% uniform inserts (ingest-dominated durability mix)",
+			WriteRatio:  0.70,
+			Queries:     Skewed,
+		},
+		{
 			Name:        "zipfian",
 			Description: "Zipf-popular venues: query centers follow a Zipf(1.1) rank distribution over many venues, the canonical web-serving skew",
 			Queries:     Zipfian,

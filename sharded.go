@@ -15,6 +15,7 @@ import (
 	"github.com/wazi-index/wazi/internal/obs"
 	"github.com/wazi-index/wazi/internal/shard"
 	"github.com/wazi-index/wazi/internal/storage"
+	"github.com/wazi-index/wazi/internal/wal"
 )
 
 // Sharded is the serving-layer counterpart of Index: it partitions the data
@@ -95,6 +96,18 @@ type Sharded struct {
 	// collection) releases the descriptors and the next start's
 	// stale-file sweep reclaims the files. Guarded by mu.
 	retiredStores []io.Closer
+
+	// Write-ahead log state (see sharded_wal.go). wal is set once during
+	// construction and never replaced; walRecovering suppresses re-logging
+	// while the startup replay drives ops through the public write path;
+	// walBuf is the append scratch buffer (guarded by mu); lastSaveCut is
+	// the log position the most recent Save captured, the only cut
+	// TruncateWAL will truncate at.
+	wal           *wal.WAL
+	walRecovering bool
+	walRecovered  wal.ReplayStats
+	walBuf        []byte
+	lastSaveCut   atomic.Uint64
 
 	loop   chan struct{} // closed to stop the rebuild loop; nil when disabled
 	kicked chan struct{} // nudges the loop when a backlog crosses the threshold
@@ -250,6 +263,11 @@ type shardedConfig struct {
 	storageDir          string
 	cachePages          int
 	noObs               bool
+	walDir              string
+	walSync             string
+	walGroupWindow      time.Duration
+	walSegmentBytes     int64
+	walFS               wal.FS
 }
 
 // ShardedOption customizes NewSharded.
@@ -439,6 +457,18 @@ func NewSharded(points []Point, workload []Rect, opts ...ShardedOption) (*Sharde
 	}
 	s.snap.Store(snap)
 	s.pool = shard.NewPool(cfg.workers)
+	// Replay any WAL tail before the background loop starts: a cold build
+	// is deterministic in its inputs, so cold build + full replay recovers
+	// every acknowledged write even without a snapshot.
+	if err := s.initWAL(0); err != nil {
+		s.pool.Close()
+		for _, built := range snap.shards {
+			if built.idx != nil {
+				built.idx.Close()
+			}
+		}
+		return nil, err
+	}
 	if cfg.autoRebuild {
 		s.loop = make(chan struct{})
 		s.kicked = make(chan struct{}, 1)
@@ -554,6 +584,7 @@ func (s *Sharded) Close() {
 		close(s.loop)
 		s.wg.Wait()
 	}
+	s.closeWAL()
 	s.pool.Close()
 	if s.opts.storageDir != "" {
 		s.mu.Lock()
@@ -992,9 +1023,13 @@ func (s *Sharded) Insert(p Point) {
 	if s.repartInFlight {
 		s.repartLog = append(s.repartLog, shardOp{p: p})
 	}
+	// Log under mu, right after the apply: sequence order then equals
+	// apply order, so replay reproduces exactly this history.
+	walSeq := s.walAppendLocked(p, false)
 	overflow := !ctl.rebuilding && !s.repartInFlight && ns.backlog() >= s.opts.compactThreshold
 	background := s.loop != nil && !s.closed
 	s.mu.Unlock()
+	s.walAck(walSeq)
 	if overflow {
 		if background {
 			s.kick()
@@ -1030,7 +1065,9 @@ func (s *Sharded) Delete(p Point) bool {
 			if s.repartInFlight {
 				s.repartLog = append(s.repartLog, shardOp{p: p, del: true})
 			}
+			walSeq := s.walAppendLocked(p, true)
 			s.mu.Unlock()
+			s.walAck(walSeq)
 			return true
 		}
 	}
@@ -1058,9 +1095,11 @@ func (s *Sharded) Delete(p Point) bool {
 	if s.repartInFlight {
 		s.repartLog = append(s.repartLog, shardOp{p: p, del: true})
 	}
+	walSeq := s.walAppendLocked(p, true)
 	overflow := !ctl.rebuilding && !s.repartInFlight && ns.backlog() >= s.opts.compactThreshold
 	background := s.loop != nil && !s.closed
 	s.mu.Unlock()
+	s.walAck(walSeq)
 	if overflow {
 		if background {
 			s.kick()

@@ -30,6 +30,9 @@ type ShardedObs struct {
 	Rebuild *obs.Histogram
 	// Migration observes live repartition-migration durations in seconds.
 	Migration *obs.Histogram
+	// WALFsync observes write-ahead-log fsync latency in seconds — the
+	// price of the durability acknowledgement under group/always sync.
+	WALFsync *obs.Histogram
 }
 
 // fanoutBuckets sizes the fan-out width histogram: widths are small
@@ -46,6 +49,7 @@ func newShardedObs() *ShardedObs {
 		PageRead:     obs.NewHistogram(obs.DefBuckets()),
 		Rebuild:      obs.NewHistogram(obs.DefBuckets()),
 		Migration:    obs.NewHistogram(obs.DefBuckets()),
+		WALFsync:     obs.NewHistogram(obs.DefBuckets()),
 	}
 }
 

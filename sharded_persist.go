@@ -47,6 +47,13 @@ type shardedHeader struct {
 	// monitoring counters survive restarts (equals Epoch today, but the
 	// counter is per-history and the epoch is per-plan, so both persist).
 	Repartitions int64
+	// WALSeq is the write-ahead-log sequence number of the last write this
+	// snapshot contains: Load replays only records above it. Captured under
+	// the write mutex together with the snapshot pointer, so the two are
+	// exactly consistent. Zero when the instance ran without a WAL (gob
+	// also yields zero reading pre-WAL snapshots, which replays the whole
+	// log — correct, since such a snapshot predates every record).
+	WALSeq uint64
 }
 
 // migrationRecord describes a plan migration that was in flight when the
@@ -130,7 +137,17 @@ func (s *Sharded) Save(w io.Writer) error {
 		mig.TargetShards = s.repartTarget.NumShards()
 	}
 	repartitions := s.repartitions.Load()
+	var walSeq uint64
+	if s.wal != nil {
+		// The log position matching this snapshot, captured in the same
+		// mutex hold as the snapshot pointer. Recorded as the truncation
+		// cut too — but TruncateWAL acts on it only once the caller has
+		// durably persisted what Save writes (the Save-truncation
+		// invariant, docs/DURABILITY.md).
+		walSeq = s.wal.Stats().LastSeq
+	}
 	s.mu.Unlock()
+	s.lastSaveCut.Store(walSeq)
 
 	cuts := snap.plan.Cuts()
 	h := shardedHeader{
@@ -141,6 +158,7 @@ func (s *Sharded) Save(w io.Writer) error {
 		Shards:       len(snap.shards),
 		Epoch:        snap.epoch,
 		Repartitions: repartitions,
+		WALSeq:       walSeq,
 	}
 	for i, c := range cuts {
 		h.Cuts[i] = uint64(c)
@@ -346,6 +364,14 @@ func LoadSharded(r io.Reader, opts ...ShardedOption) (*Sharded, error) {
 	s.planRef = queryHist(snap.plan.Bounds(), allRecent)
 	s.snap.Store(snap)
 	s.pool = shard.NewPool(cfg.workers)
+	// Replay the WAL tail past the snapshot's cut before serving: the
+	// snapshot holds everything up to WALSeq, the log everything
+	// acknowledged after it.
+	if err := s.initWAL(h.WALSeq); err != nil {
+		s.pool.Close()
+		closeLoaded()
+		return nil, err
+	}
 	if cfg.autoRebuild {
 		s.loop = make(chan struct{})
 		s.kicked = make(chan struct{}, 1)

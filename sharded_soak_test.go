@@ -2,7 +2,6 @@ package wazi
 
 import (
 	"bytes"
-	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -382,7 +381,7 @@ func TestShardedRepartitionSoak(t *testing.T) {
 		expected = append(expected, ws.live...)
 	}
 	scan := s.RangeQuery(Rect{MinX: -100, MinY: -100, MaxX: 100, MaxY: 100})
-	if got, want := pointSetChecksum(scan), pointSetChecksum(expected); got != want || len(scan) != len(expected) {
+	if got, want := MultisetChecksum(scan), MultisetChecksum(expected); got != want || len(scan) != len(expected) {
 		reportMultisetDiff(t, scan, expected)
 		t.Fatalf("post-soak full scan checksum %x over %d points, want %x over %d — writes lost or duplicated",
 			got, len(scan), want, len(expected))
@@ -403,22 +402,6 @@ func TestShardedRepartitionSoak(t *testing.T) {
 	if re.Len() != len(expected) || re.PlanEpoch() != epoch {
 		t.Fatalf("warm start: Len %d epoch %d, want %d / %d", re.Len(), re.PlanEpoch(), len(expected), epoch)
 	}
-}
-
-// pointSetChecksum is an order-independent multiset checksum: the sum of a
-// per-point mixer over coordinates, so two scans agree iff they hold the
-// same points with the same multiplicities (modulo astronomically unlikely
-// collisions).
-func pointSetChecksum(pts []Point) uint64 {
-	var sum uint64
-	for _, p := range pts {
-		h := math.Float64bits(p.X)*0x9e3779b97f4a7c15 ^ math.Float64bits(p.Y)*0xc2b2ae3d27d4eb4f
-		h ^= h >> 33
-		h *= 0xff51afd7ed558ccd
-		h ^= h >> 33
-		sum += h
-	}
-	return sum
 }
 
 // reportMultisetDiff logs which points differ between a scan and the

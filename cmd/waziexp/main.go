@@ -10,6 +10,7 @@
 //	waziexp run  -exp fig6,fig7 -reps 5 -warmup 1 -scale 400000
 //	waziexp list
 //	waziexp compare old.json new.json -threshold 0.10
+//	waziexp ratchet bench/baselines/BENCH_smoke.json BENCH_smoke.json
 //
 // Experiment ids match the paper's artifact numbers (tab1…fig13) plus the
 // serving-layer experiments "sharded" and "scenarios"; suites bundle them
@@ -42,6 +43,8 @@ func main() {
 		os.Exit(cmdList())
 	case "compare":
 		os.Exit(cmdCompare(os.Args[2:]))
+	case "ratchet":
+		os.Exit(cmdRatchet(os.Args[2:]))
 	case "promcheck":
 		os.Exit(cmdPromcheck(os.Args[2:]))
 	case "help", "-h", "-help", "--help":
@@ -64,12 +67,16 @@ commands:
   run        run experiments under the harness (see waziexp run -h)
   list       list experiment ids and suites
   compare    diff two BENCH_*.json reports (see waziexp compare -h)
+  ratchet    gate a fresh report against a committed baseline with
+             per-metric-class thresholds (see waziexp ratchet -h)
   promcheck  validate a Prometheus text-format scrape (e.g. from /metrics)
 
 examples:
   waziexp run -suite smoke -reps 1 -json BENCH_smoke.json
   waziexp run -exp fig6,fig7 -reps 5 -warmup 1
   waziexp compare BENCH_old.json BENCH_new.json -threshold 0.10
+  waziexp ratchet bench/baselines/BENCH_smoke.json BENCH_smoke.json
+  waziexp ratchet -update bench/baselines/BENCH_smoke.json BENCH_smoke.json
   waziexp promcheck metrics.txt -require wazi_http_request_seconds
 `)
 }

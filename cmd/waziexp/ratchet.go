@@ -1,0 +1,112 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"github.com/wazi-index/wazi/internal/bench/harness"
+)
+
+// cmdRatchet implements `waziexp ratchet baseline.json fresh.json`: a
+// gatekeeping compare against a committed baseline with per-metric-class
+// thresholds. Resource-class metrics (allocs/op, alloc-bytes/op, GC
+// accounting) are near-deterministic, so they get a tight threshold even
+// across machines; latency-class metrics get a loose one, or none at all
+// (threshold 0 disables the class) when baseline and fresh run on
+// different hardware. -update rewrites the baseline from the fresh report
+// instead of gating, which is how an intentional perf change lands.
+//
+// Exit codes: 0 pass (or baseline updated), 1 regression past a class
+// threshold, 2 usage or file errors.
+func cmdRatchet(args []string) int {
+	fs := flag.NewFlagSet("waziexp ratchet", flag.ExitOnError)
+	var (
+		resourceTh = fs.Float64("resource-threshold", 0.35, "relative regression gate for resource-class metrics (allocs, bytes, GC); 0 disables")
+		latencyTh  = fs.Float64("latency-threshold", 0.50, "relative regression gate for latency/throughput metrics mined from tables; 0 disables")
+		update     = fs.Bool("update", false, "rewrite the baseline file from the fresh report instead of gating")
+		verbose    = fs.Bool("v", false, "list metrics within their thresholds too, not only the changed ones")
+	)
+	fs.Usage = func() {
+		fmt.Fprint(os.Stderr, `usage: waziexp ratchet [flags] baseline.json fresh.json
+
+Compares a fresh BENCH report against a committed baseline with separate
+regression thresholds for resource-class metrics (allocation/GC
+accounting) and latency-class metrics (everything mined from tables).
+Exits 1 when any metric regressed past its class threshold. With -update
+the fresh report replaces the baseline and the command exits 0.
+`)
+		fs.PrintDefaults()
+	}
+	// Accept flags both before and after the two file arguments, like
+	// `waziexp compare`.
+	fs.Parse(args)
+	files := fs.Args()
+	if len(files) > 2 {
+		rest := files[2:]
+		files = files[:2]
+		fs.Parse(rest)
+		if fs.NArg() > 0 {
+			fmt.Fprintf(os.Stderr, "waziexp ratchet: unexpected arguments %q\n", fs.Args())
+			return 2
+		}
+	}
+	if len(files) != 2 || strings.HasPrefix(files[0], "-") || strings.HasPrefix(files[1], "-") {
+		fs.Usage()
+		return 2
+	}
+	baselinePath, freshPath := files[0], files[1]
+
+	baseline, err := harness.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "waziexp ratchet:", err)
+		return 2
+	}
+	fresh, err := harness.ReadFile(freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "waziexp ratchet:", err)
+		return 2
+	}
+	warnEnvMismatch(baseline, fresh)
+
+	th := harness.Thresholds{
+		Default: gateOrInf(*latencyTh),
+		ByClass: map[string]float64{harness.ClassResource: gateOrInf(*resourceTh)},
+	}
+	c := harness.CompareWith(baseline, fresh, th)
+	c.WriteText(os.Stdout, *verbose)
+	fmt.Printf("thresholds: resource ±%s, latency ±%s\n",
+		formatGate(*resourceTh), formatGate(*latencyTh))
+
+	if *update {
+		if err := fresh.WriteFile(baselinePath); err != nil {
+			fmt.Fprintln(os.Stderr, "waziexp ratchet:", err)
+			return 2
+		}
+		fmt.Printf("baseline %s updated from %s\n", baselinePath, freshPath)
+		return 0
+	}
+	if n := c.Regressions(); n > 0 {
+		fmt.Fprintf(os.Stderr, "waziexp ratchet: %d metric(s) regressed past their class threshold (rerun with -update to accept intentionally)\n", n)
+		return 1
+	}
+	return 0
+}
+
+// gateOrInf maps the "0 disables this class" flag convention onto the
+// comparison machinery, where an infinite threshold never trips.
+func gateOrInf(th float64) float64 {
+	if th <= 0 {
+		return math.Inf(1)
+	}
+	return th
+}
+
+func formatGate(th float64) string {
+	if th <= 0 {
+		return "disabled"
+	}
+	return fmt.Sprintf("%.0f%%", th*100)
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/wazi-index/wazi/internal/bench/harness"
+)
+
+// writeRatchetReport writes a one-experiment report with a latency metric
+// and an allocs/op resource metric at the given means.
+func writeRatchetReport(t *testing.T, path string, latencyNS, allocs float64) {
+	t.Helper()
+	r := &harness.Report{
+		Schema: harness.SchemaVersion,
+		Suite:  "smoke",
+		Results: []harness.Result{{
+			Experiment: "e",
+			Metrics: []harness.Metric{
+				{
+					Name: "e/t0/newyork/wazi", Unit: "ns",
+					Samples: []float64{latencyNS}, Summary: harness.Summarize([]float64{latencyNS}),
+				},
+				{
+					Name: "e/resource/allocs-op", Unit: "allocs", Class: harness.ClassResource,
+					Samples: []float64{allocs}, Summary: harness.Summarize([]float64{allocs}),
+				},
+			},
+		}},
+	}
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRatchetGatesByClass is the ratchet acceptance test: identical runs
+// pass, an injected allocs/op regression fails with exit 1 even while the
+// latency change sits inside its loose gate, disabling the resource gate
+// lets the same regression through, and -update accepts it by rewriting
+// the baseline.
+func TestRatchetGatesByClass(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "BENCH_base.json")
+	fresh := filepath.Join(dir, "BENCH_fresh.json")
+
+	// Identical reports: pass.
+	writeRatchetReport(t, baseline, 100_000, 5000)
+	writeRatchetReport(t, fresh, 100_000, 5000)
+	if code := cmdRatchet([]string{baseline, fresh}); code != 0 {
+		t.Fatalf("identical reports: exit %d, want 0", code)
+	}
+
+	// 2x allocs/op with latency +40% (inside the 50% latency gate): the
+	// resource gate must catch it.
+	writeRatchetReport(t, fresh, 140_000, 10_000)
+	if code := cmdRatchet([]string{baseline, fresh}); code != 1 {
+		t.Fatalf("2x allocs/op regression: exit %d, want 1", code)
+	}
+
+	// Same regression with the resource gate disabled (0): passes, because
+	// the latency change is still inside its gate.
+	if code := cmdRatchet([]string{"-resource-threshold", "0", baseline, fresh}); code != 0 {
+		t.Fatalf("resource gate disabled: exit %d, want 0", code)
+	}
+
+	// Latency regression past its own gate still fails independently.
+	writeRatchetReport(t, fresh, 200_000, 5000)
+	if code := cmdRatchet([]string{baseline, fresh}); code != 1 {
+		t.Fatalf("2x latency regression: exit %d, want 1", code)
+	}
+	// ...and -latency-threshold 0 (the cross-machine CI mode) waves it on.
+	if code := cmdRatchet([]string{"-latency-threshold", "0", baseline, fresh}); code != 0 {
+		t.Fatalf("latency gate disabled: exit %d, want 0", code)
+	}
+
+	// -update accepts the regressed run as the new baseline; the same
+	// compare then passes.
+	writeRatchetReport(t, fresh, 100_000, 10_000)
+	if code := cmdRatchet([]string{"-update", baseline, fresh}); code != 0 {
+		t.Fatalf("-update: exit %d, want 0", code)
+	}
+	if code := cmdRatchet([]string{baseline, fresh}); code != 0 {
+		t.Fatalf("after -update the fresh run must pass, got exit %d", code)
+	}
+	updated, err := harness.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := updated.Results[0].ResourceMetric("allocs-op").Summary.Mean; got != 10_000 {
+		t.Fatalf("baseline allocs-op after -update = %.0f, want 10000", got)
+	}
+}
+
+// TestRatchetUsageErrors pins the exit-2 paths: missing files and missing
+// arguments.
+func TestRatchetUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	if code := cmdRatchet([]string{filepath.Join(dir, "nope.json"), filepath.Join(dir, "also-nope.json")}); code != 2 {
+		t.Fatalf("missing files: exit %d, want 2", code)
+	}
+	if code := cmdRatchet([]string{"only-one.json"}); code != 2 {
+		t.Fatalf("one argument: exit %d, want 2", code)
+	}
+}
+
+// TestCompareOldBaselineWithoutResources pins satellite forward-compat at
+// the command level: `waziexp compare` between a pre-resource-accounting
+// report and a current one exits 0 — the new resource metrics are listed
+// as one-sided, not treated as regressions.
+func TestCompareOldBaselineWithoutResources(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "BENCH_old.json")
+	newPath := filepath.Join(dir, "BENCH_new.json")
+
+	oldR := &harness.Report{
+		Schema: harness.SchemaVersion,
+		Suite:  "smoke",
+		Results: []harness.Result{{
+			Experiment: "e",
+			Metrics: []harness.Metric{{
+				Name: "e/t0/newyork/wazi", Unit: "ns",
+				Samples: []float64{100_000}, Summary: harness.Summarize([]float64{100_000}),
+			}},
+		}},
+	}
+	if err := oldR.WriteFile(oldPath); err != nil {
+		t.Fatal(err)
+	}
+	writeRatchetReport(t, newPath, 100_000, 5000)
+
+	if code := cmdCompare([]string{oldPath, newPath}); code != 0 {
+		t.Fatalf("compare old-vs-new with disjoint resource metrics: exit %d, want 0", code)
+	}
+	if code := cmdRatchet([]string{oldPath, newPath}); code != 0 {
+		t.Fatalf("ratchet against a pre-resource baseline: exit %d, want 0", code)
+	}
+}

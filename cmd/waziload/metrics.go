@@ -84,6 +84,22 @@ func (m *metricsSnap) histogram(name string) (bounds []float64, counts []int64, 
 	return bounds, counts, total
 }
 
+// histSum returns a histogram family's _sum sample (summed across label
+// sets), 0 when absent.
+func (m *metricsSnap) histSum(name string) float64 {
+	f, ok := m.fams[name]
+	if !ok {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range f.Samples {
+		if s.Name == name+"_sum" {
+			sum += s.Value
+		}
+	}
+	return sum
+}
+
 // histDeltaQuantile estimates a quantile of a histogram family over the
 // window between two scrapes.
 func histDeltaQuantile(before, after *metricsSnap, name string, q float64) (float64, int64) {
@@ -132,9 +148,12 @@ func serverMetricsTable(before, after *metricsSnap) harness.Table {
 		{"coalesced reads/pass", fmt.Sprintf("%.2f", readsPerPass)},
 		{"cache hit rate (%)", fmt.Sprintf("%.1f", hitRate)},
 		{"gc pause p95 (ms)", fmt.Sprintf("%.3f", gcP95*1e3)},
+		{"gc pause total (ms)", fmt.Sprintf("%.3f", (after.histSum("wazi_go_gc_pause_seconds")-before.histSum("wazi_go_gc_pause_seconds"))*1e3)},
+		{"gc pause slo breaches", fmt.Sprintf("%.0f", after.value("wazi_gc_pause_slo_breaches_total")-before.value("wazi_gc_pause_slo_breaches_total"))},
 		{"heap alloc (MB)", fmt.Sprintf("%.1f", after.value("wazi_go_heap_alloc_bytes")/(1<<20))},
 		{"goroutines", fmt.Sprintf("%.0f", after.value("wazi_go_goroutines"))},
 		{"slow queries", fmt.Sprintf("%.0f", after.value("wazi_slowlog_recorded_total")-before.value("wazi_slowlog_recorded_total"))},
+		{"profile captures", fmt.Sprintf("%.0f", after.value("wazi_profile_captures_total")-before.value("wazi_profile_captures_total"))},
 	}
 	return harness.Table{
 		ID:     "server-metrics",

@@ -67,6 +67,11 @@ func run() int {
 		logEvery = fs.Duration("log-interval", 0, "log a one-line ops summary (qps, p95, cache hit rate, heap) this often; 0 disables")
 		slowQ    = fs.Duration("slow-query", 0, "slow-query log threshold for /debug/slowlog (0 = default 250ms, negative records everything)")
 		pprofOn  = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the serving port")
+		profDir  = fs.String("profile-dir", "", "anomaly-triggered profile capture: write CPU+heap pprof captures here on slow-query or GC-pause-SLO breaches (empty = disabled); browse via /debug/profilez")
+		profMax  = fs.Int("profile-max", 0, "captures retained in the on-disk ring before the oldest is pruned (0 = default 8); needs -profile-dir")
+		profCool = fs.Duration("profile-cooldown", 0, "minimum spacing between captures (0 = default 30s, negative = none); needs -profile-dir")
+		profCPU  = fs.Duration("profile-cpu", 0, "CPU profile duration per capture (0 = default 1s); needs -profile-dir")
+		gcSLO    = fs.Duration("gc-pause-slo", 0, "GC pause SLO: pauses at or above this count as breaches in /metrics and trigger captures (0 = disabled)")
 	)
 	fs.Parse(os.Args[1:])
 	if fs.NArg() > 0 {
@@ -94,6 +99,11 @@ func run() int {
 		DrainTimeout:       *drain,
 		SlowQueryThreshold: *slowQ,
 		Pprof:              *pprofOn,
+		ProfileDir:         *profDir,
+		ProfileMaxCaptures: *profMax,
+		ProfileCooldown:    *profCool,
+		ProfileCPUDuration: *profCPU,
+		GCPauseSLO:         *gcSLO,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)

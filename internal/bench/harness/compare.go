@@ -24,10 +24,29 @@ type Delta struct {
 	Metric         string  `json:"metric"`
 	Unit           string  `json:"unit,omitempty"`
 	HigherIsBetter bool    `json:"higher_is_better,omitempty"`
+	Class          string  `json:"class,omitempty"`
 	Old            float64 `json:"old"`
 	New            float64 `json:"new"`
 	Pct            float64 `json:"pct"`
 	Verdict        Verdict `json:"verdict"`
+}
+
+// Thresholds selects a regression threshold per metric class. ByClass maps
+// a Metric.Class to its threshold; classes not present fall back to
+// Default. An infinite threshold disables gating for that class (every
+// change verdicts Within), which is how a cross-machine ratchet keeps
+// timing metrics advisory while still gating allocation metrics.
+type Thresholds struct {
+	Default float64
+	ByClass map[string]float64
+}
+
+// For returns the threshold that applies to a metric class.
+func (t Thresholds) For(class string) float64 {
+	if th, ok := t.ByClass[class]; ok {
+		return th
+	}
+	return t.Default
 }
 
 // Comparison is the result of comparing two reports metric by metric.
@@ -45,7 +64,16 @@ type Comparison struct {
 // 10%) beyond which a change counts as an improvement or regression; at or
 // below it the verdict is Within.
 func Compare(old, new *Report, threshold float64) Comparison {
-	c := Comparison{Threshold: threshold}
+	return CompareWith(old, new, Thresholds{Default: threshold})
+}
+
+// CompareWith is Compare with per-metric-class thresholds: each delta is
+// gated by the threshold its metric's class resolves to. Metrics present
+// in only one report (e.g. resource metrics meeting a pre-resource-
+// accounting report) are listed in OnlyInOld/OnlyInNew rather than
+// compared, so old and new report generations diff gracefully.
+func CompareWith(old, new *Report, th Thresholds) Comparison {
+	c := Comparison{Threshold: th.Default}
 	oldOrder, oldBy := old.Metrics()
 	newOrder, newBy := new.Metrics()
 	for _, name := range oldOrder {
@@ -55,7 +83,7 @@ func Compare(old, new *Report, threshold float64) Comparison {
 			c.OnlyInOld = append(c.OnlyInOld, name)
 			continue
 		}
-		c.Deltas = append(c.Deltas, compareMetric(om, nm, threshold))
+		c.Deltas = append(c.Deltas, compareMetric(om, nm, th.For(om.Class)))
 	}
 	for _, name := range newOrder {
 		if _, ok := oldBy[name]; !ok {
@@ -70,6 +98,7 @@ func compareMetric(om, nm Metric, threshold float64) Delta {
 		Metric:         om.Name,
 		Unit:           om.Unit,
 		HigherIsBetter: om.HigherIsBetter,
+		Class:          om.Class,
 		Old:            om.Summary.Mean,
 		New:            nm.Summary.Mean,
 		Verdict:        Within,

@@ -52,9 +52,15 @@ type Metric struct {
 	Unit string `json:"unit,omitempty"`
 	// HigherIsBetter steers regression detection: true for throughput-like
 	// metrics, false for latency/size/time-like ones (the default).
-	HigherIsBetter bool      `json:"higher_is_better,omitempty"`
-	Samples        []float64 `json:"samples"`
-	Summary        Summary   `json:"summary"`
+	HigherIsBetter bool `json:"higher_is_better,omitempty"`
+	// Class groups metrics for per-class regression thresholds: empty (the
+	// default) for table-mined latency/throughput metrics, ClassResource
+	// for the harness's allocation/GC accounting. Readers predating the
+	// field decode it away harmlessly; writers omit it when empty, so old
+	// and new reports stay mutually readable within wazi-bench/v1.
+	Class   string    `json:"class,omitempty"`
+	Samples []float64 `json:"samples"`
+	Summary Summary   `json:"summary"`
 }
 
 // Result is one experiment's outcome under the harness: its wall-time
@@ -102,9 +108,11 @@ func NewRun(opts Options, config any, reporters ...Reporter) *Run {
 }
 
 // Experiment runs fn under the harness: Warmup untimed passes, then Reps
-// timed ones. Numeric table cells and wall time become metrics; the last
-// repetition's tables are kept. The result is appended to the report and
-// streamed to the reporters.
+// timed ones. Numeric table cells and wall time become metrics, and every
+// timed repetition is bracketed by MemStats reads so its allocation and GC
+// behavior (allocs/op, alloc-bytes/op, GC cycles, GC pause time) lands in
+// the report as resource-class metrics; the last repetition's tables are
+// kept. The result is appended to the report and streamed to the reporters.
 func (r *Run) Experiment(id string, fn func() []Table) Result {
 	for i := 0; i < r.opts.Warmup; i++ {
 		_ = fn()
@@ -115,10 +123,15 @@ func (r *Run) Experiment(id string, fn func() []Table) Result {
 		acc    = newMetricAccumulator()
 	)
 	for i := 0; i < r.opts.Reps; i++ {
-		start := time.Now()
-		tables = fn()
-		walls = append(walls, float64(time.Since(start).Nanoseconds()))
+		var wall time.Duration
+		res := captureResources(func() {
+			start := time.Now()
+			tables = fn()
+			wall = time.Since(start)
+		})
+		walls = append(walls, float64(wall.Nanoseconds()))
 		acc.addTables(id, tables)
+		acc.addResources(id, res)
 	}
 	res := Result{
 		Experiment: id,

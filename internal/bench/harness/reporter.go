@@ -63,11 +63,20 @@ func (t *TextReporter) Experiment(res Result) {
 	}
 	line += fmt.Sprintf(", %d metrics]", len(res.Metrics))
 	fmt.Fprintln(t.W, line)
+	if rl := resourceLine(res); rl != "" {
+		fmt.Fprintln(t.W, rl)
+	}
 	fmt.Fprintln(t.W)
 }
 
-// End prints the run footer.
+// End prints the run's resource-profile table (unless Quiet) and the
+// footer.
 func (t *TextReporter) End(r *Report) error {
+	if !t.Quiet {
+		if tb := ResourceTable(r); len(tb.Rows) > 0 {
+			fmt.Fprintln(t.W, tb)
+		}
+	}
 	_, err := fmt.Fprintf(t.W, "suite %s: %d experiment(s) in %v\n",
 		r.Suite, len(r.Results), time.Duration(r.ElapsedNS).Round(time.Millisecond))
 	return err

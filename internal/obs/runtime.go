@@ -17,6 +17,7 @@ type Runtime struct {
 	ms        runtime.MemStats
 	lastNumGC uint32
 	pause     *Histogram
+	pauseHook func(time.Duration)
 }
 
 // NewRuntime returns a sampler with a 100ms cache TTL.
@@ -26,6 +27,16 @@ func NewRuntime() *Runtime {
 
 // PauseHistogram returns the GC pause-duration histogram (seconds).
 func (r *Runtime) PauseHistogram() *Histogram { return r.pause }
+
+// SetPauseHook registers fn to be called once per newly observed GC pause,
+// in cycle order, from whichever Sample call discovers it. The hook runs
+// under the sampler's lock: it must be fast and must not call Sample. The
+// server uses it to trip the GC-pause SLO and trigger a profile capture.
+func (r *Runtime) SetPauseHook(fn func(time.Duration)) {
+	r.mu.Lock()
+	r.pauseHook = fn
+	r.mu.Unlock()
+}
 
 // Sample refreshes the cached MemStats if stale and returns a copy. Newly
 // completed GC cycles have their pause durations observed exactly once.
@@ -46,7 +57,11 @@ func (r *Runtime) Sample() runtime.MemStats {
 		from = r.ms.NumGC - 256
 	}
 	for c := from + 1; c <= r.ms.NumGC; c++ {
-		r.pause.Observe(float64(r.ms.PauseNs[(c+255)%256]) / 1e9)
+		ns := r.ms.PauseNs[(c+255)%256]
+		r.pause.Observe(float64(ns) / 1e9)
+		if r.pauseHook != nil {
+			r.pauseHook(time.Duration(ns))
+		}
 	}
 	r.lastNumGC = r.ms.NumGC
 	return r.ms

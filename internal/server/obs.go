@@ -60,7 +60,9 @@ func (s *Server) initObs() {
 		func() float64 { return float64(s.co.batches.Load()) })
 	reg.CounterFunc("wazi_coalesced_reads_total", "Reads folded into coalescer passes.",
 		func() float64 { return float64(s.co.reads.Load()) })
-	reg.GaugeFunc("wazi_slowlog_recorded_total", "Slow queries recorded since start.",
+	// Monotonic since start, so a counter — a scraper can rate() it; as a
+	// gauge the _total name would lie about resets.
+	reg.CounterFunc("wazi_slowlog_recorded_total", "Slow queries recorded since start.",
 		func() float64 { return float64(s.slow.Recorded()) })
 
 	// Backend shape and progress.
@@ -110,9 +112,61 @@ func (s *Server) initObs() {
 	}
 
 	s.registerWALMetrics()
+	s.registerProfileMetrics()
 
 	s.rt.Register(reg)
 	s.lastLine.at = s.start
+}
+
+// registerProfileMetrics exports the anomaly-capture counters and wires the
+// GC-pause SLO into the runtime sampler. Families are registered even when
+// capture is disabled (all zeros), so dashboards and waziload's scrape
+// deltas never see a family appear out of nowhere.
+func (s *Server) registerProfileMetrics() {
+	reg := s.reg
+	reg.CounterFunc("wazi_profile_captures_total", "Anomaly-triggered profile captures completed.",
+		func() float64 {
+			if s.prof == nil {
+				return 0
+			}
+			return float64(s.prof.captured.Load())
+		})
+	reg.CounterFunc("wazi_profile_triggers_total", "Capture triggers observed (slow-query breaches, GC-pause SLO trips).",
+		func() float64 {
+			if s.prof == nil {
+				return 0
+			}
+			return float64(s.prof.triggered.Load())
+		})
+	reg.CounterFunc("wazi_profile_skipped_total", "Capture triggers dropped by the cooldown or an in-flight capture.",
+		func() float64 {
+			if s.prof == nil {
+				return 0
+			}
+			return float64(s.prof.skipped.Load())
+		})
+	reg.CounterFunc("wazi_profile_capture_errors_total", "Errors while writing capture profiles.",
+		func() float64 {
+			if s.prof == nil {
+				return 0
+			}
+			return float64(s.prof.errors.Load())
+		})
+	reg.GaugeFunc("wazi_profile_retained", "Captures currently on disk in the bounded ring.",
+		func() float64 { return float64(s.prof.retained()) })
+
+	reg.GaugeFunc("wazi_gc_pause_slo_seconds", "Configured GC-pause SLO (0 = disabled).",
+		func() float64 { return s.cfg.GCPauseSLO.Seconds() })
+	reg.CounterFunc("wazi_gc_pause_slo_breaches_total", "GC pauses at or above the SLO.",
+		func() float64 { return float64(s.gcBreaches.Load()) })
+	if slo := s.cfg.GCPauseSLO; slo > 0 {
+		s.rt.SetPauseHook(func(d time.Duration) {
+			if d >= slo {
+				s.gcBreaches.Add(1)
+				s.prof.trigger("gc_pause_slo")
+			}
+		})
+	}
 }
 
 // Registry returns the server's metrics registry, for tests and for

@@ -1,0 +1,280 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements anomaly-triggered profile capture: when the serving
+// layer records an anomaly — a slow-query breach, or a GC pause past the
+// configured SLO — it captures CPU+heap pprof profiles into a bounded
+// on-disk ring of capture directories, so the evidence of "why was it slow
+// right then" survives the moment without anyone having had a profiler
+// attached. Captures are listed and fetched via /debug/profilez and counted
+// in /metrics.
+
+// profiler owns the capture ring. A nil *profiler (capture disabled) is
+// valid: every method no-ops.
+type profiler struct {
+	dir      string
+	max      int
+	cooldown time.Duration
+	cpuDur   time.Duration
+
+	mu   sync.Mutex
+	last time.Time // start of the most recent capture
+
+	busy atomic.Bool // one capture at a time
+
+	triggered atomic.Int64 // trigger calls
+	captured  atomic.Int64 // captures completed (>=1 profile written)
+	skipped   atomic.Int64 // triggers dropped by cooldown or an in-flight capture
+	errors    atomic.Int64 // file/profile errors during capture
+}
+
+// captureIDRe pins the capture directory naming scheme; the fetch handler
+// refuses anything else, so /debug/profilez can never serve a path outside
+// the ring.
+var captureIDRe = regexp.MustCompile(`^capture-(\d{20})-([a-z_]+)$`)
+
+// captureFiles are the only file names a capture may contain and the fetch
+// handler may serve.
+var captureFiles = map[string]bool{"cpu.pprof": true, "heap.pprof": true}
+
+func newProfiler(dir string, max int, cooldown, cpuDur time.Duration) *profiler {
+	if dir == "" {
+		return nil
+	}
+	return &profiler{dir: dir, max: max, cooldown: cooldown, cpuDur: cpuDur}
+}
+
+// trigger requests a capture for reason (a lowercase_underscore label).
+// Non-blocking: the capture itself runs on its own goroutine. Triggers
+// during an in-flight capture or inside the cooldown window are counted
+// and dropped — an anomaly storm yields one profile, not hundreds.
+func (p *profiler) trigger(reason string) {
+	if p == nil {
+		return
+	}
+	p.triggered.Add(1)
+	p.mu.Lock()
+	now := time.Now()
+	ok := !p.busy.Load() && (p.last.IsZero() || now.Sub(p.last) >= p.cooldown)
+	if ok {
+		p.last = now
+		p.busy.Store(true)
+	}
+	p.mu.Unlock()
+	if !ok {
+		p.skipped.Add(1)
+		return
+	}
+	go p.capture(reason, now)
+}
+
+// capture writes heap.pprof and cpu.pprof into a fresh capture directory,
+// then prunes the ring to max entries. The heap profile is written first so
+// a capture is fetchable even if CPU profiling is unavailable (e.g. a
+// /debug/pprof/profile request already holds the profiler).
+func (p *profiler) capture(reason string, at time.Time) {
+	defer p.busy.Store(false)
+	id := fmt.Sprintf("capture-%020d-%s", at.UnixNano(), reason)
+	dir := filepath.Join(p.dir, id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		p.errors.Add(1)
+		return
+	}
+	wrote := false
+
+	runtime.GC() // fold pending frees into the heap profile
+	if f, err := os.Create(filepath.Join(dir, "heap.pprof")); err != nil {
+		p.errors.Add(1)
+	} else {
+		if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+			p.errors.Add(1)
+		} else {
+			wrote = true
+		}
+		f.Close()
+	}
+
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	if f, err := os.Create(cpuPath); err != nil {
+		p.errors.Add(1)
+	} else if err := pprof.StartCPUProfile(f); err != nil {
+		// Another CPU profile is running; keep the heap-only capture.
+		p.errors.Add(1)
+		f.Close()
+		os.Remove(cpuPath)
+	} else {
+		time.Sleep(p.cpuDur)
+		pprof.StopCPUProfile()
+		f.Close()
+		wrote = true
+	}
+
+	if !wrote {
+		os.RemoveAll(dir)
+		return
+	}
+	p.captured.Add(1)
+	p.prune()
+}
+
+// list returns the ring's captures, newest first.
+func (p *profiler) list() []captureInfo {
+	ids := p.ids()
+	out := make([]captureInfo, 0, len(ids))
+	for i := len(ids) - 1; i >= 0; i-- { // ids sort oldest-first by name
+		id := ids[i]
+		m := captureIDRe.FindStringSubmatch(id)
+		ns, _ := strconv.ParseInt(m[1], 10, 64)
+		ci := captureInfo{ID: id, Reason: m[2], UnixNS: ns}
+		entries, err := os.ReadDir(filepath.Join(p.dir, id))
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if !captureFiles[e.Name()] {
+				continue
+			}
+			size := int64(0)
+			if fi, err := e.Info(); err == nil {
+				size = fi.Size()
+			}
+			ci.Files = append(ci.Files, captureFile{
+				Name:  e.Name(),
+				Bytes: size,
+				Path:  "/debug/profilez/" + id + "/" + e.Name(),
+			})
+		}
+		out = append(out, ci)
+	}
+	return out
+}
+
+// ids returns the capture directory names sorted oldest-first (the naming
+// scheme's zero-padded nanosecond timestamp makes name order time order).
+func (p *profiler) ids() []string {
+	if p == nil {
+		return nil
+	}
+	entries, err := os.ReadDir(p.dir)
+	if err != nil {
+		return nil
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() && captureIDRe.MatchString(e.Name()) {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// prune deletes oldest captures until at most max remain.
+func (p *profiler) prune() {
+	ids := p.ids()
+	for len(ids) > p.max {
+		if err := os.RemoveAll(filepath.Join(p.dir, ids[0])); err != nil {
+			p.errors.Add(1)
+			return
+		}
+		ids = ids[1:]
+	}
+}
+
+// retained counts captures currently on disk, for the gauge.
+func (p *profiler) retained() int {
+	return len(p.ids())
+}
+
+// ---------------------------------------------------------------- endpoints
+
+// captureFile is one fetchable profile within a capture.
+type captureFile struct {
+	Name  string `json:"name"`
+	Bytes int64  `json:"bytes"`
+	Path  string `json:"path"`
+}
+
+// captureInfo is one entry of the /debug/profilez listing.
+type captureInfo struct {
+	ID     string        `json:"id"`
+	Reason string        `json:"reason"`
+	UnixNS int64         `json:"unix_ns"`
+	Files  []captureFile `json:"files"`
+}
+
+// profilezResp is the JSON shape of /debug/profilez.
+type profilezResp struct {
+	Enabled  bool          `json:"enabled"`
+	Dir      string        `json:"dir,omitempty"`
+	Captured int64         `json:"captured"`
+	Skipped  int64         `json:"skipped"`
+	Errors   int64         `json:"errors"`
+	Captures []captureInfo `json:"captures"`
+}
+
+// handleProfilez lists the capture ring.
+func (s *Server) handleProfilez(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "/debug/profilez requires GET")
+		return
+	}
+	resp := profilezResp{Captures: []captureInfo{}}
+	if s.prof != nil {
+		resp.Enabled = true
+		resp.Dir = s.prof.dir
+		resp.Captured = s.prof.captured.Load()
+		resp.Skipped = s.prof.skipped.Load()
+		resp.Errors = s.prof.errors.Load()
+		resp.Captures = s.prof.list()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleProfilezFetch serves one profile file:
+// GET /debug/profilez/<capture-id>/<cpu.pprof|heap.pprof>. Both path
+// segments are validated against the ring's naming scheme before any
+// filesystem access, so traversal cannot escape the capture directory.
+func (s *Server) handleProfilezFetch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "/debug/profilez requires GET")
+		return
+	}
+	if s.prof == nil {
+		writeError(w, http.StatusNotFound, "profile capture disabled (set -profile-dir)")
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/debug/profilez/")
+	parts := strings.Split(rest, "/")
+	if len(parts) != 2 || !captureIDRe.MatchString(parts[0]) || !captureFiles[parts[1]] {
+		writeError(w, http.StatusNotFound, "want /debug/profilez/<capture-id>/<cpu.pprof|heap.pprof>")
+		return
+	}
+	path := filepath.Join(s.prof.dir, parts[0], parts[1])
+	f, err := os.Open(path)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no such capture file")
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", parts[0]+"-"+parts[1]))
+	http.ServeContent(w, r, parts[1], time.Time{}, f)
+}

@@ -112,6 +112,28 @@ type Config struct {
 	SlowLogSize int
 	// Pprof mounts net/http/pprof under /debug/pprof/ when set.
 	Pprof bool
+	// ProfileDir enables anomaly-triggered profile capture: when a slow
+	// query enters the slow-query log, or a GC pause breaches GCPauseSLO,
+	// CPU+heap pprof profiles are written into a bounded ring of capture
+	// directories under this path, listed and fetched via /debug/profilez.
+	// Empty disables capture (the endpoint still answers, enabled=false).
+	ProfileDir string
+	// ProfileMaxCaptures bounds the on-disk capture ring; oldest captures
+	// are deleted first (default 8).
+	ProfileMaxCaptures int
+	// ProfileCooldown is the minimum spacing between captures, so an
+	// anomaly storm produces one profile, not hundreds (default 30s;
+	// negative means no cooldown).
+	ProfileCooldown time.Duration
+	// ProfileCPUDuration is how long each capture's CPU profile runs
+	// (default 1s).
+	ProfileCPUDuration time.Duration
+	// GCPauseSLO, when positive, is the stop-the-world GC pause duration
+	// that counts as an SLO breach: breaches are counted in
+	// wazi_gc_pause_slo_breaches_total and trigger a profile capture.
+	// Breaches are detected when the runtime sampler observes new pauses
+	// (scrapes, stats lines), not at the instant the pause ends.
+	GCPauseSLO time.Duration
 }
 
 func (c *Config) fill() {
@@ -143,6 +165,18 @@ func (c *Config) fill() {
 	if c.SlowLogSize <= 0 {
 		c.SlowLogSize = 128
 	}
+	if c.ProfileMaxCaptures <= 0 {
+		c.ProfileMaxCaptures = 8
+	}
+	switch {
+	case c.ProfileCooldown == 0:
+		c.ProfileCooldown = 30 * time.Second
+	case c.ProfileCooldown < 0:
+		c.ProfileCooldown = 0
+	}
+	if c.ProfileCPUDuration <= 0 {
+		c.ProfileCPUDuration = time.Second
+	}
 }
 
 // maxBodyBytes bounds request bodies; a 64k-op batch of ~100 bytes/op fits
@@ -168,6 +202,11 @@ type Server struct {
 	routeHist map[string]*obs.Histogram
 	reqAll    *obs.Histogram
 	lastLine  lineWindow
+
+	// Anomaly-triggered profile capture (profilez.go): nil unless
+	// Config.ProfileDir is set.
+	prof       *profiler
+	gcBreaches atomic.Int64
 }
 
 // New builds a Server. Call Close (or let Serve's shutdown path do it) to
@@ -181,6 +220,7 @@ func New(b Backend, cfg Config) *Server {
 		start: time.Now(),
 	}
 	s.co = newCoalescer(b, cfg.CoalesceWorkers, cfg.CoalesceBatch, cfg.MaxInflight+cfg.MaxQueue+1)
+	s.prof = newProfiler(cfg.ProfileDir, cfg.ProfileMaxCaptures, cfg.ProfileCooldown, cfg.ProfileCPUDuration)
 	s.initObs()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/range", s.opHandler("range", s.handleRange))
@@ -194,6 +234,8 @@ func New(b Backend, cfg Config) *Server {
 	mux.HandleFunc("/statsz", s.handleStatsz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
+	mux.HandleFunc("/debug/profilez", s.handleProfilez)
+	mux.HandleFunc("/debug/profilez/", s.handleProfilezFetch)
 	mux.HandleFunc("/debug/checksum", s.handleChecksum)
 	if cfg.Pprof {
 		s.mountPprof(mux)
@@ -280,7 +322,11 @@ func (s *Server) opHandler(route string, h http.HandlerFunc) http.HandlerFunc {
 			s.reqAll.Observe(d.Seconds())
 			s.status(route, sw.code)
 			if sw.code == http.StatusOK && d >= s.slow.Threshold() {
-				s.slow.Record(tr.Snapshot())
+				if s.slow.Record(tr.Snapshot()) {
+					// A slow-query breach is the anomaly the profile ring
+					// exists for: capture while the cause is still hot.
+					s.prof.trigger("slow_query")
+				}
 			}
 		}()
 		h(sw, r)

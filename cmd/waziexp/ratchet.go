@@ -26,6 +26,7 @@ func cmdRatchet(args []string) int {
 	var (
 		resourceTh = fs.Float64("resource-threshold", 0.35, "relative regression gate for resource-class metrics (allocs, bytes, GC); 0 disables")
 		latencyTh  = fs.Float64("latency-threshold", 0.50, "relative regression gate for latency/throughput metrics mined from tables; 0 disables")
+		exactTh    = fs.Float64("exact-threshold", 0.1, "relative regression gate for exact-class metrics (deterministic counters, e.g. kernel allocs/op); 0 disables")
 		update     = fs.Bool("update", false, "rewrite the baseline file from the fresh report instead of gating")
 		verbose    = fs.Bool("v", false, "list metrics within their thresholds too, not only the changed ones")
 	)
@@ -33,8 +34,9 @@ func cmdRatchet(args []string) int {
 		fmt.Fprint(os.Stderr, `usage: waziexp ratchet [flags] baseline.json fresh.json
 
 Compares a fresh BENCH report against a committed baseline with separate
-regression thresholds for resource-class metrics (allocation/GC
-accounting) and latency-class metrics (everything mined from tables).
+regression thresholds per metric class: resource (allocation/GC
+accounting), exact (deterministic counters such as kernel allocs/op),
+and latency (everything else mined from tables).
 Exits 1 when any metric regressed past its class threshold. With -update
 the fresh report replaces the baseline and the command exits 0.
 `)
@@ -73,12 +75,15 @@ the fresh report replaces the baseline and the command exits 0.
 
 	th := harness.Thresholds{
 		Default: gateOrInf(*latencyTh),
-		ByClass: map[string]float64{harness.ClassResource: gateOrInf(*resourceTh)},
+		ByClass: map[string]float64{
+			harness.ClassResource: gateOrInf(*resourceTh),
+			harness.ClassExact:    gateOrInf(*exactTh),
+		},
 	}
 	c := harness.CompareWith(baseline, fresh, th)
 	c.WriteText(os.Stdout, *verbose)
-	fmt.Printf("thresholds: resource ±%s, latency ±%s\n",
-		formatGate(*resourceTh), formatGate(*latencyTh))
+	fmt.Printf("thresholds: resource ±%s, latency ±%s, exact ±%s\n",
+		formatGate(*resourceTh), formatGate(*latencyTh), formatGate(*exactTh))
 
 	if *update {
 		if err := fresh.WriteFile(baselinePath); err != nil {

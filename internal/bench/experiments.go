@@ -45,6 +45,7 @@ func Experiments() []Experiment {
 		{"repartition", "online repartitioning vs static plan under hotspot-shift", RepartitionExperiment},
 		{"obs-overhead", "per-op latency with observability instruments on vs off", ObsOverhead},
 		{"durability", "write latency under WAL durability policies (off / group-commit / fsync-always)", Durability},
+		{"kernel-allocs", "steady-state query-kernel allocations on the RAM backend (exact-class, ratcheted to zero)", KernelAllocs},
 	}
 }
 

@@ -193,6 +193,7 @@ func (a *metricAccumulator) addTables(expID string, tables []Table) {
 						Name:           name,
 						Unit:           inferUnit(t.Title, t.Header[ci], row[ci]),
 						HigherIsBetter: inferHigherBetter(t.Title, t.Header[ci]),
+						Class:          t.Class,
 					}
 					a.byKey[name] = m
 					a.order = append(a.order, name)

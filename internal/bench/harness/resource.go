@@ -14,6 +14,11 @@ const (
 	// ClassResource marks allocation/GC accounting metrics emitted by the
 	// harness around every timed repetition.
 	ClassResource = "resource"
+	// ClassExact marks metrics that are deterministic by construction —
+	// counters a ratchet can hold to an exact value across machines, such
+	// as the steady-state allocs/op of the zero-allocation query kernel.
+	// Experiments opt tables in via Table.Class.
+	ClassExact = "exact"
 )
 
 // resourceSample is the runtime.MemStats delta over one timed repetition:

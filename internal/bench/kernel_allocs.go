@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	wazi "github.com/wazi-index/wazi"
+	"github.com/wazi-index/wazi/internal/bench/harness"
+	"github.com/wazi-index/wazi/internal/dataset"
+	"github.com/wazi-index/wazi/internal/workload"
+)
+
+// kernelSink defeats dead-code elimination of the measured query loops.
+var kernelSink int
+
+// KernelAllocs proves the zero-allocation query kernel: on the RAM backend,
+// steady-state RangeQuery/RangeCount/KNN through the Append APIs must not
+// allocate — not on a single Index and not through the Sharded fan-out with
+// its pooled per-query arenas. The experiment measures itself (runtime
+// MemStats deltas around batches of queries, minimum over several batches so
+// a stray background allocation cannot inflate the steady state) and reports
+// the counts in an exact-class table, which `waziexp ratchet` holds to the
+// committed baseline of zero — a hard gate, since any appearance from zero
+// is an infinite relative regression. Latencies land in a separate
+// latency-class table so cross-machine runs can gate allocations without
+// gating timing.
+func KernelAllocs(cfg Config) []Table {
+	cfg.fill()
+	r := cfg.Regions[0]
+	data := dataset.Generate(r, cfg.Scale, cfg.Seed)
+	train := workload.Skewed(r, cfg.Queries, MidSelectivity, cfg.Seed+21)
+	qs := workload.Skewed(r, cfg.Queries, MidSelectivity, cfg.Seed+31)
+	const k = 10
+
+	idx, err := wazi.NewWorkloadAware(data, train,
+		wazi.WithLeafSize(cfg.LeafSize), wazi.WithSeed(cfg.Seed))
+	if err != nil {
+		panic(err)
+	}
+	sh, err := wazi.NewSharded(data, train,
+		wazi.WithShards(8),
+		wazi.WithIndexOptions(wazi.WithLeafSize(cfg.LeafSize), wazi.WithSeed(cfg.Seed)),
+		wazi.WithoutAutoRebuild(),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer sh.Close()
+
+	// One reusable destination buffer per measured loop — the usage pattern
+	// the Append APIs exist for. kNN queries at the centers of the range
+	// workload's rectangles.
+	var buf []wazi.Point
+	rows := []struct {
+		name string
+		run  func()
+	}{
+		{"index/range", func() {
+			for _, q := range qs {
+				buf = idx.RangeQueryAppend(buf[:0], q)
+			}
+			kernelSink += len(buf)
+		}},
+		{"index/count", func() {
+			for _, q := range qs {
+				kernelSink += idx.RangeCount(q)
+			}
+		}},
+		{"index/knn", func() {
+			for _, q := range qs {
+				buf = idx.KNNAppend(buf[:0], center(q), k)
+			}
+			kernelSink += len(buf)
+		}},
+		{"sharded/range", func() {
+			for _, q := range qs {
+				buf = sh.RangeQueryAppend(buf[:0], q)
+			}
+			kernelSink += len(buf)
+		}},
+		{"sharded/count", func() {
+			for _, q := range qs {
+				kernelSink += sh.RangeCount(q)
+			}
+		}},
+		{"sharded/knn", func() {
+			for _, q := range qs {
+				buf = sh.KNNAppend(buf[:0], center(q), k)
+			}
+			kernelSink += len(buf)
+		}},
+	}
+
+	exact := Table{
+		ID:     "kernel-allocs",
+		Title:  fmt.Sprintf("Steady-state query kernel allocations, RAM backend (%s, %d points, %d queries/batch)", r, cfg.Scale, len(qs)),
+		Header: []string{"Path", "Allocs/op", "Alloc bytes/op"},
+		Class:  harness.ClassExact,
+		Notes: []string{
+			"MemStats deltas over a query batch, minimum of 3 batches after warmup; deterministic, ratcheted against an exact-zero baseline",
+		},
+	}
+	lat := Table{
+		ID:     "kernel-allocs",
+		Title:  "Query kernel latency context (same batches)",
+		Header: []string{"Path", "ns/op"},
+		Notes:  []string{"wall time of the best batch; timing-noisy, gated (if at all) by the latency threshold"},
+	}
+	for _, row := range rows {
+		allocs, bytes, nsOp := measureAllocs(row.run, len(qs))
+		exact.Rows = append(exact.Rows, []string{
+			row.name, fmt.Sprintf("%.3f", allocs), fmt.Sprintf("%.1f", bytes),
+		})
+		lat.Rows = append(lat.Rows, []string{row.name, fmt.Sprintf("%.0f", nsOp)})
+	}
+	return []Table{exact, lat}
+}
+
+// center returns the midpoint of a query rectangle.
+func center(q wazi.Rect) wazi.Point {
+	return wazi.Point{X: (q.MinX + q.MaxX) / 2, Y: (q.MinY + q.MaxY) / 2}
+}
+
+// measureAllocs runs fn repeatedly and returns its per-operation allocation
+// count, allocated bytes, and wall time at steady state. Each measured batch
+// is preceded by a GC (which empties sync.Pools) and an unmeasured priming
+// pass (which restocks them and grows every reused buffer to its high-water
+// mark), so the bracketed pass sees exactly the steady state a long-running
+// server reaches. The minimum across batches is reported: allocations from
+// unrelated goroutines can only add.
+func measureAllocs(fn func(), ops int) (allocsOp, bytesOp, nsOp float64) {
+	allocsOp, bytesOp, nsOp = math.Inf(1), math.Inf(1), math.Inf(1)
+	var before, after runtime.MemStats
+	for batch := 0; batch < 3; batch++ {
+		runtime.GC()
+		fn()
+		runtime.ReadMemStats(&before)
+		fn()
+		runtime.ReadMemStats(&after)
+		a := float64(after.Mallocs-before.Mallocs) / float64(ops)
+		b := float64(after.TotalAlloc-before.TotalAlloc) / float64(ops)
+		if a < allocsOp {
+			allocsOp = a
+		}
+		if b < bytesOp {
+			bytesOp = b
+		}
+	}
+	for batch := 0; batch < 3; batch++ {
+		start := time.Now()
+		fn()
+		if d := float64(time.Since(start).Nanoseconds()) / float64(ops); d < nsOp {
+			nsOp = d
+		}
+	}
+	return allocsOp, bytesOp, nsOp
+}

@@ -22,6 +22,7 @@ func BuildBase(pts []geom.Point, opts Options) (*ZIndex, error) {
 	if err != nil {
 		return nil, err
 	}
+	reserveStore(st, len(pts))
 	own := make([]geom.Point, len(pts))
 	copy(own, pts)
 	z := &ZIndex{bounds: geom.RectFromPoints(own), count: len(own), opts: opts}

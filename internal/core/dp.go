@@ -39,6 +39,7 @@ func BuildOptimal(pts []geom.Point, queries []geom.Rect, opts Options) (*ZIndex,
 	if err != nil {
 		return nil, err
 	}
+	reserveStore(st, len(pts))
 	z := &ZIndex{
 		bounds:        geom.RectFromPoints(own),
 		count:         len(own),

@@ -27,6 +27,7 @@ func BuildWaZI(pts []geom.Point, queries []geom.Rect, opts Options) (*ZIndex, er
 	if err != nil {
 		return nil, err
 	}
+	reserveStore(st, len(pts))
 	own := make([]geom.Point, len(pts))
 	copy(own, pts)
 	z := &ZIndex{

@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"sort"
 
 	"github.com/wazi-index/wazi/internal/geom"
 )
@@ -17,10 +16,24 @@ func (z *ZIndex) KNN(q geom.Point, k int) []geom.Point {
 	if k <= 0 || z.count == 0 {
 		return nil
 	}
+	return z.KNNAppend(nil, q, k)
+}
+
+// KNNAppend appends the k nearest neighbours of q to dst, nearest first,
+// and returns the extended slice. The spare capacity of dst doubles as the
+// working set for the window scans, so callers that reuse buffers between
+// queries allocate nothing in steady state. Equidistant neighbours are
+// ordered by (distance, X, Y) — see geom.DistLess — making the result
+// deterministic across backends, shard layouts, and rebuilds.
+func (z *ZIndex) KNNAppend(dst []geom.Point, q geom.Point, k int) []geom.Point {
+	if k <= 0 || z.count == 0 {
+		return dst
+	}
+	base := len(dst)
 	if k >= z.count {
-		out := z.Points()
-		sortByDistance(out, q)
-		return out
+		dst = z.PointsAppend(dst)
+		geom.SortByDistance(dst[base:], q)
+		return dst
 	}
 	// Initial half-width guess from the average point density: a window
 	// expected to hold ~k points.
@@ -32,17 +45,16 @@ func (z *ZIndex) KNN(q geom.Point, k int) []geom.Point {
 	if half <= 0 {
 		half = 1e-9
 	}
-	var pts []geom.Point
 	for {
 		window := geom.Rect{MinX: q.X - half, MinY: q.Y - half, MaxX: q.X + half, MaxY: q.Y + half}
-		pts = z.RangeQueryAppend(pts[:0], window)
-		if len(pts) >= k {
+		dst = z.RangeQueryAppend(dst[:base], window)
+		if len(dst)-base >= k {
 			break
 		}
 		if window.ContainsRect(z.bounds) {
 			// The window covers everything; fewer than k points exist.
-			sortByDistance(pts, q)
-			return pts
+			geom.SortByDistance(dst[base:], q)
+			return dst
 		}
 		half *= 2
 	}
@@ -50,26 +62,21 @@ func (z *ZIndex) KNN(q geom.Point, k int) []geom.Point {
 	// neighbour's distance, but points outside the square window may be
 	// closer than corner-distance candidates inside it: issue one final
 	// query with the certified radius.
-	sortByDistance(pts, q)
-	r := dist(pts[k-1], q)
+	geom.SortByDistance(dst[base:], q)
+	r := math.Sqrt(geom.DistSq(dst[base+k-1], q))
 	if r > half {
 		window := geom.Rect{MinX: q.X - r, MinY: q.Y - r, MaxX: q.X + r, MaxY: q.Y + r}
-		pts = z.RangeQueryAppend(pts[:0], window)
-		sortByDistance(pts, q)
+		dst = z.RangeQueryAppend(dst[:base], window)
+		geom.SortByDistance(dst[base:], q)
 	}
-	if len(pts) > k {
-		pts = pts[:k]
+	if len(dst)-base > k {
+		dst = dst[:base+k]
 	}
-	return pts
+	return dst
 }
 
-func dist(a, b geom.Point) float64 {
-	dx, dy := a.X-b.X, a.Y-b.Y
-	return math.Sqrt(dx*dx + dy*dy)
-}
+// dist returns the Euclidean distance between a and b.
+func dist(a, b geom.Point) float64 { return math.Sqrt(geom.DistSq(a, b)) }
 
-func sortByDistance(pts []geom.Point, q geom.Point) {
-	sort.Slice(pts, func(i, j int) bool {
-		return dist(pts[i], q) < dist(pts[j], q)
-	})
-}
+// sortByDistance orders pts by (distance to q, X, Y), nearest first.
+func sortByDistance(pts []geom.Point, q geom.Point) { geom.SortByDistance(pts, q) }

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/wazi-index/wazi/internal/geom"
+)
+
+// TestKNNTieBreakDeterministic pins the (distance, X, Y) ordering of
+// equidistant neighbours. A regular lattice queried at one of its nodes
+// produces rings of exactly equidistant points; the result must match the
+// brute-force total order element for element, regardless of leaf size,
+// skipping, or build flavour. Before the tie-break, sort.Slice on distance
+// alone returned these rings in whatever order the pages happened to be
+// scanned, so mem-vs-disk and shard-merge comparisons could disagree on
+// byte-identical datasets.
+func TestKNNTieBreakDeterministic(t *testing.T) {
+	var pts []geom.Point
+	for i := 0; i <= 10; i++ {
+		for j := 0; j <= 10; j++ {
+			pts = append(pts, geom.Point{X: float64(i) / 10, Y: float64(j) / 10})
+		}
+	}
+	q := geom.Point{X: 0.5, Y: 0.5}
+	want := append([]geom.Point(nil), pts...)
+	geom.SortByDistance(want, q)
+
+	opts := []Options{
+		{LeafSize: 4},
+		{LeafSize: 16, Seed: 9},
+		{LeafSize: 64, DisableSkipping: true},
+	}
+	for oi, opt := range opts {
+		z, err := BuildBase(pts, opt)
+		if err != nil {
+			t.Fatalf("opts %d: %v", oi, err)
+		}
+		for _, k := range []int{1, 5, 9, 25, len(pts)} {
+			got := z.KNN(q, k)
+			if len(got) != k {
+				t.Fatalf("opts %d: KNN(k=%d) returned %d points", oi, k, len(got))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("opts %d, k=%d: position %d is %v, want %v (tie-break violated)",
+						oi, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

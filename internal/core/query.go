@@ -137,6 +137,56 @@ func (z *ZIndex) PointQuery(p geom.Point) bool {
 	return z.store.Page(l.pid).Contains(p)
 }
 
+// leafCursor walks the leaf-list interval [low, high] of a query, yielding
+// only leaves whose bounds intersect the query rectangle and advancing via
+// look-ahead jumps when enabled. It is the single definition of the
+// projection walk shared by RangeQueryAppend, RangeCount, and
+// RangeQueryPhased, so the three paths count NodesVisited, BBChecked, and
+// LookaheadJumps identically — the property indextest's StatsExactness
+// subtest pins. The cursor lives on the caller's stack; iterating it
+// allocates nothing.
+type leafCursor struct {
+	z       *ZIndex
+	r       geom.Rect
+	p       *Leaf
+	highOrd int
+	useSkip bool
+	d       *storage.Stats
+}
+
+// leafScan positions a cursor on the leaf interval covering clipped; r is
+// the unclipped rectangle leaves are tested against. When the interval is
+// empty the returned cursor is exhausted immediately.
+func (z *ZIndex) leafScan(clipped, r geom.Rect, d *storage.Stats) leafCursor {
+	c := leafCursor{z: z, r: r, useSkip: !z.opts.DisableSkipping, d: d}
+	low := z.lowerBoundLeaf(clipped.BL(), d)
+	high := z.upperBoundLeaf(clipped.TR(), d)
+	if low != nil && high != nil && low.ord <= high.ord {
+		c.p, c.highOrd = low, high.ord
+	}
+	return c
+}
+
+// next returns the next leaf whose bounds intersect the query rectangle, or
+// nil when the interval is exhausted.
+func (c *leafCursor) next() *Leaf {
+	p := c.p
+	for p != nil && p.ord <= c.highOrd {
+		c.d.BBChecked++
+		if p.bounds.Intersects(c.r) {
+			c.p = p.next
+			return p
+		}
+		if c.useSkip {
+			p = c.z.followLookahead(p, c.r, c.d)
+		} else {
+			p = p.next
+		}
+	}
+	c.p = nil
+	return nil
+}
+
 // RangeQuery returns all indexed points inside the closed rectangle r
 // (Algorithm 2, with the §5 skipping mechanism when enabled).
 func (z *ZIndex) RangeQuery(r geom.Rect) []geom.Point {
@@ -157,27 +207,12 @@ func (z *ZIndex) RangeQueryAppend(dst []geom.Point, r geom.Rect) []geom.Point {
 	// Feed the page store's workload histogram (workload-aware cache
 	// eviction for the disk backend; a no-op in RAM).
 	z.store.ObserveQuery(clipped)
-	low := z.lowerBoundLeaf(clipped.BL(), &d)
-	high := z.upperBoundLeaf(clipped.TR(), &d)
-	if low == nil || high == nil || low.ord > high.ord {
-		return dst
-	}
-	useSkip := !z.opts.DisableSkipping
 	before := len(dst)
-	for p := low; p != nil && p.ord <= high.ord; {
-		d.BBChecked++
-		if p.bounds.Intersects(r) {
-			d.PagesScanned++
-			d.PointsScanned += int64(p.n)
-			dst = z.store.Page(p.pid).Filter(r, dst)
-			p = p.next
-			continue
-		}
-		if !useSkip {
-			p = p.next
-			continue
-		}
-		p = z.followLookahead(p, r, &d)
+	cur := z.leafScan(clipped, r, &d)
+	for p := cur.next(); p != nil; p = cur.next() {
+		d.PagesScanned++
+		d.PointsScanned += int64(p.n)
+		dst = z.store.Page(p.pid).Filter(r, dst)
 	}
 	d.ResultPoints += int64(len(dst) - before)
 	return dst
@@ -238,23 +273,9 @@ func (z *ZIndex) RangeQueryPhased(r geom.Rect) (pts []geom.Point, projection, sc
 	z.store.ObserveQuery(clipped)
 	start := time.Now()
 	var overlapping []*Leaf
-	low := z.lowerBoundLeaf(clipped.BL(), &d)
-	high := z.upperBoundLeaf(clipped.TR(), &d)
-	if low != nil && high != nil && low.ord <= high.ord {
-		useSkip := !z.opts.DisableSkipping
-		for p := low; p != nil && p.ord <= high.ord; {
-			d.BBChecked++
-			if p.bounds.Intersects(r) {
-				overlapping = append(overlapping, p)
-				p = p.next
-				continue
-			}
-			if !useSkip {
-				p = p.next
-				continue
-			}
-			p = z.followLookahead(p, r, &d)
-		}
+	cur := z.leafScan(clipped, r, &d)
+	for p := cur.next(); p != nil; p = cur.next() {
+		overlapping = append(overlapping, p)
 	}
 	projection = time.Since(start)
 
@@ -280,31 +301,16 @@ func (z *ZIndex) RangeCount(r geom.Rect) int {
 		return 0
 	}
 	z.store.ObserveQuery(clipped)
-	low := z.lowerBoundLeaf(clipped.BL(), &d)
-	high := z.upperBoundLeaf(clipped.TR(), &d)
-	if low == nil || high == nil || low.ord > high.ord {
-		return 0
-	}
-	useSkip := !z.opts.DisableSkipping
 	count := 0
-	for p := low; p != nil && p.ord <= high.ord; {
-		d.BBChecked++
-		if p.bounds.Intersects(r) {
-			d.PagesScanned++
-			d.PointsScanned += int64(p.n)
-			for _, pt := range z.store.Page(p.pid).Pts {
-				if r.Contains(pt) {
-					count++
-				}
+	cur := z.leafScan(clipped, r, &d)
+	for p := cur.next(); p != nil; p = cur.next() {
+		d.PagesScanned++
+		d.PointsScanned += int64(p.n)
+		for _, pt := range z.store.Page(p.pid).Pts {
+			if r.Contains(pt) {
+				count++
 			}
-			p = p.next
-			continue
 		}
-		if !useSkip {
-			p = p.next
-			continue
-		}
-		p = z.followLookahead(p, r, &d)
 	}
 	d.ResultPoints += int64(count)
 	return count

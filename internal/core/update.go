@@ -169,9 +169,14 @@ func (z *ZIndex) structuralChange() {
 // allocated; mutating it does not affect the index. It is the natural input
 // to a rebuild after workload drift.
 func (z *ZIndex) Points() []geom.Point {
-	out := make([]geom.Point, 0, z.count)
+	return z.PointsAppend(make([]geom.Point, 0, z.count))
+}
+
+// PointsAppend appends all indexed points in leaf order to dst and returns
+// the extended slice.
+func (z *ZIndex) PointsAppend(dst []geom.Point) []geom.Point {
 	for l := z.head; l != nil; l = l.next {
-		out = append(out, z.store.Page(l.pid).Pts...)
+		dst = append(dst, z.store.Page(l.pid).Pts...)
 	}
-	return out
+	return dst
 }

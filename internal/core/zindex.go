@@ -244,6 +244,16 @@ func (o *Options) OpenStore() (storage.PageStore, error) {
 	return storage.NewMemStore(), nil
 }
 
+// reserveStore pre-sizes a store's contiguous arena for the n points a bulk
+// build is about to Alloc — a no-op for backends without one (disk pages
+// live in fixed slots already). Called by every build entry point so RAM
+// builds lay all leaf pages into one flat buffer.
+func reserveStore(st storage.PageStore, n int) {
+	if r, ok := st.(interface{ Reserve(int) }); ok {
+		r.Reserve(n)
+	}
+}
+
 // adoptStore attaches a resolved store to the index and routes its cache
 // counters into the index's Stats.
 func (z *ZIndex) adoptStore(st storage.PageStore) {

@@ -51,6 +51,7 @@ type Recoverable interface {
 func Differential(t *testing.T, buildMem, buildDisk Builder) {
 	t.Helper()
 	t.Run("Queries", func(t *testing.T) { diffQueries(t, buildMem, buildDisk) })
+	t.Run("StatsExactness", func(t *testing.T) { diffStatsExactness(t, buildMem, buildDisk) })
 	t.Run("Duplicates", func(t *testing.T) { diffDuplicates(t, buildMem, buildDisk) })
 	t.Run("Churn", func(t *testing.T) { diffChurn(t, buildMem, buildDisk) })
 	t.Run("Repartition", func(t *testing.T) { diffRepartition(t, buildMem, buildDisk) })
@@ -101,6 +102,70 @@ func diffQueries(t *testing.T, buildMem, buildDisk Builder) {
 		}
 	}
 	StatsParity(t, snapshotStats(mem), snapshotStats(disk), "after query battery")
+}
+
+// rangeCounter is the optional counting surface of a differential target.
+type rangeCounter interface {
+	index.Index
+	RangeCount(r geom.Rect) int
+}
+
+// diffStatsExactness pins the stats-flushing contract of the query kernel:
+// RangeQuery and RangeCount over the same rectangle must produce structurally
+// identical per-query stats deltas — same NodesVisited, BBChecked,
+// PagesScanned, PointsScanned, LookaheadJumps — because both are defined as
+// walks of the same leaf cursor. It also requires every counter to be flushed
+// by the time the query returns (no deferred or lost increments), with
+// ResultPoints exactly the result size, on both backends.
+func diffStatsExactness(t *testing.T, buildMem, buildDisk Builder) {
+	t.Helper()
+	pts := ClusteredPoints(4000, 91)
+	qs := SkewedQueries(120, 92)
+	memIdx := buildMem(pts, qs)
+	diskIdx := buildDisk(pts, qs)
+	mem, okM := memIdx.(rangeCounter)
+	disk, okD := diskIdx.(rangeCounter)
+	if !okM || !okD {
+		t.Skip("index does not support RangeCount")
+	}
+
+	rng := rand.New(rand.NewSource(93))
+	queries := append([]geom.Rect{}, qs[:60]...)
+	for i := 0; i < 80; i++ {
+		queries = append(queries, randRect(rng))
+	}
+	queries = append(queries,
+		geom.Rect{MinX: -1, MinY: -1, MaxX: 2, MaxY: 2},
+		geom.Rect{MinX: 0.5, MinY: 0.5, MaxX: 0.5, MaxY: 0.5},
+		geom.Rect{MinX: 5, MinY: 5, MaxX: 6, MaxY: 6},
+	)
+	for _, target := range []struct {
+		name string
+		idx  rangeCounter
+	}{{"mem", mem}, {"disk", disk}} {
+		for _, r := range queries {
+			before := snapshotStats(target.idx)
+			got := target.idx.RangeQuery(r)
+			mid := snapshotStats(target.idx)
+			n := target.idx.RangeCount(r)
+			after := snapshotStats(target.idx)
+			if n != len(got) {
+				t.Fatalf("%s: RangeCount(%s) = %d, RangeQuery returned %d points",
+					target.name, r.String(), n, len(got))
+			}
+			qd := mid.Diff(before)
+			cd := after.Diff(mid)
+			if qd.ResultPoints != int64(len(got)) {
+				t.Fatalf("%s: RangeQuery(%s) delta.ResultPoints = %d, want %d",
+					target.name, r.String(), qd.ResultPoints, len(got))
+			}
+			// Cache counters may legitimately differ between the two passes
+			// (the first warms the block cache for the second); everything
+			// else must match counter for counter.
+			StatsParity(t, qd, cd, target.name+" RangeQuery vs RangeCount delta "+r.String())
+		}
+	}
+	StatsParity(t, snapshotStats(memIdx), snapshotStats(diskIdx), "after stats-exactness battery")
 }
 
 func diffDuplicates(t *testing.T, buildMem, buildDisk Builder) {

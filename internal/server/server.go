@@ -34,6 +34,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -44,12 +45,16 @@ import (
 
 // ReadView is one consistent read pass over the index: every query through
 // one ReadView observes the same immutable snapshot. wazi.View implements
-// it.
+// it. The Append variants exist so the handlers can cycle pooled response
+// buffers through the index instead of allocating a result slice per
+// request.
 type ReadView interface {
 	RangeQuery(r wazi.Rect) []wazi.Point
+	RangeQueryAppend(dst []wazi.Point, r wazi.Rect) []wazi.Point
 	RangeCount(r wazi.Rect) int
 	PointQuery(p wazi.Point) bool
 	KNN(q wazi.Point, k int) []wazi.Point
+	KNNAppend(dst []wazi.Point, q wazi.Point, k int) []wazi.Point
 }
 
 // Backend is the index the server serves. The production backend is
@@ -343,7 +348,45 @@ func (s *Server) read(w http.ResponseWriter, r *http.Request, fn func(ReadView) 
 	}
 	s.ops.Add(1)
 	writeJSON(w, http.StatusOK, res)
+	// A response carrying a pooled buffer is recycled only here, after
+	// encoding: the result crossed from the coalescer worker to this
+	// goroutine, so the worker must not release it. A result abandoned on a
+	// cancelled context is simply collected with its buffer.
+	if rel, ok := res.(interface{ release() }); ok {
+		rel.release()
+	}
 }
+
+// pointBufPool recycles the response point buffers of the range and kNN
+// handlers, closing the last allocation gap of a steady-state read: the
+// index fan-out already runs on a pooled query arena, and with this the
+// result set lands in a reused buffer too.
+var pointBufPool = sync.Pool{New: func() any { return new(pointBuf) }}
+
+type pointBuf struct{ pts []wazi.Point }
+
+// maxPointBuf bounds the capacity a buffer may carry back into the pool, so
+// one huge result does not pin its high-water mark forever.
+const maxPointBuf = 1 << 16
+
+func (b *pointBuf) release() {
+	if cap(b.pts) > maxPointBuf {
+		b.pts = nil
+	} else {
+		b.pts = b.pts[:0]
+	}
+	pointBufPool.Put(b)
+}
+
+// pooledRange is a rangeResp whose Points slice is borrowed from
+// pointBufPool; Server.read releases it once the response is encoded. It
+// marshals identically to rangeResp (the embedded fields carry the tags).
+type pooledRange struct {
+	rangeResp
+	buf *pointBuf
+}
+
+func (p pooledRange) release() { p.buf.release() }
 
 // ---------------------------------------------------------------- requests
 
@@ -399,8 +442,9 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.read(w, r, func(v ReadView) any {
-		pts := v.RangeQuery(*req.Rect)
-		return rangeResp{Count: len(pts), Points: pts}
+		b := pointBufPool.Get().(*pointBuf)
+		b.pts = v.RangeQueryAppend(b.pts[:0], *req.Rect)
+		return pooledRange{rangeResp{Count: len(b.pts), Points: b.pts}, b}
 	})
 }
 
@@ -448,8 +492,9 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.read(w, r, func(v ReadView) any {
-		pts := v.KNN(*req.Point, req.K)
-		return rangeResp{Count: len(pts), Points: pts}
+		b := pointBufPool.Get().(*pointBuf)
+		b.pts = v.KNNAppend(b.pts[:0], *req.Point, req.K)
+		return pooledRange{rangeResp{Count: len(b.pts), Points: b.pts}, b}
 	})
 }
 

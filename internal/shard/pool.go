@@ -87,6 +87,89 @@ func (p *Pool) Do(tasks []func()) {
 	wg.Wait()
 }
 
+// runBatch is the reusable state of one Run call. Batches live in a pool
+// and bind their worker closure once at construction, so a steady-state Run
+// allocates nothing: the caller borrows a batch, points it at fn, and every
+// participant pulls indices off the shared atomic counter.
+type runBatch struct {
+	fn   func(int)
+	next atomic.Int64
+	n    int64
+	wg   sync.WaitGroup
+	run  func()
+}
+
+var runBatchPool = sync.Pool{New: func() any {
+	b := &runBatch{}
+	b.run = func() {
+		defer b.wg.Done()
+		for {
+			i := b.next.Add(1) - 1
+			if i >= b.n {
+				return
+			}
+			b.fn(int(i))
+		}
+	}
+	return b
+}}
+
+// Run invokes fn(i) for every i in [0, n) and returns when all calls have
+// finished. It is the allocation-free sibling of Do: indices are handed out
+// through a shared atomic counter (so idle workers steal from slow ones)
+// and the batch state comes from a pool, where Do needs a caller-built
+// []func() plus a wrapper closure per task. The caller participates in the
+// draining, so like Do, a Run never deadlocks and never waits behind
+// another query's tasks.
+func (p *Pool) Run(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 || p == nil || p.inline || p.closed.Load() {
+		if p != nil {
+			p.ran.Add(int64(n))
+			p.ranInline.Add(int64(n))
+		}
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	p.ran.Add(int64(n))
+	b := runBatchPool.Get().(*runBatch)
+	b.fn = fn
+	b.n = int64(n)
+	b.next.Store(0)
+	// Offer at most n-1 helpers to idle workers; the first refused send
+	// means the pool is saturated and the caller will drain the rest.
+	for offered := 0; offered < n-1; offered++ {
+		b.wg.Add(1)
+		sent := false
+		select {
+		case p.tasks <- b.run:
+			sent = true
+		default:
+		}
+		if !sent {
+			b.wg.Done()
+			break
+		}
+	}
+	inline := int64(0)
+	for {
+		i := b.next.Add(1) - 1
+		if i >= b.n {
+			break
+		}
+		fn(int(i))
+		inline++
+	}
+	p.ranInline.Add(inline)
+	b.wg.Wait()
+	b.fn = nil
+	runBatchPool.Put(b)
+}
+
 // Counters returns the cumulative number of tasks executed and how many of
 // them ran inline on the calling goroutine.
 func (p *Pool) Counters() (ran, inline int64) {

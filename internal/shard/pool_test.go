@@ -61,6 +61,57 @@ func TestPoolAfterClose(t *testing.T) {
 	}
 }
 
+// TestPoolRun covers the index-stealing fan-out across pool shapes: worker
+// pools, inline pools, closed pools, and the nil pool.
+func TestPoolRun(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		p := NewPool(workers)
+		var sum atomic.Int64
+		for trial := 0; trial < 20; trial++ {
+			sum.Store(0)
+			p.Run(100, func(i int) { sum.Add(int64(i + 1)) })
+			if got := sum.Load(); got != 5050 {
+				t.Fatalf("workers=%d: index sum = %d, want 5050", workers, got)
+			}
+		}
+		p.Run(0, func(int) { t.Fatal("n=0 must not invoke fn") })
+		p.Close()
+		sum.Store(0)
+		p.Run(7, func(i int) { sum.Add(1) })
+		if sum.Load() != 7 {
+			t.Fatal("Run lost indices after Close")
+		}
+	}
+	var np *Pool
+	var sum atomic.Int64
+	np.Run(5, func(i int) { sum.Add(1) })
+	if sum.Load() != 5 {
+		t.Fatal("nil pool Run lost indices")
+	}
+}
+
+// TestPoolRunConcurrent interleaves Run calls from many goroutines so
+// pooled batches are reused under contention.
+func TestPoolRunConcurrent(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var sum atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				p.Run(5, func(int) { sum.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	if got := sum.Load(); got != 8*50*5 {
+		t.Fatalf("ran %d indices, want %d", got, 8*50*5)
+	}
+}
+
 func TestPoolCounters(t *testing.T) {
 	p := NewPool(4)
 	defer p.Close()

@@ -93,14 +93,38 @@ type MemStore struct {
 	pages []*Page
 	free  []PageID
 	live  int
+	// arena is the contiguous build-time point buffer. Reserve sizes it and
+	// Alloc carves pages out of it as capped subslices until it is
+	// exhausted, so a bulk build lays every leaf page into one flat buffer
+	// and the query kernel's leaf cursor streams points cache-line after
+	// cache-line instead of hopping between per-page allocations.
+	arena []geom.Point
 }
 
 // NewMemStore returns an empty RAM-resident store.
 func NewMemStore() *MemStore { return &MemStore{} }
 
+// Reserve pre-sizes the arena for n points about to be Alloc'd. Bulk builds
+// call it once with the dataset size. Reserving is optional and purely a
+// layout optimization: pages allocated past the reservation get their own
+// backing arrays, and the capped subslices mean any append past a page's
+// length reallocates away from the arena rather than clobbering its
+// neighbour.
+func (m *MemStore) Reserve(n int) {
+	if n > cap(m.arena)-len(m.arena) {
+		m.arena = make([]geom.Point, 0, n)
+	}
+}
+
 // Alloc implements PageStore.
 func (m *MemStore) Alloc(pts []geom.Point, _ geom.Rect) PageID {
-	pg := &Page{Pts: make([]geom.Point, len(pts))}
+	pg := &Page{}
+	if n := len(m.arena); cap(m.arena)-n >= len(pts) {
+		m.arena = m.arena[:n+len(pts)]
+		pg.Pts = m.arena[n : n+len(pts) : n+len(pts)]
+	} else {
+		pg.Pts = make([]geom.Point, len(pts))
+	}
 	copy(pg.Pts, pts)
 	m.live++
 	if n := len(m.free); n > 0 {

@@ -15,17 +15,26 @@ import "math/bits"
 // coordinates, with y contributing the higher bit of each pair.
 type Key uint64
 
-// Encode interleaves the bits of x and y into a Z-order key. Bit i of x maps
-// to bit 2i of the key and bit i of y maps to bit 2i+1, so the y coordinate
-// is the more significant dimension within each bit pair, matching the
-// "abcd" visit order (bottom-left, bottom-right, top-left, top-right).
-func Encode(x, y uint32) Key {
+// Encode and Decode have two interchangeable implementations: the default
+// table-driven byte-interleave kernel (zorder_lut.go) and the classic
+// five-step shift cascade, selectable with `-tags zorder_shift`
+// (zorder_shift.go). EncodeRef/DecodeRef below are the shift cascade under
+// fixed names, always compiled, so the differential fuzz target
+// (FuzzZOrderKernel) can compare whichever implementation is live against
+// the reference in the same binary.
+
+// EncodeRef is the reference shift-cascade implementation of Encode. Bit i
+// of x maps to bit 2i of the key and bit i of y maps to bit 2i+1, so the y
+// coordinate is the more significant dimension within each bit pair,
+// matching the "abcd" visit order (bottom-left, bottom-right, top-left,
+// top-right).
+func EncodeRef(x, y uint32) Key {
 	return Key(spread(x) | spread(y)<<1)
 }
 
-// Decode splits a Z-order key back into its grid coordinates. It is the
+// DecodeRef is the reference shift-cascade implementation of Decode, the
 // inverse of Encode.
-func Decode(k Key) (x, y uint32) {
+func DecodeRef(k Key) (x, y uint32) {
 	return compact(uint64(k)), compact(uint64(k) >> 1)
 }
 
@@ -72,11 +81,33 @@ func BigMin(cur, zmin, zmax Key) (Key, bool) {
 	if cur >= zmax {
 		return 0, false
 	}
-	bigmin := Key(0)
-	found := false
 	lo, hi := uint64(zmin), uint64(zmax)
 	c := uint64(cur)
-	for bit := 63; bit >= 0; bit-- {
+	// Bits where cur, zmin, and zmax all agree contribute nothing (the
+	// all-0 and all-1 switch cases are no-ops), so start the walk at the
+	// first disagreeing bit. The walk itself only mutates bits at or below
+	// the current position, so the skipped prefix stays in agreement.
+	diff := (c ^ lo) | (c ^ hi)
+	if diff == 0 {
+		return 0, false // cur == zmin == zmax, excluded by the guard above
+	}
+	return bigMinFrom(c, lo, hi, 63-bits.LeadingZeros64(diff))
+}
+
+// BigMinRef is the reference implementation of BigMin: the same bit walk
+// started unconditionally at the top bit. FuzzZOrderKernel holds BigMin to
+// it.
+func BigMinRef(cur, zmin, zmax Key) (Key, bool) {
+	if cur >= zmax {
+		return 0, false
+	}
+	return bigMinFrom(uint64(cur), uint64(zmin), uint64(zmax), 63)
+}
+
+func bigMinFrom(c, lo, hi uint64, start int) (Key, bool) {
+	bigmin := Key(0)
+	found := false
+	for bit := start; bit >= 0; bit-- {
 		mask := uint64(1) << uint(bit)
 		cb := c & mask
 		lb := lo & mask
@@ -98,7 +129,7 @@ func BigMin(cur, zmin, zmax Key) (Key, bool) {
 			// cur is below the remaining search region in this bit: the
 			// minimum in-range key greater than cur is the (possibly
 			// raised) working lower bound.
-			return Key(lo), Key(lo) > cur
+			return Key(lo), lo > c
 		case cb != 0 && lb == 0 && hb == 0:
 			// cur is above the rectangle here: no key in range exceeds cur
 			// along this branch; fall back to any saved candidate.

@@ -1,0 +1,68 @@
+//go:build !zorder_shift
+
+package zorder
+
+// Table-driven Morton kernel: one 256-entry table spreads a byte's bits to
+// the even positions of a 16-bit word, and one compacts them back. Encode
+// and Decode then reduce to eight table loads plus shifts and ors — no
+// dependent 5-step cascade — which measures consistently faster than the
+// shift version on the query hot path (every leaf-boundary comparison in
+// the partitioner and the SFC baselines funnels through Encode).
+//
+// Build with `-tags zorder_shift` to select the shift-cascade kernel
+// instead; FuzzZOrderKernel holds the two byte-identical.
+
+// spreadLUT[b] has bit i of b at bit 2i: abcd -> 0a0b0c0d.
+var spreadLUT [256]uint16
+
+// compactLUT[b] gathers the even bits of b into a nibble: the inverse of
+// spreadLUT restricted to one byte of key.
+var compactLUT [256]uint8
+
+func init() {
+	for i := 0; i < 256; i++ {
+		var s uint16
+		var c uint8
+		for b := 0; b < 8; b++ {
+			s |= uint16(i>>b&1) << (2 * b)
+			if b < 4 {
+				c |= uint8(i>>(2*b)&1) << b
+			}
+		}
+		spreadLUT[i] = s
+		compactLUT[i] = c
+	}
+}
+
+// Encode interleaves the bits of x and y into a Z-order key: bit i of x
+// maps to bit 2i and bit i of y to bit 2i+1 (see EncodeRef).
+func Encode(x, y uint32) Key {
+	return Key(uint64(spreadLUT[byte(x)]) | uint64(spreadLUT[byte(y)])<<1 |
+		(uint64(spreadLUT[byte(x>>8)])|uint64(spreadLUT[byte(y>>8)])<<1)<<16 |
+		(uint64(spreadLUT[byte(x>>16)])|uint64(spreadLUT[byte(y>>16)])<<1)<<32 |
+		(uint64(spreadLUT[byte(x>>24)])|uint64(spreadLUT[byte(y>>24)])<<1)<<48)
+}
+
+// Decode splits a Z-order key back into its grid coordinates. It is the
+// inverse of Encode.
+func Decode(k Key) (x, y uint32) {
+	v := uint64(k)
+	x = uint32(compactLUT[byte(v)]) |
+		uint32(compactLUT[byte(v>>8)])<<4 |
+		uint32(compactLUT[byte(v>>16)])<<8 |
+		uint32(compactLUT[byte(v>>24)])<<12 |
+		uint32(compactLUT[byte(v>>32)])<<16 |
+		uint32(compactLUT[byte(v>>40)])<<20 |
+		uint32(compactLUT[byte(v>>48)])<<24 |
+		uint32(compactLUT[byte(v>>56)])<<28
+	w := v >> 1
+	y = uint32(compactLUT[byte(w)]) |
+		uint32(compactLUT[byte(w>>8)])<<4 |
+		uint32(compactLUT[byte(w>>16)])<<8 |
+		uint32(compactLUT[byte(w>>24)])<<12 |
+		uint32(compactLUT[byte(w>>32)])<<16 |
+		uint32(compactLUT[byte(w>>40)])<<20 |
+		uint32(compactLUT[byte(w>>48)])<<24 |
+		uint32(compactLUT[byte(w>>56)])<<28
+	return x, y
+}

@@ -1,0 +1,16 @@
+//go:build zorder_shift
+
+package zorder
+
+// The classic shift-cascade kernel, kept selectable so the table-driven
+// default can be differentially tested against a complete build of the old
+// path: `go test -tags zorder_shift ./...` runs the entire suite with this
+// implementation live.
+
+// Encode interleaves the bits of x and y into a Z-order key via the 5-step
+// spread cascade (see EncodeRef).
+func Encode(x, y uint32) Key { return EncodeRef(x, y) }
+
+// Decode splits a Z-order key back into its grid coordinates. It is the
+// inverse of Encode.
+func Decode(k Key) (x, y uint32) { return DecodeRef(k) }

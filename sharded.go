@@ -1,12 +1,12 @@
 package wazi
 
 import (
-	"container/heap"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -607,56 +607,61 @@ func (s *Sharded) Close() {
 // fanning out to the shards whose bounds intersect r.
 func (s *Sharded) RangeQuery(r Rect) []Point {
 	s.rangeQs.Add(1)
-	return s.rangeFromSnap(s.snap.Load(), r, nil)
+	return s.rangeAppendFromSnap(nil, s.snap.Load(), r, nil)
+}
+
+// RangeQueryAppend appends the points inside r to dst and returns the
+// extended slice — the buffer-reusing form of RangeQuery, symmetric with
+// Index.RangeQueryAppend. Steady-state callers cycling a buffer through it
+// allocate nothing: the fan-out runs on a pooled per-query arena.
+func (s *Sharded) RangeQueryAppend(dst []Point, r Rect) []Point {
+	s.rangeQs.Add(1)
+	return s.rangeAppendFromSnap(dst, s.snap.Load(), r, nil)
 }
 
 // rangeFromSnap runs a range query against one pinned snapshot; View and
 // the public query path share it. tr, when non-nil, receives per-shard
 // scan spans and a page-I/O attribution span.
 func (s *Sharded) rangeFromSnap(snap *shardedSnapshot, r Rect, tr *obs.QueryTrace) []Point {
+	return s.rangeAppendFromSnap(nil, snap, r, tr)
+}
+
+func (s *Sharded) rangeAppendFromSnap(dst []Point, snap *shardedSnapshot, r Rect, tr *obs.QueryTrace) []Point {
 	if done := s.traceIO(snap, tr); done != nil {
 		defer done()
 	}
-	targets := s.targets(snap, r)
-	s.obs.observeFanout(len(snap.shards), len(targets))
-	scan := func(si int, dst []Point) []Point {
-		if end := s.scanSpan(tr, si); end != nil {
+	a := s.getArena(snap, tr)
+	defer a.release()
+	a.rectTargets(r)
+	s.obs.observeFanout(len(snap.shards), len(a.targets))
+	n := len(a.targets)
+	if n == 0 {
+		return dst
+	}
+	if n == 1 || s.pool.Inline() {
+		// No parallelism to harvest: scan straight into dst, skipping the
+		// per-target buffers and the merge copy.
+		for _, si := range a.targets {
+			t0, live := s.scanStart(tr)
 			before := len(dst)
 			dst = shardRange(snap.shards[si], r, dst)
-			end(len(dst) - before)
-			return dst
+			if live {
+				s.endScan(tr, si, t0, len(dst)-before)
+			}
 		}
-		return shardRange(snap.shards[si], r, dst)
+		return dst
 	}
-	switch len(targets) {
-	case 0:
-		return nil
-	case 1:
-		return scan(targets[0], nil)
-	}
-	if s.pool.Inline() {
-		var out []Point
-		for _, si := range targets {
-			out = scan(si, out)
-		}
-		return out
-	}
-	results := make([][]Point, len(targets))
-	tasks := make([]func(), len(targets))
-	for ti, si := range targets {
-		ti, si := ti, si
-		tasks[ti] = func() { results[ti] = scan(si, nil) }
-	}
-	s.pool.Do(tasks)
+	a.ensure(n)
+	s.pool.Run(n, a.rangeFn)
 	total := 0
-	for _, res := range results {
-		total += len(res)
+	for _, buf := range a.bufs {
+		total += len(buf)
 	}
-	out := make([]Point, 0, total)
-	for _, res := range results {
-		out = append(out, res...)
+	dst = slices.Grow(dst, total)
+	for _, buf := range a.bufs {
+		dst = append(dst, buf...)
 	}
-	return out
+	return dst
 }
 
 // RangeCount returns the number of points inside r without materializing
@@ -671,60 +676,31 @@ func (s *Sharded) countFromSnap(snap *shardedSnapshot, r Rect, tr *obs.QueryTrac
 	if done := s.traceIO(snap, tr); done != nil {
 		defer done()
 	}
-	targets := s.targets(snap, r)
-	s.obs.observeFanout(len(snap.shards), len(targets))
-	scan := func(si int) int {
-		if end := s.scanSpan(tr, si); end != nil {
-			n := shardCount(snap.shards[si], r)
-			end(n)
-			return n
-		}
-		return shardCount(snap.shards[si], r)
-	}
-	if len(targets) == 0 {
-		return 0
-	}
-	if len(targets) == 1 || s.pool.Inline() {
-		total := 0
-		for _, si := range targets {
-			total += scan(si)
-		}
-		return total
-	}
-	counts := make([]int, len(targets))
-	tasks := make([]func(), len(targets))
-	for ti, si := range targets {
-		ti, si := ti, si
-		tasks[ti] = func() { counts[ti] = scan(si) }
-	}
-	s.pool.Do(tasks)
+	a := s.getArena(snap, tr)
+	defer a.release()
+	a.rectTargets(r)
+	s.obs.observeFanout(len(snap.shards), len(a.targets))
+	n := len(a.targets)
 	total := 0
-	for _, c := range counts {
-		total += c
+	switch {
+	case n == 0:
+	case n == 1 || s.pool.Inline():
+		for _, si := range a.targets {
+			t0, live := s.scanStart(tr)
+			c := shardCount(snap.shards[si], r)
+			if live {
+				s.endScan(tr, si, t0, c)
+			}
+			total += c
+		}
+	default:
+		a.ensure(n)
+		s.pool.Run(n, a.countFn)
+		for _, c := range a.counts {
+			total += c
+		}
 	}
 	return total
-}
-
-// targets returns the shards that can hold points inside r — MBR
-// intersection refined by the occupancy bitmaps, which prune the many
-// shards whose jagged Z-curve territory merely brushes r — and feeds the
-// query to each target's drift advisor, recent-query window, and load
-// counter.
-func (s *Sharded) targets(snap *shardedSnapshot, r Rect) []int {
-	var out []int
-	for i, ss := range snap.shards {
-		if !ss.mayContain(r) {
-			continue
-		}
-		out = append(out, i)
-		ctl := snap.ctls[i]
-		ctl.load.Add(1)
-		if a := ctl.advisor.Load(); a != nil {
-			a.Observe(r)
-		}
-		ctl.recent.add(r)
-	}
-	return out
 }
 
 // mayContain reports whether the shard can possibly hold a point inside r:
@@ -819,20 +795,25 @@ func (s *Sharded) PointQuery(p Point) bool {
 // pointFromSnap runs a point query against one pinned snapshot, routing
 // with the snapshot's own plan so a View pinned across a repartition stays
 // consistent with the shard array it holds.
-func (s *Sharded) pointFromSnap(snap *shardedSnapshot, p Point, tr *obs.QueryTrace) (found bool) {
+func (s *Sharded) pointFromSnap(snap *shardedSnapshot, p Point, tr *obs.QueryTrace) bool {
 	if done := s.traceIO(snap, tr); done != nil {
 		defer done()
 	}
 	i := snap.plan.Locate(p)
-	if end := s.scanSpan(tr, i); end != nil {
-		defer func() {
-			n := 0
-			if found {
-				n = 1
-			}
-			end(n)
-		}()
+	t0, live := s.scanStart(tr)
+	found := pointInShard(snap, i, p)
+	if live {
+		n := 0
+		if found {
+			n = 1
+		}
+		s.endScan(tr, i, t0, n)
 	}
+	return found
+}
+
+// pointInShard answers a point query against shard i of a snapshot.
+func pointInShard(snap *shardedSnapshot, i int, p Point) bool {
 	snap.ctls[i].load.Add(1)
 	ss := snap.shards[i]
 	if ss.empty {
@@ -861,130 +842,102 @@ func pointRect(p Point) Rect {
 
 // KNN returns the k points nearest to q, closest first: per-shard candidate
 // sets are gathered by parallel fan-out and merged through a global
-// bounded max-heap.
+// bounded max-heap. Equidistant neighbours are ordered by (distance, X, Y),
+// so the result is deterministic across shard layouts and backends.
 func (s *Sharded) KNN(q Point, k int) []Point {
 	s.knnQs.Add(1)
-	return s.knnFromSnap(s.snap.Load(), q, k, nil)
+	return s.knnAppendFromSnap(nil, s.snap.Load(), q, k, nil)
+}
+
+// KNNAppend appends the k nearest neighbours of q to dst, nearest first —
+// the buffer-reusing form of KNN, symmetric with Index.KNNAppend.
+func (s *Sharded) KNNAppend(dst []Point, q Point, k int) []Point {
+	s.knnQs.Add(1)
+	return s.knnAppendFromSnap(dst, s.snap.Load(), q, k, nil)
 }
 
 // knnFromSnap runs a kNN query against one pinned snapshot.
 func (s *Sharded) knnFromSnap(snap *shardedSnapshot, q Point, k int, tr *obs.QueryTrace) []Point {
+	return s.knnAppendFromSnap(nil, snap, q, k, tr)
+}
+
+func (s *Sharded) knnAppendFromSnap(dst []Point, snap *shardedSnapshot, q Point, k int, tr *obs.QueryTrace) []Point {
 	if k <= 0 {
-		return nil
+		return dst
 	}
 	if done := s.traceIO(snap, tr); done != nil {
 		defer done()
 	}
-	var targets []int
-	for i, ss := range snap.shards {
-		if !ss.empty && ss.live() > 0 {
-			targets = append(targets, i)
-		}
+	a := s.getArena(snap, tr)
+	defer a.release()
+	a.liveTargets()
+	s.obs.observeFanout(len(snap.shards), len(a.targets))
+	n := len(a.targets)
+	if n == 0 {
+		return dst
 	}
-	s.obs.observeFanout(len(snap.shards), len(targets))
-	if len(targets) == 0 {
-		return nil
-	}
-	scan := func(si int) []Point {
-		if end := s.scanSpan(tr, si); end != nil {
-			cs := shardKNN(snap.shards[si], q, k)
-			end(len(cs))
-			return cs
-		}
-		return shardKNN(snap.shards[si], q, k)
-	}
-	cands := make([][]Point, len(targets))
-	if len(targets) == 1 || s.pool.Inline() {
-		for ti, si := range targets {
-			cands[ti] = scan(si)
+	a.q, a.k = q, k
+	a.ensure(n)
+	if n == 1 || s.pool.Inline() {
+		for ti := range a.targets {
+			a.knnFn(ti)
 		}
 	} else {
-		tasks := make([]func(), len(targets))
-		for ti, si := range targets {
-			ti, si := ti, si
-			tasks[ti] = func() { cands[ti] = scan(si) }
-		}
-		s.pool.Do(tasks)
+		s.pool.Run(n, a.knnFn)
 	}
-
-	h := &knnHeap{q: q}
-	for _, cs := range cands {
+	// Merge through a bounded max-heap on the arena's reusable buffer: the
+	// root is the worst of the k best by the (distance, X, Y) total order,
+	// so ties at the cut line resolve identically no matter which shard
+	// produced them.
+	h := a.heap[:0]
+	for _, cs := range a.bufs {
 		for _, p := range cs {
-			if h.Len() < k {
-				heap.Push(h, p)
-			} else if distSq(p, q) < distSq(h.pts[0], q) {
-				h.pts[0] = p
-				heap.Fix(h, 0)
-			}
+			h = geom.PushBounded(h, p, k, q)
 		}
 	}
-	out := make([]Point, h.Len())
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(h).(Point)
-	}
-	return out
+	a.heap = h
+	geom.SortByDistance(h, q)
+	return append(dst, h...)
 }
 
-// shardKNN returns one shard's k nearest candidates to q (unordered beyond
-// the guarantee that the shard's true top-k all appear).
-func shardKNN(ss *shardSnap, q Point, k int) []Point {
-	var cands []Point
+// shardKNNAppend appends one shard's k nearest candidates to q onto dst
+// (the shard's true top-k all appear, ordered by (distance, X, Y) in the
+// indexed part before insert-buffer replacement).
+func shardKNNAppend(dst []Point, ss *shardSnap, q Point, k int) []Point {
+	base := len(dst)
 	if ss.idx != nil {
 		// Tombstoned points may occupy top spots; over-fetch so k live
-		// candidates survive the filter.
-		cands = ss.idx.KNN(q, k+ss.deadN)
+		// candidates survive the filter. KNNAppend returns them sorted, so
+		// truncation keeps the nearest k.
+		dst = ss.idx.KNNAppend(dst, q, k+ss.deadN)
 		if ss.deadN > 0 {
-			cands = filterDead(cands, 0, ss.dead)
+			dst = filterDead(dst, base, ss.dead)
 		}
-		if len(cands) > k {
-			cands = cands[:k]
+		if len(dst)-base > k {
+			dst = dst[:base+k]
 		}
 	}
-	best := cands
 	for _, p := range ss.extra {
-		if len(best) < k {
-			best = append(best, p)
+		if len(dst)-base < k {
+			dst = append(dst, p)
 			continue
 		}
-		// Replace the current worst if p is closer.
-		wi, wd := 0, -1.0
-		for i, b := range best {
-			if d := distSq(b, q); d > wd {
-				wi, wd = i, d
+		// Replace the current worst if p precedes it in the (distance, X, Y)
+		// order.
+		wi := base
+		for i := base + 1; i < len(dst); i++ {
+			if geom.DistLess(dst[wi], dst[i], q) {
+				wi = i
 			}
 		}
-		if distSq(p, q) < wd {
-			best[wi] = p
+		if geom.DistLess(p, dst[wi], q) {
+			dst[wi] = p
 		}
 	}
-	return best
+	return dst
 }
 
-func distSq(a, b Point) float64 {
-	dx, dy := a.X-b.X, a.Y-b.Y
-	return dx*dx + dy*dy
-}
-
-// knnHeap is a max-heap of points by distance to q, holding the best k seen.
-type knnHeap struct {
-	pts []Point
-	q   Point
-}
-
-// Len, Less, Swap, Push, and Pop implement container/heap.Interface;
-// Less orders by descending distance so the root is the worst of the k
-// best and can be evicted first.
-func (h *knnHeap) Len() int { return len(h.pts) }
-func (h *knnHeap) Less(i, j int) bool {
-	return distSq(h.pts[i], h.q) > distSq(h.pts[j], h.q)
-}
-func (h *knnHeap) Swap(i, j int)      { h.pts[i], h.pts[j] = h.pts[j], h.pts[i] }
-func (h *knnHeap) Push(x interface{}) { h.pts = append(h.pts, x.(Point)) }
-func (h *knnHeap) Pop() interface{} {
-	p := h.pts[len(h.pts)-1]
-	h.pts = h.pts[:len(h.pts)-1]
-	return p
-}
+func distSq(a, b Point) float64 { return geom.DistSq(a, b) }
 
 // ---------------------------------------------------------------- writes
 

@@ -22,6 +22,7 @@ type shardedAsIndex struct {
 }
 
 func (a shardedAsIndex) RangeQuery(r geom.Rect) []geom.Point { return a.s.RangeQuery(r) }
+func (a shardedAsIndex) RangeCount(r geom.Rect) int          { return a.s.RangeCount(r) }
 func (a shardedAsIndex) PointQuery(p geom.Point) bool        { return a.s.PointQuery(p) }
 func (a shardedAsIndex) Len() int                            { return a.s.Len() }
 func (a shardedAsIndex) Bytes() int64                        { return a.s.Bytes() }

@@ -136,21 +136,27 @@ func (s *Sharded) traceIO(snap *shardedSnapshot, tr *obs.QueryTrace) func() {
 	}
 }
 
-// scanSpan times one shard scan into both the shared histogram and, when
-// traced, a per-shard "shard_scan" span. It returns a completion func
-// stamped with the result count; fast paths bypass it entirely when neither
-// instrument is live.
-func (s *Sharded) scanSpan(tr *obs.QueryTrace, si int) func(results int) {
+// scanStart opens the timing of one shard scan: it returns the start time
+// and whether any scan instrument is live (the shared latency histogram or a
+// per-query trace). Callers pair it with endScan, skipped when live is
+// false. The pair is deliberately not a returned closure — a closure per
+// shard scan is a heap allocation on the hottest path in the system, which
+// the kernel-allocs experiment ratchets to zero.
+func (s *Sharded) scanStart(tr *obs.QueryTrace) (t0 time.Time, live bool) {
 	if tr == nil && s.obs == nil {
-		return nil
+		return time.Time{}, false
 	}
-	t0 := time.Now()
-	return func(results int) {
-		d := time.Since(t0)
-		s.obs.observeScan(d)
-		if tr != nil {
-			tr.AddSpan("shard_scan", t0, d,
-				map[string]int64{"shard": int64(si), "results": int64(results)})
-		}
+	return time.Now(), true
+}
+
+// endScan closes a scan opened by scanStart: latency into the shared
+// histogram and, when traced, a per-shard "shard_scan" span stamped with the
+// result count.
+func (s *Sharded) endScan(tr *obs.QueryTrace, si int, t0 time.Time, results int) {
+	d := time.Since(t0)
+	s.obs.observeScan(d)
+	if tr != nil {
+		tr.AddSpan("shard_scan", t0, d,
+			map[string]int64{"shard": int64(si), "results": int64(results)})
 	}
 }

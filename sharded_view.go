@@ -50,6 +50,14 @@ func (v *View) RangeQuery(r Rect) []Point {
 	return v.s.rangeFromSnap(v.snap, r, v.tr)
 }
 
+// RangeQueryAppend appends the points inside r to dst as of the pinned
+// snapshot — the buffer-reusing form the serving layer cycles its pooled
+// response buffers through.
+func (v *View) RangeQueryAppend(dst []Point, r Rect) []Point {
+	v.s.rangeQs.Add(1)
+	return v.s.rangeAppendFromSnap(dst, v.snap, r, v.tr)
+}
+
 // RangeCount returns the number of points inside r as of the pinned
 // snapshot.
 func (v *View) RangeCount(r Rect) int {
@@ -68,6 +76,13 @@ func (v *View) PointQuery(p Point) bool {
 func (v *View) KNN(q Point, k int) []Point {
 	v.s.knnQs.Add(1)
 	return v.s.knnFromSnap(v.snap, q, k, v.tr)
+}
+
+// KNNAppend appends the k points nearest to q to dst, closest first, as of
+// the pinned snapshot.
+func (v *View) KNNAppend(dst []Point, q Point, k int) []Point {
+	v.s.knnQs.Add(1)
+	return v.s.knnAppendFromSnap(dst, v.snap, q, k, v.tr)
 }
 
 // Len returns the number of points the pinned snapshot serves.

@@ -218,8 +218,15 @@ func (x *Index) RangeCount(r Rect) int { return x.z.RangeCount(r) }
 func (x *Index) PointQuery(p Point) bool { return x.z.PointQuery(p) }
 
 // KNN returns the k points nearest to q, closest first, by decomposing the
-// query into range queries (§6.3 of the paper).
+// query into range queries (§6.3 of the paper). Equidistant neighbours are
+// ordered by (distance, X, Y).
 func (x *Index) KNN(q Point, k int) []Point { return x.z.KNN(q, k) }
+
+// KNNAppend appends the k points nearest to q to dst, closest first,
+// avoiding per-query allocations for callers that reuse buffers.
+func (x *Index) KNNAppend(dst []Point, q Point, k int) []Point {
+	return x.z.KNNAppend(dst, q, k)
+}
 
 // Insert adds p to the index.
 func (x *Index) Insert(p Point) { x.z.Insert(p) }

@@ -3,6 +3,8 @@ package bench
 import (
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -15,17 +17,19 @@ import (
 // kernelSink defeats dead-code elimination of the measured query loops.
 var kernelSink int
 
-// KernelAllocs proves the zero-allocation query kernel: on the RAM backend,
-// steady-state RangeQuery/RangeCount/KNN through the Append APIs must not
-// allocate — not on a single Index and not through the Sharded fan-out with
-// its pooled per-query arenas. The experiment measures itself (runtime
-// MemStats deltas around batches of queries, minimum over several batches so
-// a stray background allocation cannot inflate the steady state) and reports
-// the counts in an exact-class table, which `waziexp ratchet` holds to the
-// committed baseline of zero — a hard gate, since any appearance from zero
-// is an infinite relative regression. Latencies land in a separate
-// latency-class table so cross-machine runs can gate allocations without
-// gating timing.
+// KernelAllocs proves the zero-allocation query kernel: steady-state
+// RangeQuery/RangeCount/KNN through the Append APIs must not allocate — not
+// on a single Index, not through the Sharded fan-out with its pooled
+// per-query arenas, and (since the zero-copy disk read path) not on the
+// disk backend's warm block-cache hit path either, where every page resolve
+// is a pinned borrowed view instead of a decoded copy. The experiment
+// measures itself (runtime MemStats deltas around batches of queries,
+// minimum over several batches so a stray background allocation cannot
+// inflate the steady state) and reports the counts in an exact-class table,
+// which `waziexp ratchet` holds to the committed baseline of zero — a hard
+// gate, since any appearance from zero is an infinite relative regression.
+// Latencies land in a separate latency-class table so cross-machine runs
+// can gate allocations without gating timing.
 func KernelAllocs(cfg Config) []Table {
 	cfg.fill()
 	r := cfg.Regions[0]
@@ -48,6 +52,39 @@ func KernelAllocs(cfg Config) []Table {
 		panic(err)
 	}
 	defer sh.Close()
+
+	// Disk-backed twins. The cache comfortably holds the working set and
+	// the measured batch runs after a priming pass, so the measured rows
+	// are pure block-cache hits — the path the ratchet holds to zero.
+	diskDir, err := os.MkdirTemp("", "wazi-kernel-allocs")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(diskDir)
+	// Leaves average well under the LeafSize cap, so size the cache on a
+	// pessimistic leaf count; a refault during the bracketed pass would
+	// show up as an allocation and fail the zero ratchet.
+	diskCache := cfg.Scale/8 + 256
+	diskIdx, err := wazi.NewWorkloadAware(data, train,
+		wazi.WithLeafSize(cfg.LeafSize), wazi.WithSeed(cfg.Seed),
+		wazi.WithStorage(wazi.Storage{
+			Path:       filepath.Join(diskDir, "index.pages"),
+			CachePages: diskCache,
+		}))
+	if err != nil {
+		panic(err)
+	}
+	defer diskIdx.Close()
+	diskSh, err := wazi.NewSharded(data, train,
+		wazi.WithShards(8),
+		wazi.WithIndexOptions(wazi.WithLeafSize(cfg.LeafSize), wazi.WithSeed(cfg.Seed)),
+		wazi.WithoutAutoRebuild(),
+		wazi.WithShardedStorage(filepath.Join(diskDir, "shards"), diskCache),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer diskSh.Close()
 
 	// One reusable destination buffer per measured loop — the usage pattern
 	// the Append APIs exist for. kNN queries at the centers of the range
@@ -91,15 +128,50 @@ func KernelAllocs(cfg Config) []Table {
 			}
 			kernelSink += len(buf)
 		}},
+		{"index-disk/range", func() {
+			for _, q := range qs {
+				buf = diskIdx.RangeQueryAppend(buf[:0], q)
+			}
+			kernelSink += len(buf)
+		}},
+		{"index-disk/count", func() {
+			for _, q := range qs {
+				kernelSink += diskIdx.RangeCount(q)
+			}
+		}},
+		{"index-disk/knn", func() {
+			for _, q := range qs {
+				buf = diskIdx.KNNAppend(buf[:0], center(q), k)
+			}
+			kernelSink += len(buf)
+		}},
+		{"sharded-disk/range", func() {
+			for _, q := range qs {
+				buf = diskSh.RangeQueryAppend(buf[:0], q)
+			}
+			kernelSink += len(buf)
+		}},
+		{"sharded-disk/count", func() {
+			for _, q := range qs {
+				kernelSink += diskSh.RangeCount(q)
+			}
+		}},
+		{"sharded-disk/knn", func() {
+			for _, q := range qs {
+				buf = diskSh.KNNAppend(buf[:0], center(q), k)
+			}
+			kernelSink += len(buf)
+		}},
 	}
 
 	exact := Table{
 		ID:     "kernel-allocs",
-		Title:  fmt.Sprintf("Steady-state query kernel allocations, RAM backend (%s, %d points, %d queries/batch)", r, cfg.Scale, len(qs)),
+		Title:  fmt.Sprintf("Steady-state query kernel allocations, RAM and warm-disk backends (%s, %d points, %d queries/batch)", r, cfg.Scale, len(qs)),
 		Header: []string{"Path", "Allocs/op", "Alloc bytes/op"},
 		Class:  harness.ClassExact,
 		Notes: []string{
 			"MemStats deltas over a query batch, minimum of 3 batches after warmup; deterministic, ratcheted against an exact-zero baseline",
+			"disk rows measure the block-cache hit path (cache holds the working set, primed before the bracketed pass): zero-copy borrowed views, no per-page decode",
 		},
 	}
 	lat := Table{

@@ -134,7 +134,10 @@ func (z *ZIndex) PointQuery(p geom.Point) bool {
 	}
 	d.PagesScanned++
 	d.PointsScanned += int64(l.n)
-	return z.store.Page(l.pid).Contains(p)
+	v := z.store.View(l.pid)
+	found := v.Contains(p)
+	v.Release()
+	return found
 }
 
 // leafCursor walks the leaf-list interval [low, high] of a query, yielding
@@ -212,7 +215,12 @@ func (z *ZIndex) RangeQueryAppend(dst []geom.Point, r geom.Rect) []geom.Point {
 	for p := cur.next(); p != nil; p = cur.next() {
 		d.PagesScanned++
 		d.PointsScanned += int64(p.n)
-		dst = z.store.Page(p.pid).Filter(r, dst)
+		// Borrowed view, released before the cursor advances: on the disk
+		// backend this scans the page's bytes in place (block cache or file
+		// mapping) without decoding a copy.
+		v := z.store.View(p.pid)
+		dst = v.Filter(r, dst)
+		v.Release()
 	}
 	d.ResultPoints += int64(len(dst) - before)
 	return dst
@@ -283,7 +291,9 @@ func (z *ZIndex) RangeQueryPhased(r geom.Rect) (pts []geom.Point, projection, sc
 	for _, p := range overlapping {
 		d.PagesScanned++
 		d.PointsScanned += int64(p.n)
-		pts = z.store.Page(p.pid).Filter(r, pts)
+		v := z.store.View(p.pid)
+		pts = v.Filter(r, pts)
+		v.Release()
 	}
 	scan = time.Since(start)
 	d.ResultPoints += int64(len(pts))
@@ -306,11 +316,13 @@ func (z *ZIndex) RangeCount(r geom.Rect) int {
 	for p := cur.next(); p != nil; p = cur.next() {
 		d.PagesScanned++
 		d.PointsScanned += int64(p.n)
-		for _, pt := range z.store.Page(p.pid).Pts {
+		v := z.store.View(p.pid)
+		for _, pt := range v.Pts {
 			if r.Contains(pt) {
 				count++
 			}
 		}
+		v.Release()
 	}
 	d.ResultPoints += int64(count)
 	return count

@@ -145,7 +145,9 @@ func (z *ZIndex) maybeMerge(parent *node) {
 	merged := make([]geom.Point, 0, total)
 	for pos := 0; pos < 4; pos++ {
 		if c := parent.child[pos]; c != nil {
-			merged = append(merged, z.store.Page(c.leaf.pid).Pts...)
+			v := z.store.View(c.leaf.pid)
+			merged = append(merged, v.Pts...)
+			v.Release()
 			z.store.Free(c.leaf.pid)
 			parent.child[pos] = nil
 		}
@@ -176,7 +178,9 @@ func (z *ZIndex) Points() []geom.Point {
 // the extended slice.
 func (z *ZIndex) PointsAppend(dst []geom.Point) []geom.Point {
 	for l := z.head; l != nil; l = l.next {
-		dst = append(dst, z.store.Page(l.pid).Pts...)
+		v := z.store.View(l.pid)
+		dst = append(dst, v.Pts...)
+		v.Release()
 	}
 	return dst
 }

@@ -167,6 +167,10 @@ type Options struct {
 	// StorageCachePages bounds the disk backend's block cache, in pages
 	// (default 1024). Ignored for the RAM-resident backend.
 	StorageCachePages int
+	// StorageDisableMmap forces the disk backend's pread+decode read path
+	// instead of zero-copy mapped views. Ignored for the RAM-resident
+	// backend.
+	StorageDisableMmap bool
 	// Estimator supplies data-density estimates to the greedy cost
 	// evaluation. Nil builds an RFDE forest over the data (the paper's
 	// learned component). Ignored when ExactCounts is set.
@@ -237,8 +241,9 @@ func (o *Options) OpenStore() (storage.PageStore, error) {
 	}
 	if o.StoragePath != "" {
 		return storage.CreatePageFile(o.StoragePath, storage.DiskOptions{
-			SlotCap:    o.LeafSize,
-			CachePages: o.StorageCachePages,
+			SlotCap:     o.LeafSize,
+			CachePages:  o.StorageCachePages,
+			DisableMmap: o.StorageDisableMmap,
 		})
 	}
 	return storage.NewMemStore(), nil
@@ -271,6 +276,15 @@ func (z *ZIndex) Store() storage.PageStore { return z.store }
 // CacheStats returns the block-cache counters of the index's page store
 // (zero-valued except Resident/Capacity for the RAM-resident backend).
 func (z *ZIndex) CacheStats() storage.CacheStats { return z.store.CacheStats() }
+
+// DropCaches empties the block cache of a disk-resident index (a no-op on
+// the RAM backend), putting it in the state a cold start would see.
+// Benchmarks and differential tests use it to force refaults mid-stream.
+func (z *ZIndex) DropCaches() {
+	if ds, ok := z.store.(*storage.DiskStore); ok {
+		ds.DropCaches()
+	}
+}
 
 // Close releases the page store's backing resources (the page file of a
 // disk-resident index). The index must not be used afterwards. Close is a

@@ -42,6 +42,16 @@ type Recoverable interface {
 	Reopen(t *testing.T) index.Index
 }
 
+// CacheDropper is the optional surface of targets whose disk-backed block
+// cache can be emptied mid-stream (core.ZIndex, wazi.Index, wazi.Sharded).
+// When the disk build implements it, Differential runs the ColdCache
+// battery: every cached page — and every borrowed view the query kernel
+// holds — is invalidated between queries, so zero-copy reads are exercised
+// across cache teardown.
+type CacheDropper interface {
+	DropCaches()
+}
+
 // Differential runs the differential conformance suite over two
 // constructions of the same index — conventionally buildMem on the
 // RAM-resident page store and buildDisk on a disk-resident one. Each
@@ -56,7 +66,60 @@ func Differential(t *testing.T, buildMem, buildDisk Builder) {
 	t.Run("Churn", func(t *testing.T) { diffChurn(t, buildMem, buildDisk) })
 	t.Run("Repartition", func(t *testing.T) { diffRepartition(t, buildMem, buildDisk) })
 	t.Run("Recovery", func(t *testing.T) { diffRecovery(t, buildMem, buildDisk) })
+	t.Run("ColdCache", func(t *testing.T) { diffColdCache(t, buildMem, buildDisk) })
 	t.Run("DiskConformance", func(t *testing.T) { Conformance(t, buildDisk) })
+}
+
+// diffColdCache interleaves queries (and, when supported, churn) with
+// forced cache drops on the disk backend, so every few queries refault
+// their pages from file bytes. Results must stay byte-identical to the
+// RAM backend and brute force through each invalidation — the battery that
+// would catch a borrowed view observing recycled or unmapped bytes.
+func diffColdCache(t *testing.T, buildMem, buildDisk Builder) {
+	t.Helper()
+	pts := ClusteredPoints(4000, 61)
+	qs := SkewedQueries(150, 62)
+	memIdx := buildMem(pts, qs)
+	diskIdx := buildDisk(pts, qs)
+	dropper, ok := diskIdx.(CacheDropper)
+	if !ok {
+		t.Skip("disk build does not support DropCaches")
+	}
+	memUp, okM := memIdx.(updatable)
+	diskUp, okD := diskIdx.(updatable)
+
+	live := append([]geom.Point{}, pts...)
+	rng := rand.New(rand.NewSource(63))
+	queries := append([]geom.Rect{}, qs[:80]...)
+	for i := 0; i < 120; i++ {
+		queries = append(queries, randRect(rng))
+	}
+	ref := index.NewBrute(live)
+	for i, r := range queries {
+		if i%7 == 0 {
+			dropper.DropCaches()
+		}
+		got := diskIdx.RangeQuery(r)
+		same(t, got, ref.RangeQuery(r), "cold-cache disk vs brute "+r.String())
+		same(t, got, memIdx.RangeQuery(r), "cold-cache disk vs mem "+r.String())
+		// Churn between drops so refaults read post-update bytes, not a
+		// stale image the cache would have masked.
+		if okM && okD && i%11 == 0 {
+			p := geom.Point{X: rng.Float64(), Y: rng.Float64()}
+			memUp.Insert(p)
+			diskUp.Insert(p)
+			live = append(live, p)
+			j := rng.Intn(len(live))
+			q := live[j]
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if dm, dd := memUp.Delete(q), diskUp.Delete(q); dm != dd || !dm {
+				t.Fatalf("cold-cache Delete(%v) diverged: mem %v, disk %v", q, dm, dd)
+			}
+			ref = index.NewBrute(live)
+		}
+	}
+	StatsParity(t, snapshotStats(memIdx), snapshotStats(diskIdx), "cold-cache battery")
 }
 
 // StatsParity asserts the page-access halves of two Stats snapshots are

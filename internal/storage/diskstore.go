@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"sync"
@@ -14,12 +15,45 @@ import (
 	"github.com/wazi-index/wazi/internal/obs"
 )
 
+// PageFile is the positional-I/O surface DiskStore drives its page file
+// through. Production stores use *os.File directly; tests inject failing
+// implementations (indextest.CrashFS wraps one) to exercise the panic and
+// single-flight recovery paths on an already validated file.
+type PageFile interface {
+	io.ReaderAt
+	io.WriterAt
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+	Sync() error
+	Close() error
+}
+
 // DiskStore is the disk-resident PageStore: a fixed-slot page file plus an
 // in-memory block cache whose eviction is workload-aware. Pages are chains
 // of fixed-size slots (one slot fits SlotCap points; oversized pages —
 // coincident-point leaves that cannot split — chain continuation slots), and
 // freed slots are recycled through an on-file free list, so the file never
 // needs compaction to stay bounded.
+//
+// Reads come in two modes. In mmap mode (the default wherever the platform
+// supports it — see mmapSupported) the file is mapped read-only and shared,
+// and a cache fault serves a borrowed view straight over the mapped bytes:
+// single-slot pages are reinterpreted in place with zero copying and zero
+// point allocations. In pread mode (DisableMmap, unsupported platforms, or
+// injected PageFiles) a fault decodes a private heap copy as before. Both
+// modes share the block cache, so the hit path is identical — and
+// allocation-free — either way.
+//
+// Borrowed views are kept safe by a recycle guard rather than by copying:
+// every pinned PageView holds a refcount (per cache entry and store-wide),
+// and while any view is pinned the store never RECYCLES a freed slot —
+// popSlot extends the file instead of reusing the free list — and never
+// unmaps a mapping. Freeing only rewrites slot HEADERS (the free-list
+// links), so the point bytes a view aliases stay intact until the last pin
+// drops. Mappings are only ever grown by mapping the file again at a larger
+// size; old mappings stay valid (views and cached pages alias them) and are
+// unmapped together at Close, deferred past Close to the final unpin if
+// views are still pinned then.
 //
 // The file carries a versioned header in the same discipline as the Sharded
 // snapshot format: OpenPageFile refuses foreign magic or unknown versions
@@ -32,7 +66,8 @@ import (
 // repository (persist on graceful shutdown, rebuild on hard crash).
 type DiskStore struct {
 	mu      sync.Mutex
-	f       *os.File
+	f       PageFile
+	osf     *os.File // nil when the PageFile is injected (disables mmap)
 	path    string
 	slotCap int
 	slots   int32 // slots physically present in the file
@@ -41,10 +76,27 @@ type DiskStore struct {
 	npages  int
 	closed  bool
 
+	// maps are the file's read-only mappings, oldest first; the last one
+	// covers the whole file and serves new views. nil in pread mode.
+	// reaped records that Close already released them (possibly from the
+	// final unpin, after Close found views still pinned).
+	maps   []*fileMap
+	reaped bool
+
+	// pins counts pinned PageViews across the store. While nonzero, freed
+	// slots are not recycled and mappings are not unmapped — the recycle
+	// guard that makes borrowed views safe against Free/Alloc/retirement
+	// races. closing mirrors d.closed for the lock-free unpin fast path.
+	pins    atomic.Int64
+	closing atomic.Bool
+
 	cache blockCache
-	// loading single-flights concurrent faults of the same page: the
-	// winner reads from disk outside the mutex, everyone else waits on
-	// its channel. Readers of other pages (hits or faults) proceed.
+	// loading single-flights concurrent faults of the same page in pread
+	// mode: the winner reads from disk outside the mutex, everyone else
+	// waits on its channel. Readers of other pages (hits or faults)
+	// proceed. Mmap-mode faults never leave the mutex (constructing a view
+	// issues no I/O; the kernel pages bytes in lazily when the scan
+	// touches them), so they bypass this map entirely.
 	loading map[PageID]chan struct{}
 	hist    queryHist
 	sink    atomic.Pointer[Stats]
@@ -63,13 +115,25 @@ type DiskStore struct {
 type DiskOptions struct {
 	// SlotCap is the number of points one file slot holds. It should match
 	// the index's leaf capacity so that in the common case a page is one
-	// slot. Default 256.
+	// slot. Default 256. On OpenPageFile the file header's capacity is
+	// authoritative (it sizes all slot-offset arithmetic): leaving SlotCap
+	// zero adopts the header's value, while an explicit nonzero value that
+	// disagrees with the header is refused with an error rather than
+	// silently mis-addressing every slot.
 	SlotCap int
 	// CachePages bounds the block cache, in pages. Default 1024.
 	CachePages int
 	// HistWindow is the sliding window of the workload histogram feeding
 	// eviction decisions. Default 1024 queries.
 	HistWindow int
+	// DisableMmap forces the pread+decode read path even where the
+	// platform supports the zero-copy mapping mode.
+	DisableMmap bool
+	// WrapFile, when non-nil, wraps the opened page file before the store
+	// uses it — the fault-injection seam (indextest.CrashFS). An injected
+	// PageFile implies pread mode: the mapping path needs the raw
+	// descriptor and would bypass the wrapper's read accounting anyway.
+	WrapFile func(*os.File) PageFile
 }
 
 func (o *DiskOptions) fill() {
@@ -120,7 +184,11 @@ func CreatePageFile(path string, o DiskOptions) (*DiskStore, error) {
 	}
 	d := newDiskStore(f, path, o)
 	if err := d.writeHeader(); err != nil {
-		f.Close()
+		d.f.Close()
+		return nil, err
+	}
+	if err := d.initMmap(); err != nil {
+		d.f.Close()
 		return nil, err
 	}
 	return d, nil
@@ -130,27 +198,91 @@ func CreatePageFile(path string, o DiskOptions) (*DiskStore, error) {
 // warm-start path. The header is version-checked and the entire slot graph
 // (free list, page chains) is validated before any page is served; a
 // corrupt, truncated, or foreign file is refused with an error, never a
-// panic.
+// panic. The header's slot capacity is authoritative; an explicit
+// o.SlotCap that disagrees with it is refused (see DiskOptions.SlotCap).
 func OpenPageFile(path string, o DiskOptions) (*DiskStore, error) {
+	askedSlotCap := o.SlotCap
 	o.fill()
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: opening page file: %w", err)
 	}
-	d, err := adoptPageFile(f, path, o)
+	d, err := adoptPageFile(f, path, o, askedSlotCap)
 	if err != nil {
 		f.Close()
+		return nil, fmt.Errorf("storage: page file %s: %w", path, err)
+	}
+	if err := d.initMmap(); err != nil {
+		d.f.Close()
 		return nil, fmt.Errorf("storage: page file %s: %w", path, err)
 	}
 	return d, nil
 }
 
 func newDiskStore(f *os.File, path string, o DiskOptions) *DiskStore {
-	d := &DiskStore{f: f, path: path, slotCap: o.SlotCap, free: -1,
+	d := &DiskStore{path: path, slotCap: o.SlotCap, free: -1,
 		loading: make(map[PageID]chan struct{})}
+	if o.WrapFile != nil {
+		d.f = o.WrapFile(f) // injected I/O implies pread mode
+	} else {
+		d.f = f
+		if mmapSupported && !o.DisableMmap {
+			d.osf = f
+		}
+	}
 	d.cache.init(o.CachePages)
 	d.hist.init(o.HistWindow)
 	return d
+}
+
+// initMmap creates the initial mapping when the store runs in mmap mode; in
+// pread mode it is a no-op. A mapping failure falls back to pread rather
+// than failing the open: the mapping is an optimization, not a correctness
+// requirement.
+func (d *DiskStore) initMmap() error {
+	if d.osf == nil {
+		return nil
+	}
+	size := fileHeaderSize + int64(d.slots)*d.slotSize()
+	m, err := mapFile(d.osf, size*2)
+	if err != nil {
+		d.osf = nil // pread fallback
+		return nil
+	}
+	d.maps = []*fileMap{m}
+	return nil
+}
+
+// MmapMode reports whether the store serves zero-copy views over a file
+// mapping (false: pread+decode mode).
+func (d *DiskStore) MmapMode() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.osf != nil
+}
+
+// curMap returns the newest (whole-file) mapping. Callers hold d.mu.
+func (d *DiskStore) curMap() *fileMap { return d.maps[len(d.maps)-1] }
+
+// ensureMapped grows the mapping set to cover the file's current size,
+// called after the file is extended. Old mappings are kept: borrowed views
+// and cached pages alias them, and they remain valid and coherent (the file
+// only ever grows). On failure the store degrades to pread mode for new
+// faults; existing mappings stay serviceable. Callers hold d.mu.
+func (d *DiskStore) ensureMapped() {
+	if d.osf == nil {
+		return
+	}
+	size := fileHeaderSize + int64(d.slots)*d.slotSize()
+	if d.curMap().covers(0, size) {
+		return
+	}
+	m, err := mapFile(d.osf, size*2)
+	if err != nil {
+		d.osf = nil
+		return
+	}
+	d.maps = append(d.maps, m)
 }
 
 func (d *DiskStore) writeHeader() error {
@@ -168,8 +300,10 @@ func (d *DiskStore) writeHeader() error {
 }
 
 // adoptPageFile validates the header and the full slot graph of an existing
-// file and reconstructs the in-memory free-list state.
-func adoptPageFile(f *os.File, path string, o DiskOptions) (*DiskStore, error) {
+// file and reconstructs the in-memory free-list state. askedSlotCap is the
+// caller's pre-fill SlotCap: zero adopts the header's capacity, a nonzero
+// value must agree with it.
+func adoptPageFile(f *os.File, path string, o DiskOptions, askedSlotCap int) (*DiskStore, error) {
 	var h [fileHeaderSize]byte
 	if _, err := f.ReadAt(h[:], 0); err != nil {
 		return nil, fmt.Errorf("reading header: %w", err)
@@ -183,6 +317,9 @@ func adoptPageFile(f *os.File, path string, o DiskOptions) (*DiskStore, error) {
 	slotCap := int(binary.LittleEndian.Uint32(h[16:]))
 	if slotCap <= 0 || slotCap > maxSlotCap {
 		return nil, fmt.Errorf("implausible slot capacity %d", slotCap)
+	}
+	if askedSlotCap > 0 && askedSlotCap != slotCap {
+		return nil, fmt.Errorf("slot capacity mismatch: file header says %d points per slot, caller asked for %d (the header value sizes all slot addressing; open with SlotCap 0 to adopt it)", slotCap, askedSlotCap)
 	}
 	slots := int32(binary.LittleEndian.Uint32(h[20:]))
 	freeHead := int32(binary.LittleEndian.Uint32(h[24:]))
@@ -316,9 +453,12 @@ func (d *DiskStore) writeSlot(i int32, state uint32, pts []geom.Point, next int3
 }
 
 // popSlot takes a slot from the free list, extending the file when none is
-// available. Callers hold d.mu.
+// available. The free list is consulted only while NO view is pinned — this
+// is the recycle guard: a pinned view may alias the point bytes of a freed
+// slot, so while pins are outstanding new allocations extend the file
+// instead of rewriting parked slots. Callers hold d.mu.
 func (d *DiskStore) popSlot() int32 {
-	if d.free != -1 {
+	if d.free != -1 && d.pins.Load() == 0 {
 		i := d.free
 		_, _, next, _ := d.readSlotHeader(i)
 		d.free = next
@@ -330,6 +470,7 @@ func (d *DiskStore) popSlot() int32 {
 	if err := d.f.Truncate(fileHeaderSize + int64(d.slots)*d.slotSize()); err != nil {
 		d.ioPanic("extending file", err)
 	}
+	d.ensureMapped()
 	return i
 }
 
@@ -386,8 +527,10 @@ func (d *DiskStore) writeChain(chain []int32, pts []geom.Point, bounds geom.Rect
 	}
 }
 
-// readPage assembles the page from its slot chain. Callers hold d.mu.
-func (d *DiskStore) readPage(id PageID) (*Page, geom.Rect) {
+// readPage assembles the page from its slot chain with positional reads; it
+// runs OUTSIDE d.mu (the pread fault path), so it must not touch mutable
+// store state — maxPts is the caller's mu-captured cycle bound.
+func (d *DiskStore) readPage(id PageID, maxPts int) (*Page, geom.Rect) {
 	state, count, next, bounds := d.readSlotHeader(int32(id))
 	if state != slotHead {
 		d.ioPanic("resolving page", fmt.Errorf("page %d is not a chain head (state %d)", id, state))
@@ -400,7 +543,7 @@ func (d *DiskStore) readPage(id PageID) (*Page, geom.Rect) {
 			break
 		}
 		i = next
-		if len(pts) > int(d.slots)*d.slotCap {
+		if len(pts) > maxPts {
 			d.ioPanic("walking page chain", fmt.Errorf("cycle at page %d", id))
 		}
 		_, count, next, _ = d.readSlotHeader(i)
@@ -426,7 +569,10 @@ func (d *DiskStore) readSlotPoints(i int32, count int) []geom.Point {
 
 // ----------------------------------------------------------- PageStore API
 
-// Alloc implements PageStore.
+// Alloc implements PageStore. In mmap mode a single-slot page is cached as
+// a zero-copy view over the just-written file bytes (coherent with WriteAt
+// through the shared mapping), so bulk builds do not hold a second heap
+// copy of every page; otherwise the cache keeps a private copy as before.
 func (d *DiskStore) Alloc(pts []geom.Point, bounds geom.Rect) PageID {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -435,19 +581,32 @@ func (d *DiskStore) Alloc(pts []geom.Point, bounds geom.Rect) PageID {
 	d.writeChain(chain, pts, bounds)
 	d.npages++
 	id := PageID(head)
-	pg := &Page{Pts: append([]geom.Point(nil), pts...)}
-	d.cacheInsert(id, pg, bounds)
+	if d.osf != nil && len(pts) <= d.slotCap {
+		m := d.curMap()
+		d.cacheInsert(id, &Page{Pts: m.pointsAt(d.slotOff(head)+slotHeaderSize, len(pts))}, bounds, true)
+	} else {
+		d.cacheInsert(id, &Page{Pts: append([]geom.Point(nil), pts...)}, bounds, false)
+	}
 	d.hist.extendSpace(bounds)
 	return id
 }
 
-// Page implements PageStore. A cache miss reads from disk OUTSIDE the
+// pageEntry resolves id to its (pinned) cache entry, faulting on a miss,
+// and returns the entry together with the page's points as captured under
+// the store mutex. It is the shared core of Page and View; the caller owns
+// one pin on the returned entry and must release it (View hands the pin to
+// the PageView; Page drops it after promoting).
+//
+// The cache-hit path performs no allocations: a map lookup, an LRU move,
+// and two pin increments. A pread-mode miss reads from disk OUTSIDE the
 // store mutex (file reads are positional and the structural fields a fault
 // touches are immutable while reads are running — mutation requires the
 // same exclusive access as any index update), so one cold fault never
 // blocks hits or faults of other pages; concurrent faults of the same page
-// are single-flighted through d.loading.
-func (d *DiskStore) Page(id PageID) *Page {
+// are single-flighted through d.loading. An mmap-mode miss never leaves
+// the mutex: constructing the borrowed view issues no read syscall, and
+// the kernel pages the bytes in lazily when the scan touches them.
+func (d *DiskStore) pageEntry(id PageID) (*cacheEntry, []geom.Point) {
 	d.mu.Lock()
 	for {
 		if e := d.cache.get(id); e != nil {
@@ -455,9 +614,19 @@ func (d *DiskStore) Page(id PageID) *Page {
 			if s := d.sink.Load(); s != nil {
 				atomic.AddInt64(&s.CacheHits, 1)
 			}
-			pg := e.pg
+			e.pins.Add(1)
+			d.pins.Add(1)
+			pts := e.pg.Pts
 			d.mu.Unlock()
-			return pg
+			return e, pts
+		}
+		if d.osf != nil {
+			e := d.faultMapped(id)
+			e.pins.Add(1)
+			d.pins.Add(1)
+			pts := e.pg.Pts
+			d.mu.Unlock()
+			return e, pts
 		}
 		ch, inflight := d.loading[id]
 		if !inflight {
@@ -473,6 +642,9 @@ func (d *DiskStore) Page(id PageID) *Page {
 	}
 	ch := make(chan struct{})
 	d.loading[id] = ch
+	// Captured under mu: the fault runs unlocked and may race a concurrent
+	// Alloc growing the file; the cycle guard only needs a stable bound.
+	maxPts := int(d.slots) * d.slotCap
 	d.mu.Unlock()
 	// Deregister via defer so the latch is released even if readPage
 	// panics (I/O failure): in a process that survives the panic (e.g.
@@ -486,7 +658,7 @@ func (d *DiskStore) Page(id PageID) *Page {
 	}()
 
 	t0 := time.Now()
-	pg, bounds := d.readPage(id)
+	pg, bounds := d.readPage(id, maxPts)
 	elapsed := time.Since(t0)
 	d.reads.Add(1)
 	d.readNanos.Add(int64(elapsed))
@@ -495,10 +667,119 @@ func (d *DiskStore) Page(id PageID) *Page {
 	}
 
 	d.mu.Lock()
-	d.cacheInsert(id, pg, bounds)
+	e := d.cacheInsert(id, pg, bounds, false)
+	e.pins.Add(1)
+	d.pins.Add(1)
+	pts := e.pg.Pts
 	d.mu.Unlock()
+	return e, pts
+}
+
+// faultMapped services a cache miss from the file mapping: a single-slot
+// page (the common case — SlotCap matches the leaf capacity) becomes a
+// zero-copy Page aliasing the mapped bytes; a chained page is decoded into
+// a private heap copy, chained slabs being non-contiguous on file. Counts
+// as a miss and as one page-file read. Callers hold d.mu.
+func (d *DiskStore) faultMapped(id PageID) *cacheEntry {
+	d.misses++
+	if s := d.sink.Load(); s != nil {
+		atomic.AddInt64(&s.CacheMisses, 1)
+	}
+	t0 := time.Now()
+	m := d.curMap()
+	state, count, next, bounds := d.slotHeaderMapped(m, int32(id))
+	if state != slotHead {
+		d.ioPanic("resolving page", fmt.Errorf("page %d is not a chain head (state %d)", id, state))
+	}
+	var pg *Page
+	mmapped := next == -1
+	if mmapped {
+		pg = &Page{Pts: m.pointsAt(d.slotOff(int32(id))+slotHeaderSize, count)}
+	} else {
+		total := d.chainLenMapped(m, int32(id))
+		pts := make([]geom.Point, 0, total)
+		i := int32(id)
+		for {
+			pts = append(pts, m.pointsAt(d.slotOff(i)+slotHeaderSize, count)...)
+			if next == -1 {
+				break
+			}
+			i = next
+			if len(pts) > int(d.slots)*d.slotCap {
+				d.ioPanic("walking page chain", fmt.Errorf("cycle at page %d", id))
+			}
+			_, count, next, _ = d.slotHeaderMapped(m, i)
+		}
+		pg = &Page{Pts: pts}
+	}
+	elapsed := time.Since(t0)
+	d.reads.Add(1)
+	d.readNanos.Add(int64(elapsed))
+	if h := d.readObs.Load(); h != nil {
+		h.Observe(elapsed.Seconds())
+	}
+	return d.cacheInsert(PageID(id), pg, bounds, mmapped)
+}
+
+// slotHeaderMapped is readSlotHeader served from the mapping (no syscall).
+// Callers hold d.mu.
+func (d *DiskStore) slotHeaderMapped(m *fileMap, i int32) (uint32, int, int32, geom.Rect) {
+	off := d.slotOff(i)
+	sh := m.data[off : off+slotHeaderSize]
+	var b geom.Rect
+	b.MinX = math.Float64frombits(binary.LittleEndian.Uint64(sh[16:]))
+	b.MinY = math.Float64frombits(binary.LittleEndian.Uint64(sh[24:]))
+	b.MaxX = math.Float64frombits(binary.LittleEndian.Uint64(sh[32:]))
+	b.MaxY = math.Float64frombits(binary.LittleEndian.Uint64(sh[40:]))
+	return binary.LittleEndian.Uint32(sh[0:]), int(binary.LittleEndian.Uint32(sh[4:])), int32(binary.LittleEndian.Uint32(sh[8:])), b
+}
+
+// chainLenMapped sums the point counts along a page chain via the mapping,
+// so a chained decode allocates its exact footprint once. Callers hold d.mu.
+func (d *DiskStore) chainLenMapped(m *fileMap, head int32) int {
+	total, hops := 0, 0
+	for i := head; i != -1; {
+		_, count, next, _ := d.slotHeaderMapped(m, i)
+		total += count
+		i = next
+		if hops++; hops > int(d.slots) {
+			d.ioPanic("walking page chain", fmt.Errorf("cycle at page %d", head))
+		}
+	}
+	return total
+}
+
+// Page implements PageStore. Because callers of Page may mutate the
+// returned page as staging for an Update (see the PageStore contract), an
+// mmap-backed cache entry is first promoted to a private heap copy — the
+// mapping is read-only and must never be written through. Read-only
+// callers should use View, which keeps the zero-copy entry intact.
+func (d *DiskStore) Page(id PageID) *Page {
+	e, _ := d.pageEntry(id)
+	d.mu.Lock()
+	if e.mmapped {
+		pts := make([]geom.Point, len(e.pg.Pts))
+		copy(pts, e.pg.Pts)
+		e.pg.Pts = pts
+		e.mmapped = false
+	}
+	pg := e.pg
+	d.mu.Unlock()
+	e.unpin()
 	return pg
 }
+
+// View implements PageStore: the allocation-free read path. The returned
+// view pins its cache entry (and, store-wide, the recycle guard) until
+// Release.
+func (d *DiskStore) View(id PageID) PageView {
+	e, pts := d.pageEntry(id)
+	return PageView{Pts: pts, pin: e}
+}
+
+// Pins returns the number of currently pinned views, for tests and the
+// invalidation fuzzer.
+func (d *DiskStore) Pins() int64 { return d.pins.Load() }
 
 // Update implements PageStore.
 func (d *DiskStore) Update(id PageID, pts []geom.Point, bounds geom.Rect) {
@@ -508,12 +789,15 @@ func (d *DiskStore) Update(id PageID, pts []geom.Point, bounds geom.Rect) {
 	if e := d.cache.get(id); e != nil {
 		d.cache.resize(e, pts, bounds)
 	} else {
-		d.cacheInsert(id, &Page{Pts: append([]geom.Point(nil), pts...)}, bounds)
+		d.cacheInsert(id, &Page{Pts: append([]geom.Point(nil), pts...)}, bounds, false)
 	}
 	d.hist.extendSpace(bounds)
 }
 
-// Free implements PageStore.
+// Free implements PageStore. Only slot HEADERS are rewritten (the free-list
+// links): the point bytes stay intact, so pinned views of other pages —
+// and even stale views of this one — keep reading the bytes they captured
+// until the recycle guard lets popSlot reuse the slots.
 func (d *DiskStore) Free(id PageID) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -617,7 +901,10 @@ func (d *DiskStore) ReadIO() (reads, nanos int64) {
 
 // DropCaches empties the block cache (counters are retained), putting the
 // store in the state a cold start would see. Benchmarks use it to measure
-// disk-cold latency without reopening the file.
+// disk-cold latency without reopening the file; store retirement uses it to
+// release the cache's heap. Safe with views pinned: dropped entries merely
+// detach from the cache, their bytes (heap copies, or mapped file bytes
+// kept by the recycle guard) stay reachable from every outstanding view.
 func (d *DiskStore) DropCaches() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -641,7 +928,10 @@ func (d *DiskStore) Sync() error {
 	return d.f.Sync()
 }
 
-// Close implements PageStore.
+// Close implements PageStore. Closing the descriptor does not invalidate
+// mappings, so views pinned at Close keep reading valid memory; the
+// mappings themselves are released here when no view is pinned, otherwise
+// by the final unpin.
 func (d *DiskStore) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -649,11 +939,41 @@ func (d *DiskStore) Close() error {
 		return nil
 	}
 	d.closed = true
+	d.closing.Store(true)
 	err := d.writeHeader()
 	if cerr := d.f.Close(); err == nil {
 		err = cerr
 	}
+	d.reapMappingsLocked()
 	return err
+}
+
+// reapMappings releases the file mappings after Close once the last view
+// unpins (the unpin fast path calls it when the store-wide pin count hits
+// zero on a closing store).
+func (d *DiskStore) reapMappings() {
+	d.mu.Lock()
+	d.reapMappingsLocked()
+	d.mu.Unlock()
+}
+
+// reapMappingsLocked unmaps everything iff the store is closed, no view is
+// pinned, and the reap has not already happened. It also drops the cache —
+// mmap-backed entries alias memory that is about to disappear — and clears
+// osf so any (contract-violating) post-close fault takes the pread path and
+// surfaces the closed descriptor as an ioPanic instead of a segfault.
+// Callers hold d.mu.
+func (d *DiskStore) reapMappingsLocked() {
+	if d.reaped || !d.closed || d.pins.Load() != 0 {
+		return
+	}
+	d.reaped = true
+	d.osf = nil
+	d.cache.init(d.cache.capPages)
+	for _, m := range d.maps {
+		m.unmap()
+	}
+	d.maps = nil
 }
 
 // Kind implements PageStore.
@@ -661,8 +981,8 @@ func (d *DiskStore) Kind() string { return "disk" }
 
 // cacheInsert adds a page to the cache and evicts if over capacity, calling
 // back into the store's counters. Callers hold d.mu.
-func (d *DiskStore) cacheInsert(id PageID, pg *Page, bounds geom.Rect) {
-	d.cache.insert(id, pg, bounds)
+func (d *DiskStore) cacheInsert(id PageID, pg *Page, bounds geom.Rect, mmapped bool) *cacheEntry {
+	e := d.cache.insert(d, id, pg, bounds, mmapped)
 	for d.cache.len() > d.cache.capPages {
 		hotSkips := d.cache.evictOne(&d.hist)
 		d.evictions++
@@ -671,6 +991,7 @@ func (d *DiskStore) cacheInsert(id PageID, pg *Page, bounds geom.Rect) {
 			atomic.AddInt64(&s.CacheEvictions, 1)
 		}
 	}
+	return e
 }
 
 // --------------------------------------------------------------- the cache
@@ -690,6 +1011,26 @@ type cacheEntry struct {
 	id     PageID
 	pg     *Page
 	bounds geom.Rect
+	store  *DiskStore
+	// pins counts PageViews borrowing this entry's points. A pinned entry
+	// survives eviction and DropCaches by simple detachment: the entry (and
+	// through it the heap copy or the file mapping) stays reachable from
+	// the views, so unpinning after detachment is still well-defined.
+	pins atomic.Int32
+	// mmapped marks pg.Pts as aliasing the read-only file mapping (true
+	// only in mmap mode, single-slot pages). Page() promotes such entries
+	// to private heap copies before handing them out as mutable staging.
+	mmapped bool
+}
+
+// unpin releases one view's pin: the PageView.Release path. Lock-free
+// except when the last pin on a closing store triggers the deferred
+// mapping reap.
+func (e *cacheEntry) unpin() {
+	e.pins.Add(-1)
+	if e.store.pins.Add(-1) == 0 && e.store.closing.Load() {
+		e.store.reapMappings()
+	}
 }
 
 // evictScan bounds how many LRU-end entries an eviction inspects while
@@ -704,16 +1045,28 @@ func (c *blockCache) init(capPages int) {
 
 func (c *blockCache) len() int { return c.lru.Len() }
 
-// bytesResident sums the cached pages' footprint on demand; incremental
-// accounting cannot work because update paths mutate the cached *Page in
-// place before Update is called.
+// bytesResident sums the cached pages' heap footprint on demand;
+// incremental accounting cannot work because update paths mutate the cached
+// *Page in place before Update is called. The sum counts exact point bytes
+// (len, not cap — a chained page's heap copy is its full chain, a
+// shrunken-in-place page only its live points) plus per-page bookkeeping;
+// mmap-backed entries contribute bookkeeping only, their points being file
+// bytes rather than cache heap.
 func (c *blockCache) bytesResident() int64 {
 	var b int64
 	for el := c.lru.Front(); el != nil; el = el.Next() {
-		b += el.Value.(*cacheEntry).pg.Bytes()
+		e := el.Value.(*cacheEntry)
+		b += pageOverheadBytes
+		if !e.mmapped {
+			b += int64(len(e.pg.Pts)) * pointSize
+		}
 	}
 	return b
 }
+
+// pageOverheadBytes approximates the fixed per-cached-page bookkeeping (the
+// Page struct's slice header) counted by bytesResident.
+const pageOverheadBytes = 24
 
 func (c *blockCache) get(id PageID) *cacheEntry {
 	el, ok := c.entries[id]
@@ -724,19 +1077,22 @@ func (c *blockCache) get(id PageID) *cacheEntry {
 	return el.Value.(*cacheEntry)
 }
 
-func (c *blockCache) insert(id PageID, pg *Page, bounds geom.Rect) {
+func (c *blockCache) insert(d *DiskStore, id PageID, pg *Page, bounds geom.Rect, mmapped bool) *cacheEntry {
 	if el, ok := c.entries[id]; ok {
 		e := el.Value.(*cacheEntry)
-		e.pg, e.bounds = pg, bounds
+		e.pg, e.bounds, e.mmapped = pg, bounds, mmapped
 		c.lru.MoveToFront(el)
-		return
+		return e
 	}
-	c.entries[id] = c.lru.PushFront(&cacheEntry{id: id, pg: pg, bounds: bounds})
+	e := &cacheEntry{id: id, pg: pg, bounds: bounds, store: d, mmapped: mmapped}
+	c.entries[id] = c.lru.PushFront(e)
+	return e
 }
 
 func (c *blockCache) resize(e *cacheEntry, pts []geom.Point, bounds geom.Rect) {
 	e.pg.Pts = pts
 	e.bounds = bounds
+	e.mmapped = false // pts is caller heap, not mapped file bytes
 }
 
 func (c *blockCache) drop(id PageID) {
@@ -747,10 +1103,13 @@ func (c *blockCache) drop(id PageID) {
 }
 
 // evictOne removes one entry, preferring the least-recently-used page that
-// is NOT pinned by a hot histogram cell. Returns how many hot pages were
-// genuinely retained in favor of a colder victim; when every scanned
-// candidate is hot the policy degrades to plain LRU and nothing was
-// retained, so zero is reported.
+// is NOT pinned by a hot histogram cell and NOT pinned by a borrowed view
+// (a pinned entry is about to be re-referenced; evicting it would refault
+// the page immediately). Returns how many hot pages were genuinely retained
+// in favor of a colder victim; when every scanned candidate is hot or
+// pinned the policy degrades to plain LRU — evicting even a view-pinned
+// entry is safe, the views keep the detached entry's bytes alive — and
+// nothing was retained, so zero is reported.
 func (c *blockCache) evictOne(h *queryHist) (hotSkips int) {
 	victim := c.lru.Back()
 	if victim == nil {
@@ -760,6 +1119,10 @@ func (c *blockCache) evictOne(h *queryHist) (hotSkips int) {
 	foundCold := false
 	for i := 0; el != nil && i < evictScan; i++ {
 		e := el.Value.(*cacheEntry)
+		if e.pins.Load() > 0 {
+			el = el.Prev()
+			continue
+		}
 		if !h.hot(e.bounds) {
 			victim = el
 			foundCold = true

@@ -1,0 +1,27 @@
+//go:build !((linux || darwin || freebsd || netbsd || openbsd) && (amd64 || arm64 || riscv64 || loong64 || ppc64le || mips64le || 386 || amd64p32 || arm || wasm))
+
+package storage
+
+import (
+	"errors"
+	"os"
+
+	"github.com/wazi-index/wazi/internal/geom"
+)
+
+// mmapSupported: this platform has no usable mmap (or is big-endian, where
+// reinterpreting little-endian file bytes in place would mis-decode), so the
+// disk store always uses the pread+decode path.
+const mmapSupported = false
+
+type fileMap struct{}
+
+func mapFile(*os.File, int64) (*fileMap, error) {
+	return nil, errors.New("storage: mmap unsupported on this platform")
+}
+
+func (m *fileMap) unmap()                 {}
+func (m *fileMap) covers(_, _ int64) bool { return false }
+func (m *fileMap) pointsAt(int64, int) []geom.Point {
+	panic("storage: pointsAt on unsupported platform")
+}

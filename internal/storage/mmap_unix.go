@@ -1,0 +1,84 @@
+//go:build (linux || darwin || freebsd || netbsd || openbsd) && (amd64 || arm64 || riscv64 || loong64 || ppc64le || mips64le || 386 || amd64p32 || arm || wasm)
+
+package storage
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+
+	"github.com/wazi-index/wazi/internal/geom"
+)
+
+// mmapSupported reports whether the zero-copy mapping path is available on
+// this platform. The build tags restrict it to unix-likes with working
+// syscall.Mmap AND little-endian architectures: the page-file format is
+// little-endian, and the zero-copy path reinterprets file bytes as
+// []geom.Point in place, which is only a correct decode where the in-memory
+// byte order matches the on-file one. Everywhere else the disk store falls
+// back to the pread+decode path transparently.
+const mmapSupported = true
+
+// minMapBytes is the smallest mapping ever created. Mapping generously past
+// the current end of file is deliberate: extending the file inside an
+// existing mapping needs no remap, and pages past EOF are merely unusable
+// (never touched — slot offsets are bounded by the file size), not unsafe.
+const minMapBytes = 4 << 20
+
+// fileMap is one read-only shared mapping of a page file. Mappings are
+// created by mapFile, grown by mapping the file AGAIN at a larger size
+// (never by moving the old one: borrowed views and cached pages alias old
+// mappings, which therefore stay valid until the store's final teardown),
+// and released by munmap only when no pinned view can reference them.
+type fileMap struct {
+	data []byte
+}
+
+// mapFile maps at least want bytes of f read-only and shared. Shared
+// mappings on a unified-page-cache kernel are coherent with WriteAt on the
+// same file, which is what keeps cached mmap-backed pages truthful across
+// in-place slot writes.
+func mapFile(f *os.File, want int64) (*fileMap, error) {
+	n := want
+	if n < minMapBytes {
+		n = minMapBytes
+	}
+	// Round up to a page multiple; mmap lengths need not be, but keeping
+	// them aligned makes the doubling arithmetic in remap exact.
+	pg := int64(os.Getpagesize())
+	n = (n + pg - 1) / pg * pg
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(n), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return &fileMap{data: data}, nil
+}
+
+// unmap releases the mapping. The caller must guarantee no borrowed view or
+// cached page can still alias it.
+func (m *fileMap) unmap() {
+	if m.data != nil {
+		syscall.Munmap(m.data)
+		m.data = nil
+	}
+}
+
+// covers reports whether the byte range [off, off+n) lies inside the
+// mapping.
+func (m *fileMap) covers(off, n int64) bool {
+	return off >= 0 && n >= 0 && off+n <= int64(len(m.data))
+}
+
+// pointsAt reinterprets count points starting at byte offset off as a
+// []geom.Point without copying. The slot layout guarantees 8-byte alignment
+// (the header is 64 bytes, slots are 48+16·cap bytes), which unsafe.Slice
+// requires for float64 loads; an assertion guards the arithmetic anyway.
+func (m *fileMap) pointsAt(off int64, count int) []geom.Point {
+	if count == 0 {
+		return nil
+	}
+	if off%8 != 0 {
+		panic("storage: misaligned point slab in page-file mapping")
+	}
+	return unsafe.Slice((*geom.Point)(unsafe.Pointer(&m.data[off])), count)
+}

@@ -13,6 +13,67 @@ type PageID int32
 // NoPage is the nil PageID.
 const NoPage PageID = -1
 
+// PageView is a borrowed, read-only view of one page's points, the
+// allocation-free read surface of a PageStore. The slice aliases storage
+// owned by the store — a cached page, an arena segment, or (in the disk
+// backend's mmap mode) the page-file bytes themselves — so its lifetime is
+// governed by pinning:
+//
+//   - A view is valid from View until Release. Release is idempotent on the
+//     zero value and must be called exactly once per pinned view; the query
+//     kernel releases each view before advancing the leaf cursor.
+//   - While any view is pinned, the store guarantees the viewed bytes are
+//     not recycled: freed slots park on the free list but are not rewritten,
+//     evicted cache pages stay reachable from the view, and mmap mappings
+//     are not unmapped. (See DiskStore for the recycle guard.)
+//   - Views must not outlive the read-side critical section of the caller:
+//     Update/Free of the SAME page while a view of it is pinned is the one
+//     hazard the store does not defend against, exactly mirroring the
+//     exclusive-access clause of the PageStore contract.
+//   - The points must not be mutated through the view; in mmap mode they
+//     alias a read-only mapping and writing would fault the process.
+type PageView struct {
+	// Pts is the page's point data, borrowed from the store.
+	Pts []geom.Point
+	pin viewPin // non-nil when Release must unpin store resources
+}
+
+// viewPin is the unpin half of a pinned view; implemented by the disk
+// backend's cache entries. Kept as an interface so PageView stays a plain
+// value type the query kernel can pass around without allocation.
+type viewPin interface{ unpin() }
+
+// Release unpins the view. The zero view releases as a no-op, and Release
+// clears the pin so double-release is harmless.
+func (v *PageView) Release() {
+	if v.pin != nil {
+		v.pin.unpin()
+		v.pin = nil
+	}
+	v.Pts = nil
+}
+
+// Filter appends to dst the viewed points that fall inside r and returns
+// the extended slice — the borrowed-view twin of Page.Filter.
+func (v *PageView) Filter(r geom.Rect, dst []geom.Point) []geom.Point {
+	for _, pt := range v.Pts {
+		if r.Contains(pt) {
+			dst = append(dst, pt)
+		}
+	}
+	return dst
+}
+
+// Contains reports whether the viewed page stores a point equal to pt.
+func (v *PageView) Contains(pt geom.Point) bool {
+	for _, q := range v.Pts {
+		if q == pt {
+			return true
+		}
+	}
+	return false
+}
+
 // PageStore abstracts where clustered leaf pages live. The Z-index core
 // stores only PageIDs in its leaves and resolves them through the store on
 // every access, which is what lets the same tree run RAM-resident (MemStore)
@@ -21,8 +82,8 @@ const NoPage PageID = -1
 // Contract:
 //
 //   - Alloc, Update, and Free require the same exclusive access as any other
-//     structural index mutation; Page and ObserveQuery may be called from
-//     many goroutines at once.
+//     structural index mutation; Page, View, and ObserveQuery may be called
+//     from many goroutines at once.
 //   - The *Page returned by Page is owned by the store. Readers must not
 //     mutate it; writers may mutate it only as staging for an immediate
 //     Update of the same id (the pattern update paths use for Remove).
@@ -37,8 +98,13 @@ type PageStore interface {
 	// cache eviction.
 	Alloc(pts []geom.Point, bounds geom.Rect) PageID
 	// Page resolves id to its page, faulting it into the block cache if
-	// the backend is disk-resident.
+	// the backend is disk-resident. Callers that only read should prefer
+	// View: Page may have to materialize a private mutable copy.
 	Page(id PageID) *Page
+	// View returns a borrowed, read-only, pinned view of page id — the
+	// allocation-free read path. The caller must Release it before its
+	// read-side critical section ends; see PageView for lifetime rules.
+	View(id PageID) PageView
 	// Update rewrites the page contents in place (same id).
 	Update(id PageID, pts []geom.Point, bounds geom.Rect)
 	// Free releases the page and recycles its storage.
@@ -139,6 +205,12 @@ func (m *MemStore) Alloc(pts []geom.Point, _ geom.Rect) PageID {
 
 // Page implements PageStore.
 func (m *MemStore) Page(id PageID) *Page { return m.pages[id] }
+
+// View implements PageStore. RAM-resident pages need no pinning: the view
+// borrows the page's live slice and Release is a no-op.
+func (m *MemStore) View(id PageID) PageView {
+	return PageView{Pts: m.pages[id].Pts}
+}
 
 // Update implements PageStore.
 func (m *MemStore) Update(id PageID, pts []geom.Point, _ geom.Rect) {

@@ -1,0 +1,99 @@
+// The single-flight regression tests live in an external test package so
+// they can inject I/O faults through indextest.CrashFS (which imports
+// storage and would cycle with an in-package test).
+package storage_test
+
+import (
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/wazi-index/wazi/internal/geom"
+	"github.com/wazi-index/wazi/internal/indextest"
+	"github.com/wazi-index/wazi/internal/storage"
+)
+
+// crashStore builds a pread-mode store whose page file counts every
+// positional I/O toward fs's crash point, with one uncached page to fault.
+func crashStore(t *testing.T, fs *indextest.CrashFS) (*storage.DiskStore, storage.PageID) {
+	t.Helper()
+	d, err := storage.CreatePageFile(filepath.Join(t.TempDir(), "pages"), storage.DiskOptions{
+		SlotCap: 8, CachePages: 2, WrapFile: fs.WrapPageFile,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	pts := []geom.Point{{X: 0.1, Y: 0.2}, {X: 0.3, Y: 0.4}}
+	id := d.Alloc(pts, geom.Rect{MaxX: 1, MaxY: 1})
+	d.DropCaches()
+	return d, id
+}
+
+// TestSingleFlightFaultPanicUnblocksWaiters is the hang regression from the
+// issue: when the winning reader of a single-flighted cache fault panics
+// (injected read failure mid-fault), concurrent faulters of the same page
+// must be woken and refault — not block forever on a latch nobody closes.
+// Run under -race in CI.
+func TestSingleFlightFaultPanicUnblocksWaiters(t *testing.T) {
+	// Clean pass: count the I/O ops consumed by store setup, so the crash
+	// can be injected exactly at the fault's first read.
+	clean := indextest.NewCrashFS(-1)
+	cd, cid := crashStore(t, clean)
+	setupOps := clean.Ops()
+	cd.Page(cid) // one clean fault, proving setupOps points at it
+	if clean.Ops() == setupOps {
+		t.Fatal("fault consumed no counted I/O; crash point would miss it")
+	}
+
+	fs := indextest.NewCrashFS(setupOps)
+	d, id := crashStore(t, fs)
+
+	const faulters = 4
+	var wg sync.WaitGroup
+	var panics, hangs int32
+	for i := 0; i < faulters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if recover() != nil {
+					atomic.AddInt32(&panics, 1)
+				}
+			}()
+			d.Page(id)
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		atomic.StoreInt32(&hangs, 1)
+	}
+	if atomic.LoadInt32(&hangs) != 0 {
+		t.Fatal("concurrent faulters hung after the winner panicked: single-flight latch leaked")
+	}
+	if !fs.Crashed() {
+		t.Fatal("crash point never reached; test exercised nothing")
+	}
+	if atomic.LoadInt32(&panics) != faulters {
+		t.Fatalf("%d of %d faulters surfaced the injected failure; the rest returned a page that cannot exist", panics, faulters)
+	}
+
+	// The latch must also be clean for later callers: a fresh fault attempt
+	// panics on the dead file rather than waiting on a stale channel.
+	fresh := make(chan struct{})
+	go func() {
+		defer close(fresh)
+		defer func() { recover() }()
+		d.Page(id)
+	}()
+	select {
+	case <-fresh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("post-recovery fault hung on a stale single-flight latch")
+	}
+}

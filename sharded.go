@@ -1335,6 +1335,18 @@ func (s *Sharded) Bytes() int64 {
 // currently serving partition plan.
 func (s *Sharded) NumShards() int { return s.snap.Load().plan.NumShards() }
 
+// DropCaches empties the block cache of every disk-backed shard index (a
+// no-op under RAM-resident storage), putting the serving set in the state a
+// cold start would see. Safe concurrently with queries: in-flight borrowed
+// views keep their pages alive and later reads simply refault.
+func (s *Sharded) DropCaches() {
+	for _, ss := range s.snap.Load().shards {
+		if ss.idx != nil {
+			ss.idx.DropCaches()
+		}
+	}
+}
+
 // Rebuilds returns how many shard rebuilds (drift or compaction) have
 // completed since construction.
 func (s *Sharded) Rebuilds() int64 { return s.rebuilds.Load() }

@@ -37,6 +37,11 @@ func (a shardedAsIndex) Stats() *storage.Stats {
 // plan-migration battery (indextest.Repartitioner).
 func (a shardedAsIndex) Repartition() bool { return a.s.Repartition() }
 
+// DropCaches opts the adapter into the cold-cache battery
+// (indextest.CacheDropper): every disk-backed shard's block cache is
+// emptied mid-stream, forcing zero-copy refaults.
+func (a shardedAsIndex) DropCaches() { a.s.DropCaches() }
+
 // Reopen opts the adapter into the recover-vs-never-crashed battery
 // (indextest.Recoverable): it simulates a crash-restart by recovering from
 // the build-time snapshot plus the live WAL tail without closing the

@@ -85,6 +85,10 @@ type Storage struct {
 	Path string
 	// CachePages bounds the block cache in pages (default 1024).
 	CachePages int
+	// DisableMmap forces the disk backend's pread+decode read path instead
+	// of zero-copy mapped page views (the default wherever the platform
+	// supports them). See docs/STORAGE.md.
+	DisableMmap bool
 }
 
 // Option customizes index construction.
@@ -128,14 +132,15 @@ func buildOptions(opts []Option) core.Options {
 		o(&c)
 	}
 	return core.Options{
-		LeafSize:          c.leafSize,
-		Kappa:             c.kappa,
-		Alpha:             c.alpha,
-		DisableSkipping:   c.noSkipping,
-		Seed:              c.seed,
-		ExactCounts:       c.exactCounts,
-		StoragePath:       c.storage.Path,
-		StorageCachePages: c.storage.CachePages,
+		LeafSize:           c.leafSize,
+		Kappa:              c.kappa,
+		Alpha:              c.alpha,
+		DisableSkipping:    c.noSkipping,
+		Seed:               c.seed,
+		ExactCounts:        c.exactCounts,
+		StoragePath:        c.storage.Path,
+		StorageCachePages:  c.storage.CachePages,
+		StorageDisableMmap: c.storage.DisableMmap,
 	}
 }
 
@@ -200,6 +205,10 @@ func (x *Index) Close() error { return x.z.Close() }
 // CacheStats returns the block-cache counters of a disk-resident index
 // (zero-valued except Resident/Capacity for the RAM backend).
 func (x *Index) CacheStats() CacheStats { return x.z.CacheStats() }
+
+// DropCaches empties the block cache of a disk-resident index (a no-op for
+// the RAM backend), putting it in the state a cold start would see.
+func (x *Index) DropCaches() { x.z.DropCaches() }
 
 // RangeQuery returns all indexed points inside the closed rectangle r.
 func (x *Index) RangeQuery(r Rect) []Point { return x.z.RangeQuery(r) }
